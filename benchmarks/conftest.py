@@ -1,0 +1,17 @@
+"""Benchmark suite configuration.
+
+Adds ``src`` (the library) and the benchmarks directory itself (for the
+shared ``experiments`` module) to ``sys.path`` so the suite runs without an
+installed package.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_SRC), str(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)

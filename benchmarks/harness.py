@@ -1,0 +1,167 @@
+"""Command-line harness that regenerates every table and figure of the paper.
+
+Usage::
+
+    python benchmarks/harness.py all            # every experiment (slow-ish)
+    python benchmarks/harness.py table1
+    python benchmarks/harness.py fig6 fig7      # Figures 6 and 7 share one run
+    python benchmarks/harness.py fig8 --quick   # reduced sizes / trials
+    python benchmarks/harness.py fig10 fig11 fig12 table2
+
+Each command prints the rows / series the paper reports (Section 5) computed
+on the synthetic stand-in datasets; see EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import experiments as E  # noqa: E402
+
+
+def _print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def cmd_table1(args) -> None:
+    _print_header("Table 1 — top-Y alignment quality (metadata matcher vs MAD)")
+    rows = E.run_table1_experiment()
+    print(f"{'Y':>2}  {'System':<10}  {'Precision':>9}  {'Recall':>7}  {'F-measure':>9}")
+    for row in rows:
+        print(
+            f"{row['Y']:>2}  {row['system']:<10}  {row['precision']:>9.2f}  "
+            f"{row['recall']:>7.2f}  {row['f_measure']:>9.2f}"
+        )
+
+
+def _run_gbco(args):
+    trials = None if not args.quick else E.QUERY_LOG[:6]
+    rows = 30 if not args.quick else 20
+    return E.run_gbco_alignment_experiment(rows_per_relation=rows, trials=trials)
+
+
+def cmd_fig6(args, measurements=None) -> None:
+    _print_header("Figure 6 — aligner running time (ms, avg per introduced source)")
+    measurements = measurements or _run_gbco(args)
+    for name, m in measurements.items():
+        print(f"  {name:<14} {m.avg_time_ms:>10.2f} ms   ({m.introductions} introductions)")
+
+
+def cmd_fig7(args, measurements=None) -> None:
+    _print_header("Figure 7 — pairwise attribute comparisons (avg per introduced source)")
+    measurements = measurements or _run_gbco(args)
+    print(f"  {'strategy':<14} {'no filter':>12} {'value-overlap filter':>22}")
+    for name, m in measurements.items():
+        print(
+            f"  {name:<14} {m.avg_comparisons_no_filter:>12.1f} "
+            f"{m.avg_comparisons_value_filter:>22.1f}"
+        )
+
+
+def cmd_fig8(args) -> None:
+    _print_header("Figure 8 — pairwise column comparisons vs search-graph size")
+    sizes = (18, 100, 500) if not args.quick else (18, 60, 120)
+    trials = None if not args.quick else E.QUERY_LOG[:4]
+    rows = 10 if not args.quick else 8
+    results = E.run_scaling_experiment(graph_sizes=sizes, rows_per_relation=rows, trials=trials)
+    print(f"  {'sources':>8}  {'exhaustive':>12}  {'view_based':>12}  {'preferential':>13}")
+    for size in sorted(results):
+        row = results[size]
+        print(
+            f"  {size:>8}  {row['exhaustive']:>12.1f}  {row['view_based']:>12.1f}  "
+            f"{row['preferential']:>13.1f}"
+        )
+
+
+def _print_curve(name: str, points) -> None:
+    print(f"  -- {name}")
+    for recall, precision in sorted(points):
+        print(f"     recall {recall:>6.3f}   precision {precision:>6.3f}")
+
+
+def cmd_fig10(args) -> None:
+    _print_header("Figure 10 — precision/recall: metadata matcher, MAD, and Q (10x4 feedback)")
+    curves = E.run_fig10_experiment(repetitions=4)
+    for name in ("metadata", "mad", "q"):
+        _print_curve(name, curves[name])
+
+
+def cmd_fig11(args) -> None:
+    _print_header("Figure 11 — precision/recall of Q with increasing feedback")
+    curves = E.run_fig11_experiment()
+    for name in ("average", "q_1x1", "q_10x1", "q_10x2", "q_10x4"):
+        _print_curve(name, curves[name])
+
+
+def cmd_fig12(args) -> None:
+    _print_header("Figure 12 — average gold vs non-gold edge cost per feedback step")
+    history = E.run_fig12_experiment()
+    print(f"  {'step':>4}  {'gold avg cost':>14}  {'non-gold avg cost':>18}")
+    for snapshot in history:
+        print(
+            f"  {snapshot['step']:>4}  {snapshot['gold_avg_cost']:>14.3f}  "
+            f"{snapshot['non_gold_avg_cost']:>18.3f}"
+        )
+
+
+def cmd_table2(args) -> None:
+    _print_header("Table 2 — feedback steps to first reach precision 1.0 per recall level")
+    steps = E.run_table2_experiment()
+    print(f"  {'recall level':>12}  {'feedback steps':>14}")
+    for level in sorted(steps):
+        value = steps[level]
+        print(f"  {level * 100:>11.1f}%  {value if value is not None else 'not reached':>14}")
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "fig10": cmd_fig10,
+    "fig11": cmd_fig11,
+    "fig12": cmd_fig12,
+    "table2": cmd_table2,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use reduced trial counts / graph sizes for a fast smoke run",
+    )
+    args = parser.parse_args(argv)
+
+    selected = list(COMMANDS) if "all" in args.experiments else args.experiments
+    # fig6 and fig7 come from the same (expensive) run: share it.
+    shared_gbco = None
+    if "fig6" in selected and "fig7" in selected:
+        shared_gbco = _run_gbco(args)
+    for name in selected:
+        if name in ("fig6", "fig7") and shared_gbco is not None:
+            COMMANDS[name](args, measurements=shared_gbco)
+        else:
+            COMMANDS[name](args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

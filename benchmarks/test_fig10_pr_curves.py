@@ -1,0 +1,42 @@
+"""Figure 10 — precision/recall of COMA++-style matcher, MAD, and trained Q.
+
+Paper (Figure 10): Q, which combines both matchers and is trained from
+feedback on 10 keyword queries (replayed), achieves both better precision
+and better recall than either matcher alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from experiments import run_fig10_experiment
+
+
+def best_precision_at(points, recall_level):
+    eligible = [p for r, p in points if r >= recall_level - 1e-9]
+    return max(eligible) if eligible else 0.0
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_pr_curves(benchmark):
+    curves = benchmark.pedantic(run_fig10_experiment, kwargs=dict(repetitions=4), rounds=1, iterations=1)
+
+    # Q should dominate (or match) each individual matcher at mid/high recall.
+    for recall_level in (0.5, 0.75, 0.875):
+        q_precision = best_precision_at(curves["q"], recall_level)
+        assert q_precision >= best_precision_at(curves["metadata"], recall_level) - 1e-9
+        assert q_precision >= best_precision_at(curves["mad"], recall_level) - 1e-9
+
+    # Trained Q reaches perfect precision at 50% recall and high precision at 75%.
+    assert best_precision_at(curves["q"], 0.5) == pytest.approx(1.0)
+    assert best_precision_at(curves["q"], 0.75) >= 0.85
+    # And it still reaches full recall.
+    assert max(r for r, _ in curves["q"]) == pytest.approx(1.0)
+
+    benchmark.extra_info["precision_at_recall"] = {
+        system: {
+            str(level): round(best_precision_at(points, level), 3)
+            for level in (0.25, 0.5, 0.75, 0.875, 1.0)
+        }
+        for system, points in curves.items()
+    }

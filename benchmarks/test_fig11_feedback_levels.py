@@ -1,0 +1,44 @@
+"""Figure 11 — precision/recall of Q under increasing amounts of feedback.
+
+Paper (Figure 11): the unweighted average of the two matchers roughly tracks
+the metadata matcher; a single feedback step already improves precision; ten
+feedback steps, and especially replaying them several times, yield the best
+precision-recall trade-off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from experiments import run_fig11_experiment
+
+
+def best_precision_at(points, recall_level):
+    eligible = [p for r, p in points if r >= recall_level - 1e-9]
+    return max(eligible) if eligible else 0.0
+
+
+def area_proxy(points):
+    """A crude area-under-PR proxy: mean of the best precision at several recalls."""
+    levels = (0.25, 0.5, 0.625, 0.75, 0.875)
+    return sum(best_precision_at(points, level) for level in levels) / len(levels)
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_feedback_levels(benchmark):
+    curves = benchmark.pedantic(run_fig11_experiment, rounds=1, iterations=1)
+
+    assert set(curves) == {"average", "q_1x1", "q_10x1", "q_10x2", "q_10x4"}
+
+    # More feedback should not hurt the overall PR trade-off, and the
+    # replayed 10x4 configuration must beat the no-feedback average baseline.
+    assert area_proxy(curves["q_10x4"]) >= area_proxy(curves["average"])
+    assert area_proxy(curves["q_10x4"]) >= area_proxy(curves["q_1x1"]) - 0.05
+    assert best_precision_at(curves["q_10x4"], 0.75) >= best_precision_at(curves["average"], 0.75)
+
+    benchmark.extra_info["area_proxy"] = {
+        name: round(area_proxy(points), 3) for name, points in curves.items()
+    }
+    benchmark.extra_info["precision_at_recall_0.75"] = {
+        name: round(best_precision_at(points, 0.75), 3) for name, points in curves.items()
+    }

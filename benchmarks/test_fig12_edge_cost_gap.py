@@ -1,0 +1,33 @@
+"""Figure 12 — average gold vs non-gold edge cost as feedback accumulates.
+
+Paper (Figure 12): Q assigns lower (better) costs on average to gold edges
+than to non-gold edges, and the gap increases with more feedback (steps
+11-40 replay the first 10 steps).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from experiments import run_fig12_experiment
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_edge_cost_gap(benchmark):
+    history = benchmark.pedantic(
+        run_fig12_experiment, kwargs=dict(num_queries=10, repetitions=4), rounds=1, iterations=1
+    )
+    assert history, "feedback steps should have been recorded"
+
+    first, last = history[0], history[-1]
+    first_gap = first["non_gold_avg_cost"] - first["gold_avg_cost"]
+    last_gap = last["non_gold_avg_cost"] - last["gold_avg_cost"]
+
+    # Gold edges end up cheaper on average than non-gold edges...
+    assert last["gold_avg_cost"] < last["non_gold_avg_cost"]
+    # ...and the separation grows as feedback accumulates.
+    assert last_gap > first_gap
+
+    benchmark.extra_info["steps"] = len(history)
+    benchmark.extra_info["first_step"] = {k: round(v, 3) for k, v in first.items()}
+    benchmark.extra_info["last_step"] = {k: round(v, 3) for k, v in last.items()}

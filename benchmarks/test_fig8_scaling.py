@@ -1,0 +1,45 @@
+"""Figure 8 — pairwise column comparisons as the search graph grows (18 → 100 → 500 sources).
+
+Paper (Figure 8): the number of comparisons for EXHAUSTIVE grows quickly with
+the number of sources, while VIEWBASEDALIGNER and PREFERENTIALALIGNER are
+hardly affected by graph size.  The benchmark uses reduced sizes
+(18/60/120) and a trial subset to keep the run short; ``harness.py fig8``
+reproduces the full 18/100/500 sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from experiments import QUERY_LOG, run_scaling_experiment
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_scaling(benchmark):
+    results = benchmark.pedantic(
+        run_scaling_experiment,
+        kwargs=dict(graph_sizes=(18, 60, 120), rows_per_relation=8, trials=QUERY_LOG[:4]),
+        rounds=1,
+        iterations=1,
+    )
+    sizes = sorted(results)
+    smallest, largest = sizes[0], sizes[-1]
+
+    # EXHAUSTIVE grows with graph size.
+    assert results[largest]["exhaustive"] > results[smallest]["exhaustive"]
+
+    exhaustive_growth = results[largest]["exhaustive"] - results[smallest]["exhaustive"]
+    view_growth = results[largest]["view_based"] - results[smallest]["view_based"]
+    preferential_growth = results[largest]["preferential"] - results[smallest]["preferential"]
+
+    # The information-need-driven strategies grow far more slowly.
+    assert view_growth < exhaustive_growth
+    assert preferential_growth < 0.1 * exhaustive_growth
+    # At every size the pruned strategies need fewer comparisons.
+    for size in sizes:
+        assert results[size]["view_based"] <= results[size]["exhaustive"]
+        assert results[size]["preferential"] <= results[size]["view_based"]
+
+    benchmark.extra_info["comparisons_by_size"] = {
+        size: {k: round(v, 1) for k, v in row.items()} for size, row in results.items()
+    }

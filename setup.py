@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so that the package installs in offline environments whose setuptools
+predates PEP 660 editable-install support (``pip install -e .
+--no-build-isolation --no-use-pep517``).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

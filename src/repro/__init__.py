@@ -1,0 +1,49 @@
+"""repro — reproduction of "Automatically Incorporating New Sources in
+Keyword Search-Based Data Integration" (Talukdar, Ives, Pereira; SIGMOD 2010).
+
+The package implements the Q system end to end:
+
+* :mod:`repro.datastore` — relational substrate (schemas, tables, catalogs,
+  indexes, conjunctive query execution with provenance).
+* :mod:`repro.similarity` — keyword / label similarity metrics.
+* :mod:`repro.graph` — search graph, query graph, feature-based edge costs.
+* :mod:`repro.steiner` — exact and approximate top-k Steiner trees.
+* :mod:`repro.matching` — schema matchers: metadata (COMA++ stand-in), MAD
+  label propagation, value overlap, and ensembles.
+* :mod:`repro.alignment` — EXHAUSTIVE / VIEWBASED / PREFERENTIAL aligners and
+  the new-source registration service.
+* :mod:`repro.learning` — feedback generalization and MIRA-based learning of
+  edge costs.
+* :mod:`repro.core` — ranked views, query generation, evaluation metrics and
+  the :class:`~repro.core.qsystem.QSystem` facade.
+* :mod:`repro.datasets` — the InterPro–GO-like, GBCO-like and synthetic
+  datasets used by the experiment harnesses in ``benchmarks/``.
+
+Quickstart
+----------
+>>> from repro import QSystem
+>>> from repro.datasets import build_interpro_go
+>>> dataset = build_interpro_go()
+>>> system = QSystem(sources=dataset.catalog.sources())
+>>> system.bootstrap_alignments(top_y=2)        # doctest: +SKIP
+>>> view = system.create_view(["membrane", "publication"])   # doctest: +SKIP
+>>> view.answers()[:3]                          # doctest: +SKIP
+"""
+
+from .core.qsystem import QSystem, QSystemConfig
+from .core.view import RankedView
+from .datastore.database import Catalog, DataSource
+from .graph.search_graph import GraphConfig, SearchGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "DataSource",
+    "GraphConfig",
+    "QSystem",
+    "QSystemConfig",
+    "RankedView",
+    "SearchGraph",
+    "__version__",
+]

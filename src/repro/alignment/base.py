@@ -1,0 +1,181 @@
+"""Shared aligner infrastructure.
+
+An *aligner strategy* decides which existing relations a newly registered
+source is matched against (paper Section 3.3).  All strategies share the
+same mechanics — run a base matcher over the chosen relation pairs, merge
+the correspondences, and install association edges in the search graph —
+and differ only in the candidate-selection policy, so the shared pieces live
+here.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..datastore.database import Catalog, DataSource
+from ..datastore.table import Table
+from ..graph.edges import Edge
+from ..graph.search_graph import SearchGraph
+from ..matching.base import BaseMatcher, Correspondence, merge_correspondences, top_y_per_attribute
+from ..matching.value_overlap import ValueOverlapFilter
+
+
+@dataclass
+class AlignmentResult:
+    """Outcome of aligning one new source against the search graph.
+
+    Attributes
+    ----------
+    strategy:
+        Name of the aligner strategy used.
+    new_source:
+        Name of the registered source.
+    correspondences:
+        The correspondences retained after top-Y filtering.
+    edges_added:
+        Association edges installed in the search graph.
+    relation_pairs_considered:
+        Number of (new relation, existing relation) pairs the base matcher
+        was invoked on.
+    attribute_comparisons:
+        Number of pairwise attribute comparisons (the metric of Figures 7
+        and 8); respects the value-overlap filter when one is configured.
+    candidate_relations:
+        The existing relations the strategy chose to compare against.
+    elapsed_seconds:
+        Wall-clock time of the alignment (the metric of Figure 6).
+    """
+
+    strategy: str
+    new_source: str
+    correspondences: List[Correspondence] = field(default_factory=list)
+    edges_added: List[Edge] = field(default_factory=list)
+    relation_pairs_considered: int = 0
+    attribute_comparisons: int = 0
+    candidate_relations: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+
+class BaseAligner(abc.ABC):
+    """Common machinery for the EXHAUSTIVE / VIEWBASED / PREFERENTIAL strategies.
+
+    Parameters
+    ----------
+    matcher:
+        The black-box pairwise matcher (``BASEMATCHER`` in Algorithms 2/3).
+    top_y:
+        How many candidate alignments to keep per attribute when installing
+        association edges.
+    value_filter:
+        Optional :class:`ValueOverlapFilter`; when present, attribute pairs
+        with no shared values are neither counted nor compared (the "Value
+        Overlap Filter" configuration of Figure 7).
+    count_only:
+        If ``True``, the aligner only *counts* comparisons without invoking
+        the matcher — used by the Figure 8 scaling experiment, whose
+        synthetic relations have no realistic labels to match on.
+    """
+
+    #: Strategy name, overridden by subclasses.
+    strategy_name = "base"
+
+    def __init__(
+        self,
+        matcher: BaseMatcher,
+        top_y: int = 2,
+        value_filter: Optional[ValueOverlapFilter] = None,
+        count_only: bool = False,
+    ) -> None:
+        self.matcher = matcher
+        self.top_y = top_y
+        self.value_filter = value_filter
+        self.count_only = count_only
+
+    # ------------------------------------------------------------------
+    # Strategy-specific candidate selection
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def candidate_relations(
+        self, graph: SearchGraph, catalog: Catalog, new_source: DataSource
+    ) -> List[str]:
+        """Qualified names of the existing relations to align the new source against."""
+
+    # ------------------------------------------------------------------
+    # Shared alignment pipeline
+    # ------------------------------------------------------------------
+    def align(
+        self, graph: SearchGraph, catalog: Catalog, new_source: DataSource
+    ) -> AlignmentResult:
+        """Align ``new_source`` against the graph and install association edges.
+
+        The new source's relations/attributes are expected to already be
+        nodes of ``graph`` (the registration service adds them before
+        calling the aligner); the catalog must already contain the source.
+        """
+        start = time.perf_counter()
+        result = AlignmentResult(strategy=self.strategy_name, new_source=new_source.name)
+        candidates = self.candidate_relations(graph, catalog, new_source)
+        result.candidate_relations = list(candidates)
+        new_tables = list(new_source.tables())
+        correspondences: List[Correspondence] = []
+
+        for qualified_relation in candidates:
+            try:
+                existing_table = catalog.relation(qualified_relation)
+            except Exception:
+                continue
+            for new_table in new_tables:
+                if new_table.schema.qualified_name == qualified_relation:
+                    continue
+                comparisons = self._count_comparisons(new_table, existing_table)
+                if comparisons == 0:
+                    continue
+                result.relation_pairs_considered += 1
+                result.attribute_comparisons += comparisons
+                if not self.count_only:
+                    correspondences.extend(
+                        self.matcher.match_relations(new_table, existing_table)
+                    )
+
+        if not self.count_only:
+            retained = top_y_per_attribute(correspondences, self.top_y)
+            result.correspondences = retained
+            result.edges_added = install_associations(graph, retained)
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    def _count_comparisons(self, table_a: Table, table_b: Table) -> int:
+        if self.value_filter is not None:
+            return self.value_filter.comparable_pairs(table_a, table_b)
+        return len(table_a.schema.attribute_names) * len(table_b.schema.attribute_names)
+
+
+def install_associations(
+    graph: SearchGraph, correspondences: Iterable[Correspondence]
+) -> List[Edge]:
+    """Install association edges for ``correspondences`` into ``graph``.
+
+    Correspondences for the same attribute pair coming from different
+    matchers are merged onto one edge, each contributing its own
+    matcher-confidence feature (paper Section 3.2.3 / 3.4).
+    """
+    merged = merge_correspondences(correspondences)
+    refs: Dict[Tuple[str, str], Correspondence] = {}
+    for correspondence in correspondences:
+        refs.setdefault(correspondence.key(), correspondence)
+    edges: List[Edge] = []
+    for key, confidences in merged.items():
+        correspondence = refs[key]
+        edge = graph.add_association(
+            correspondence.source.relation,
+            correspondence.source.attribute,
+            correspondence.target.relation,
+            correspondence.target.attribute,
+            matcher_confidences=confidences,
+            metadata={"origin": "aligner"},
+        )
+        edges.append(edge)
+    return edges

@@ -1,0 +1,34 @@
+"""EXHAUSTIVE alignment strategy (paper Section 3.3).
+
+Upon registration of a new source, iterate over *all* existing relations and
+run the base matcher against each.  Simple, guarantees nothing is missed,
+and scales quadratically in the number of attributes — the baseline the
+information-need-driven strategies are compared against in Figures 6–8.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..datastore.database import Catalog, DataSource
+from ..graph.search_graph import SearchGraph
+from .base import BaseAligner
+
+
+class ExhaustiveAligner(BaseAligner):
+    """Aligns a new source against every relation already in the catalog."""
+
+    strategy_name = "exhaustive"
+
+    def candidate_relations(
+        self, graph: SearchGraph, catalog: Catalog, new_source: DataSource
+    ) -> List[str]:
+        """All existing relations, excluding those of the new source itself."""
+        new_relations = {t.schema.qualified_name for t in new_source.tables()}
+        candidates: List[str] = []
+        for source in catalog:
+            for table in source:
+                qualified = table.schema.qualified_name
+                if qualified not in new_relations:
+                    candidates.append(qualified)
+        return candidates

@@ -1,0 +1,83 @@
+"""Registration service for new data sources (paper Section 3).
+
+The registration service is the entry point triggered when a user (or a
+crawler) registers a new database: the source's relations and attributes are
+added to the catalog and the search graph, an aligner strategy proposes
+association edges against the existing graph, and any registered callbacks
+(e.g. view refresh) are invoked with the alignment result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..datastore.database import Catalog, DataSource
+from ..exceptions import RegistrationError
+from ..graph.search_graph import SearchGraph
+from .base import AlignmentResult, BaseAligner
+
+#: Callback signature invoked after each successful registration.
+RegistrationListener = Callable[[DataSource, AlignmentResult], None]
+
+
+@dataclass
+class RegistrationRecord:
+    """Book-keeping for one registered source."""
+
+    source_name: str
+    strategy: str
+    alignment: AlignmentResult
+
+
+class SourceRegistrar:
+    """Adds new sources to the catalog + search graph and runs an aligner.
+
+    Parameters
+    ----------
+    catalog:
+        The system catalog; registered sources are added to it.
+    graph:
+        The search graph; the new source's schema nodes and the proposed
+        association edges are added to it.
+    """
+
+    def __init__(self, catalog: Catalog, graph: SearchGraph) -> None:
+        self.catalog = catalog
+        self.graph = graph
+        self.history: List[RegistrationRecord] = []
+        self._listeners: List[RegistrationListener] = []
+
+    def add_listener(self, listener: RegistrationListener) -> None:
+        """Register a callback invoked after each successful registration."""
+        self._listeners.append(listener)
+
+    def register(self, source: DataSource, aligner: BaseAligner) -> AlignmentResult:
+        """Register ``source``: add it to the catalog/graph, then align it.
+
+        Raises
+        ------
+        RegistrationError
+            If a source with the same name is already registered.
+        """
+        if self.catalog.has_source(source.name):
+            raise RegistrationError(f"source {source.name!r} is already registered")
+        self.catalog.add_source(source)
+        try:
+            self.graph.add_source(source)
+            alignment = aligner.align(self.graph, self.catalog, source)
+        except Exception:
+            # Keep catalog and graph consistent on failure.
+            self.catalog.remove_source(source.name)
+            raise
+        record = RegistrationRecord(
+            source_name=source.name, strategy=aligner.strategy_name, alignment=alignment
+        )
+        self.history.append(record)
+        for listener in self._listeners:
+            listener(source, alignment)
+        return alignment
+
+    def registered_sources(self) -> List[str]:
+        """Names of the sources registered through this service, in order."""
+        return [record.source_name for record in self.history]

@@ -1,0 +1,269 @@
+"""The Q system facade (paper Figure 1).
+
+:class:`QSystem` wires together the whole pipeline:
+
+* a catalog of registered data sources and a search graph built from their
+  metadata;
+* matcher(s) that propose association edges, either in a one-off bootstrap
+  pass (the Section 5.2 setup) or when a new source is registered;
+* keyword views with ranked answers;
+* the registration service with the EXHAUSTIVE / VIEWBASED / PREFERENTIAL
+  aligner strategies;
+* feedback-driven learning of edge costs through MIRA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..alignment.base import AlignmentResult, BaseAligner, install_associations
+from ..alignment.exhaustive import ExhaustiveAligner
+from ..alignment.preferential import PreferentialAligner
+from ..alignment.registration import SourceRegistrar
+from ..alignment.view_based import ViewBasedAligner
+from ..datastore.database import Catalog, DataSource
+from ..datastore.provenance import AnswerTuple
+from ..exceptions import QError, RegistrationError
+from ..graph.query_graph import QueryGraphBuilder
+from ..graph.search_graph import GraphConfig, SearchGraph
+from ..learning.feedback import AnnotationKind, FeedbackEvent, FeedbackLog
+from ..learning.mira import OnlineLearner
+from ..matching.base import BaseMatcher, Correspondence
+from ..matching.ensemble import MatcherEnsemble
+from ..matching.mad import MadMatcher
+from ..matching.metadata_matcher import MetadataMatcher
+from ..matching.value_overlap import ValueOverlapFilter
+from .view import RankedView
+
+
+@dataclass
+class QSystemConfig:
+    """Top-level knobs of the Q system."""
+
+    top_k: int = 5
+    top_y: int = 2
+    feedback_window: int = 50
+    graph: GraphConfig = field(default_factory=GraphConfig)
+    answer_limit: Optional[int] = 200
+
+
+class QSystem:
+    """End-to-end keyword-search data integration with automatic source incorporation."""
+
+    def __init__(
+        self,
+        sources: Optional[Iterable[DataSource]] = None,
+        matchers: Optional[Sequence[BaseMatcher]] = None,
+        config: Optional[QSystemConfig] = None,
+    ) -> None:
+        self.config = config or QSystemConfig()
+        self.catalog = Catalog(sources)
+        self.graph = SearchGraph(config=self.config.graph)
+        self.graph.add_catalog(self.catalog)
+        self.matchers: List[BaseMatcher] = list(matchers) if matchers else [MetadataMatcher(), MadMatcher()]
+        self.ensemble = MatcherEnsemble(self.matchers, top_y=self.config.top_y)
+        self.registrar = SourceRegistrar(self.catalog, self.graph)
+        self.views: Dict[str, RankedView] = {}
+        self.feedback_log = FeedbackLog(window_size=self.config.feedback_window)
+        self._builder: Optional[QueryGraphBuilder] = None
+        self.registrar.add_listener(self._on_registration)
+
+    # ------------------------------------------------------------------
+    # Sources and alignments
+    # ------------------------------------------------------------------
+    def add_source(self, source: DataSource) -> None:
+        """Add a source to the catalog and graph *without* running alignment.
+
+        Used when setting up the initial, already-interlinked databases
+        (their joins come from foreign keys and hand-coded associations).
+        """
+        self.catalog.add_source(source)
+        self.graph.add_source(source)
+        self._invalidate_builder()
+
+    def bootstrap_alignments(self, top_y: Optional[int] = None) -> List[Correspondence]:
+        """Run the matcher ensemble over all current tables and install edges.
+
+        This reproduces the Section 5.2 setup: start from a schema graph
+        with no association edges, run the matchers, and record the top-Y
+        most promising alignments per attribute as association edges.
+        """
+        y = top_y if top_y is not None else self.config.top_y
+        ensemble = MatcherEnsemble(self.matchers, top_y=y)
+        alignments = ensemble.match_tables(self.catalog.all_tables())
+        correspondences: List[Correspondence] = []
+        for alignment in alignments:
+            for matcher_name, confidence in alignment.confidences.items():
+                correspondences.append(
+                    Correspondence(
+                        source=alignment.source,
+                        target=alignment.target,
+                        confidence=confidence,
+                        matcher=matcher_name,
+                    )
+                )
+        install_associations(self.graph, correspondences)
+        self._refresh_all_views(rebuild_graph=True)
+        return correspondences
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def create_view(self, keywords: Sequence[str], k: Optional[int] = None, name: Optional[str] = None) -> RankedView:
+        """Create (and refresh) a ranked view for a keyword query."""
+        view = RankedView(
+            keywords,
+            self.catalog,
+            self.graph,
+            k=k or self.config.top_k,
+            builder=self._query_builder(),
+            answer_limit=self.config.answer_limit,
+        )
+        view.refresh()
+        view_name = name or " ".join(keywords)
+        self.views[view_name] = view
+        return view
+
+    def _query_builder(self) -> QueryGraphBuilder:
+        if self._builder is None:
+            self._builder = QueryGraphBuilder(self.catalog)
+        return self._builder
+
+    def _invalidate_builder(self) -> None:
+        self._builder = None
+
+    def _refresh_all_views(self, rebuild_graph: bool = False) -> None:
+        for view in self.views.values():
+            view.refresh(rebuild_graph=rebuild_graph)
+
+    # ------------------------------------------------------------------
+    # Registration of new sources
+    # ------------------------------------------------------------------
+    def register_source(
+        self,
+        source: DataSource,
+        strategy: str = "view_based",
+        view: Optional[RankedView] = None,
+        matcher: Optional[BaseMatcher] = None,
+        value_filter: bool = False,
+        max_relations: Optional[int] = 5,
+    ) -> AlignmentResult:
+        """Register a new source and align it against the existing graph.
+
+        Parameters
+        ----------
+        source:
+            The new data source.
+        strategy:
+            ``"exhaustive"``, ``"view_based"`` or ``"preferential"``.
+        view:
+            For the view-based strategy, the existing view whose information
+            need drives the alignment; defaults to the most recently created
+            view.
+        matcher:
+            Base matcher; defaults to the system's first configured matcher.
+        value_filter:
+            If ``True``, restrict comparisons to attribute pairs with value
+            overlap (requires indexing all current tables plus the new one).
+        max_relations:
+            Budget for the preferential strategy.
+        """
+        matcher = matcher or self.matchers[0]
+        overlap_filter = None
+        if value_filter:
+            tables = self.catalog.all_tables() + list(source.tables())
+            overlap_filter = ValueOverlapFilter.from_tables(tables)
+
+        aligner = self._make_aligner(strategy, matcher, view, overlap_filter, max_relations)
+        result = self.registrar.register(source, aligner)
+        self._invalidate_builder()
+        self._refresh_all_views(rebuild_graph=True)
+        return result
+
+    def _make_aligner(
+        self,
+        strategy: str,
+        matcher: BaseMatcher,
+        view: Optional[RankedView],
+        value_filter: Optional[ValueOverlapFilter],
+        max_relations: Optional[int],
+    ) -> BaseAligner:
+        strategy = strategy.lower()
+        if strategy == "exhaustive":
+            return ExhaustiveAligner(matcher, top_y=self.config.top_y, value_filter=value_filter)
+        if strategy == "preferential":
+            return PreferentialAligner(
+                matcher,
+                top_y=self.config.top_y,
+                value_filter=value_filter,
+                max_relations=max_relations,
+            )
+        if strategy == "view_based":
+            target_view = view or self._latest_view()
+            if target_view is None:
+                raise RegistrationError(
+                    "view_based registration requires an existing view; create one first"
+                )
+            alpha = target_view.alpha
+            if alpha is None:
+                raise RegistrationError("the driving view has no answers; refresh it first")
+            # The aligner operates on the persistent search graph, which has
+            # no keyword nodes; the α-neighborhood is therefore computed in
+            # the view's expanded query graph.
+            return ViewBasedAligner(
+                matcher,
+                keyword_nodes=target_view.terminals,
+                alpha=alpha,
+                top_y=self.config.top_y,
+                value_filter=value_filter,
+                neighborhood_graph=target_view.query_graph.graph,
+            )
+        raise QError(f"unknown alignment strategy {strategy!r}")
+
+    def _latest_view(self) -> Optional[RankedView]:
+        if not self.views:
+            return None
+        return next(reversed(self.views.values()))  # type: ignore[call-overload]
+
+    def _on_registration(self, source: DataSource, result: AlignmentResult) -> None:
+        # Hook point: views are refreshed by register_source after the
+        # registrar returns; the listener records nothing extra for now but
+        # keeps the architecture of Figure 1 explicit.
+        del source, result
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def give_feedback(
+        self,
+        view: RankedView,
+        answer: AnswerTuple,
+        kind: AnnotationKind = AnnotationKind.VALID,
+        other: Optional[AnswerTuple] = None,
+        replay: int = 1,
+    ) -> List[FeedbackEvent]:
+        """Apply user feedback on one answer of a view.
+
+        The annotation is generalized to the producing query tree, logged,
+        and fed to the MIRA learner operating on the view's query graph
+        (whose weight vector is shared with the search graph, so all views
+        see the adjusted costs).  ``replay`` controls how many times the
+        event is applied in a row.
+        """
+        event = view.annotate(answer, kind, other=other)
+        self.feedback_log.add(event)
+        learner = OnlineLearner(view.query_graph.graph, k=self.config.top_k)
+        learner.replay([event], replay)
+        self._refresh_all_views()
+        return [event]
+
+    def apply_feedback_events(
+        self, view: RankedView, events: Sequence[FeedbackEvent], repetitions: int = 1
+    ) -> None:
+        """Apply pre-built feedback events (used by the experiment harnesses)."""
+        learner = OnlineLearner(view.query_graph.graph, k=self.config.top_k)
+        for event in events:
+            self.feedback_log.add(event)
+        learner.replay(list(events), repetitions)
+        self._refresh_all_views()

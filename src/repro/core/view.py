@@ -1,0 +1,160 @@
+"""Persistent ranked views over keyword queries (paper Section 2.3).
+
+A :class:`RankedView` materializes the top-k interpretation of a keyword
+query: the expanded query graph, the k lowest-cost Steiner trees, the
+conjunctive queries generated from them, and the ranked union of their
+answers.  The view is kept up to date as the underlying search graph changes
+— new association edges from source registration, or new edge costs from
+feedback — by calling :meth:`RankedView.refresh`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datastore.database import Catalog
+from ..datastore.executor import QueryExecutor
+from ..datastore.provenance import AnswerTuple
+from ..exceptions import QueryError
+from ..graph.query_graph import QueryGraph, QueryGraphBuilder
+from ..graph.search_graph import SearchGraph
+from ..learning.feedback import (
+    AnnotationKind,
+    AnswerAnnotation,
+    FeedbackEvent,
+    FeedbackGeneralizer,
+)
+from ..steiner.topk import KBestSteiner
+from ..steiner.tree import SteinerTree
+from .query_generation import GeneratedQuery, QueryGenerator
+
+
+@dataclass
+class ViewState:
+    """A snapshot of the view's contents after one refresh."""
+
+    trees: List[SteinerTree] = field(default_factory=list)
+    queries: List[GeneratedQuery] = field(default_factory=list)
+    answers: List[AnswerTuple] = field(default_factory=list)
+
+    @property
+    def alpha(self) -> Optional[float]:
+        """Cost of the k-th (worst) retained tree — the pruning radius α."""
+        if not self.trees:
+            return None
+        return max(tree.cost for tree in self.trees)
+
+
+class RankedView:
+    """A keyword query saved as a continuously maintained top-k view.
+
+    Parameters
+    ----------
+    keywords:
+        The keyword query terms.
+    catalog:
+        The system catalog (used for query execution and value matching).
+    graph:
+        The current search graph.  The view keeps its own expanded *query
+        graph* which shares the search graph's weight vector, so feedback
+        learning updates both.
+    k:
+        Number of query trees retained.
+    builder:
+        Optional query-graph builder (shared across views to reuse indexes).
+    """
+
+    def __init__(
+        self,
+        keywords: Sequence[str],
+        catalog: Catalog,
+        graph: SearchGraph,
+        k: int = 5,
+        builder: Optional[QueryGraphBuilder] = None,
+        answer_limit: Optional[int] = 200,
+    ) -> None:
+        self.keywords = list(keywords)
+        self.catalog = catalog
+        self.base_graph = graph
+        self.k = k
+        self.answer_limit = answer_limit
+        self.builder = builder or QueryGraphBuilder(catalog)
+        self.solver = KBestSteiner()
+        self.query_graph: QueryGraph = self.builder.expand(graph, self.keywords)
+        self.state = ViewState()
+        self._trees_by_signature: Dict[str, SteinerTree] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def rebuild_query_graph(self) -> None:
+        """Re-expand the query graph from the current base search graph.
+
+        Needed after structural changes to the search graph (new sources or
+        new association edges); plain weight changes only require
+        :meth:`refresh`.
+        """
+        self.query_graph = self.builder.expand(self.base_graph, self.keywords)
+
+    def refresh(self, rebuild_graph: bool = False) -> ViewState:
+        """Recompute trees, queries and answers under the current costs."""
+        if rebuild_graph:
+            self.rebuild_query_graph()
+        graph = self.query_graph.graph
+        terminals = list(self.query_graph.terminals)
+        trees = self.solver.solve(graph, terminals, self.k) if terminals else []
+        generator = QueryGenerator(graph)
+        queries = generator.generate_all(trees)
+        executor = QueryExecutor(self.catalog)
+        answers = executor.execute_union(
+            [generated.query for generated in queries], limit=self.answer_limit
+        )
+        self.state = ViewState(trees=trees, queries=queries, answers=answers)
+        self._trees_by_signature = {g.signature: g.tree for g in queries}
+        return self.state
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def terminals(self) -> Tuple[str, ...]:
+        """Keyword node ids of the view's query graph."""
+        return self.query_graph.terminals
+
+    @property
+    def alpha(self) -> Optional[float]:
+        """Cost of the k-th best tree (the VIEWBASEDALIGNER pruning radius)."""
+        return self.state.alpha
+
+    def answers(self) -> List[AnswerTuple]:
+        """The ranked answers of the last refresh."""
+        return list(self.state.answers)
+
+    def trees(self) -> List[SteinerTree]:
+        """The retained Steiner trees of the last refresh."""
+        return list(self.state.trees)
+
+    def uses_relation(self, qualified_relation: str) -> bool:
+        """Whether any retained tree touches ``qualified_relation``."""
+        return any(
+            tree.contains_relation(self.query_graph.graph, qualified_relation)
+            for tree in self.state.trees
+        )
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def feedback_generalizer(self) -> FeedbackGeneralizer:
+        """A generalizer mapping this view's answer annotations to tree feedback."""
+        return FeedbackGeneralizer(self.terminals, dict(self._trees_by_signature))
+
+    def annotate(
+        self,
+        answer: AnswerTuple,
+        kind: AnnotationKind,
+        other: Optional[AnswerTuple] = None,
+    ) -> FeedbackEvent:
+        """Convert one answer annotation into a tree-level feedback event."""
+        annotation = AnswerAnnotation(answer=answer, kind=kind, other=other)
+        return self.feedback_generalizer().generalize(annotation)

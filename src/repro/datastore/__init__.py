@@ -1,0 +1,60 @@
+"""Relational substrate: schemas, tables, catalogs, indexes and query execution.
+
+This subpackage provides everything the Q system needs from a database layer:
+
+* :class:`Attribute`, :class:`RelationSchema`, :class:`SourceSchema`,
+  :class:`ForeignKey` — metadata (paper Section 2.1).
+* :class:`Table`, :class:`Row` — in-memory tuple storage.
+* :class:`DataSource`, :class:`Catalog` — registered sources.
+* :class:`ValueIndex`, :class:`TokenIndex` — inverted indexes for keyword
+  matching and the value-overlap filter.
+* :class:`ConjunctiveQuery` and friends, :class:`QueryExecutor`,
+  :class:`AnswerTuple`, :class:`TupleProvenance` — ranked query execution
+  with provenance (paper Section 2.2).
+* CSV / JSON loading via :mod:`repro.datastore.csvio` and SQL rendering via
+  :mod:`repro.datastore.sqlgen`.
+"""
+
+from .database import Catalog, DataSource
+from .executor import QueryExecutor
+from .indexes import TokenIndex, ValueIndex, ValueOccurrence
+from .provenance import AnswerTuple, TupleProvenance
+from .query import (
+    ConjunctiveQuery,
+    JoinPredicate,
+    OutputColumn,
+    QueryAtom,
+    SelectionPredicate,
+)
+from .schema import Attribute, ForeignKey, RelationSchema, SourceSchema, qualified_name, split_qualified
+from .table import Row, Table
+from .types import ValueType, canonicalize, infer_column_type, infer_value_type, is_null
+
+__all__ = [
+    "AnswerTuple",
+    "Attribute",
+    "Catalog",
+    "ConjunctiveQuery",
+    "DataSource",
+    "ForeignKey",
+    "JoinPredicate",
+    "OutputColumn",
+    "QueryAtom",
+    "QueryExecutor",
+    "RelationSchema",
+    "Row",
+    "SelectionPredicate",
+    "SourceSchema",
+    "Table",
+    "TokenIndex",
+    "TupleProvenance",
+    "ValueIndex",
+    "ValueOccurrence",
+    "ValueType",
+    "canonicalize",
+    "infer_column_type",
+    "infer_value_type",
+    "is_null",
+    "qualified_name",
+    "split_qualified",
+]

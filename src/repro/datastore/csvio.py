@@ -1,0 +1,153 @@
+"""Loading and saving data sources as CSV / JSON-friendly structures.
+
+The registration service of the Q system can be pointed at plain CSV files
+(one per relation); this module implements that loading path, plus a simple
+round-trippable dictionary serialization used by the synthetic dataset
+generators and the test-suite fixtures.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..exceptions import DataError
+from .database import Catalog, DataSource
+from .schema import ForeignKey, RelationSchema, SourceSchema
+from .table import Table
+
+PathLike = Union[str, Path]
+
+
+def load_relation_csv(
+    path: PathLike,
+    relation_name: Optional[str] = None,
+    delimiter: str = ",",
+) -> Tuple[RelationSchema, List[Dict[str, str]]]:
+    """Load one CSV file into a relation schema plus its rows.
+
+    The first row is treated as the header (attribute names).  All values
+    are kept as strings; type inference happens lazily via the table's
+    :meth:`~repro.datastore.table.Table.inferred_column_type`.
+    """
+    path = Path(path)
+    relation_name = relation_name or path.stem
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"CSV file {path} is empty") from None
+        header = [column.strip() for column in header]
+        schema = RelationSchema(relation_name, header)
+        rows = []
+        for line_number, record in enumerate(reader, start=2):
+            if len(record) != len(header):
+                raise DataError(
+                    f"{path}:{line_number}: expected {len(header)} fields, got {len(record)}"
+                )
+            rows.append(dict(zip(header, record)))
+    return schema, rows
+
+
+def load_source_from_csv_dir(
+    directory: PathLike,
+    source_name: Optional[str] = None,
+    foreign_keys: Optional[Iterable[Tuple[str, str, str, str]]] = None,
+    delimiter: str = ",",
+) -> DataSource:
+    """Load every ``*.csv`` file under ``directory`` as one data source.
+
+    Each CSV file becomes one relation named after the file stem.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise DataError(f"{directory} is not a directory")
+    source_name = source_name or directory.name
+    schema = SourceSchema(source_name)
+    tables: Dict[str, List[Dict[str, str]]] = {}
+    for csv_path in sorted(directory.glob("*.csv")):
+        relation_schema, rows = load_relation_csv(csv_path, delimiter=delimiter)
+        schema.add_relation(relation_schema)
+        tables[relation_schema.name] = rows
+    if not schema.relations:
+        raise DataError(f"no CSV files found under {directory}")
+    for fk in foreign_keys or ():
+        schema.add_foreign_key(ForeignKey(*fk))
+    source = DataSource(schema)
+    for relation_name, rows in tables.items():
+        source.table(relation_name).extend(rows)
+    return source
+
+
+def save_source_to_csv_dir(source: DataSource, directory: PathLike) -> List[Path]:
+    """Write each relation of ``source`` as ``<directory>/<relation>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for table in source:
+        path = directory / f"{table.schema.name}.csv"
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.schema.attribute_names)
+            for row in table:
+                writer.writerow(["" if v is None else v for v in row.values])
+        written.append(path)
+    return written
+
+
+def source_to_dict(source: DataSource) -> Dict[str, Any]:
+    """Serialize a source (schema + data) to a JSON-compatible dictionary."""
+    return {
+        "name": source.name,
+        "description": source.schema.description,
+        "relations": {
+            table.schema.name: {
+                "attributes": list(table.schema.attribute_names),
+                "primary_key": list(table.schema.primary_key),
+                "rows": [list(row.values) for row in table],
+            }
+            for table in source
+        },
+        "foreign_keys": [list(fk.as_tuple()) for fk in source.schema.foreign_keys],
+    }
+
+
+def source_from_dict(payload: Mapping[str, Any]) -> DataSource:
+    """Inverse of :func:`source_to_dict`."""
+    schema = SourceSchema(payload["name"], description=payload.get("description", ""))
+    rows_by_relation: Dict[str, Sequence[Sequence[Any]]] = {}
+    for relation_name, spec in payload.get("relations", {}).items():
+        schema.add_relation(
+            RelationSchema(
+                relation_name,
+                spec["attributes"],
+                primary_key=spec.get("primary_key") or None,
+            )
+        )
+        rows_by_relation[relation_name] = spec.get("rows", [])
+    for fk in payload.get("foreign_keys", ()):
+        schema.add_foreign_key(ForeignKey(*fk))
+    source = DataSource(schema)
+    for relation_name, rows in rows_by_relation.items():
+        source.table(relation_name).extend(rows)
+    return source
+
+
+def save_catalog_json(catalog: Catalog, path: PathLike) -> Path:
+    """Serialize an entire catalog to a JSON file."""
+    path = Path(path)
+    payload = {"sources": [source_to_dict(source) for source in catalog]}
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    return path
+
+
+def load_catalog_json(path: PathLike) -> Catalog:
+    """Load a catalog previously written by :func:`save_catalog_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    catalog = Catalog()
+    for source_payload in payload.get("sources", ()):
+        catalog.add_source(source_from_dict(source_payload))
+    return catalog

@@ -1,0 +1,218 @@
+"""Data sources (schema + tables) and the global catalog.
+
+A :class:`DataSource` bundles a :class:`~repro.datastore.schema.SourceSchema`
+with a :class:`~repro.datastore.table.Table` per relation.  A
+:class:`Catalog` is the set of all sources currently registered with the Q
+system; the search graph is constructed from a catalog, and the registration
+service adds new sources to it at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import SchemaError, UnknownRelationError
+from .schema import ForeignKey, RelationSchema, SourceSchema
+from .table import Table
+
+
+class DataSource:
+    """One registered database: a schema plus per-relation tuple storage."""
+
+    def __init__(self, schema: SourceSchema) -> None:
+        self.schema = schema
+        self._tables: Dict[str, Table] = {
+            name: Table(relation) for name, relation in schema.relations.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        relations: Mapping[str, Sequence[str]],
+        data: Optional[Mapping[str, Iterable]] = None,
+        foreign_keys: Optional[Iterable[Tuple[str, str, str, str]]] = None,
+        description: str = "",
+    ) -> "DataSource":
+        """Build a source from plain Python structures.
+
+        Parameters
+        ----------
+        name:
+            Source name.
+        relations:
+            Mapping from relation name to its sequence of attribute names.
+        data:
+            Optional mapping from relation name to an iterable of rows
+            (mappings or positional sequences).
+        foreign_keys:
+            Optional iterable of ``(src_rel, src_attr, dst_rel, dst_attr)``.
+        """
+        schema = SourceSchema(name, description=description)
+        for rel_name, attributes in relations.items():
+            schema.add_relation(RelationSchema(rel_name, list(attributes)))
+        for fk in foreign_keys or ():
+            schema.add_foreign_key(ForeignKey(*fk))
+        source = cls(schema)
+        for rel_name, rows in (data or {}).items():
+            source.table(rel_name).extend(rows)
+        return source
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The source name."""
+        return self.schema.name
+
+    def table(self, relation: str) -> Table:
+        """Return the table for the relation named ``relation`` (local name)."""
+        try:
+            return self._tables[relation]
+        except KeyError:
+            raise UnknownRelationError(f"{self.name}.{relation}") from None
+
+    def tables(self) -> Tuple[Table, ...]:
+        """All tables of the source."""
+        return tuple(self._tables.values())
+
+    def add_relation(self, relation: RelationSchema, rows: Optional[Iterable] = None) -> Table:
+        """Add a new relation (and optionally rows) to this source."""
+        self.schema.add_relation(relation)
+        table = Table(relation)
+        if rows is not None:
+            table.extend(rows)
+        self._tables[relation.name] = table
+        return table
+
+    @property
+    def relation_count(self) -> int:
+        """Number of relations in the source."""
+        return len(self._tables)
+
+    @property
+    def attribute_count(self) -> int:
+        """Total number of attributes in the source."""
+        return self.schema.attribute_count
+
+    @property
+    def row_count(self) -> int:
+        """Total number of stored tuples across all relations."""
+        return sum(len(t) for t in self._tables.values())
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataSource({self.name!r}, relations={list(self._tables)!r})"
+
+
+class Catalog:
+    """The set of data sources known to the system.
+
+    The catalog is the authoritative registry from which the search graph is
+    (re)constructed, and the target of the new-source registration service.
+    """
+
+    def __init__(self, sources: Optional[Iterable[DataSource]] = None) -> None:
+        self._sources: Dict[str, DataSource] = {}
+        for source in sources or ():
+            self.add_source(source)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_source(self, source: DataSource) -> DataSource:
+        """Register ``source``; raises if a source with that name exists."""
+        if source.name in self._sources:
+            raise SchemaError(f"source {source.name!r} already registered")
+        self._sources[source.name] = source
+        return source
+
+    def remove_source(self, name: str) -> DataSource:
+        """Remove and return the source called ``name``."""
+        try:
+            return self._sources.pop(name)
+        except KeyError:
+            raise SchemaError(f"source {name!r} is not registered") from None
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def source(self, name: str) -> DataSource:
+        """Return the source called ``name``."""
+        try:
+            return self._sources[name]
+        except KeyError:
+            raise SchemaError(f"source {name!r} is not registered") from None
+
+    def has_source(self, name: str) -> bool:
+        """Return ``True`` if a source called ``name`` is registered."""
+        return name in self._sources
+
+    def sources(self) -> Tuple[DataSource, ...]:
+        """All registered sources, in registration order."""
+        return tuple(self._sources.values())
+
+    def source_names(self) -> Tuple[str, ...]:
+        """Names of all registered sources."""
+        return tuple(self._sources.keys())
+
+    def relation(self, qualified: str) -> Table:
+        """Resolve a qualified relation name ``"<source>.<relation>"`` to its table."""
+        parts = qualified.split(".")
+        if len(parts) != 2:
+            raise UnknownRelationError(qualified)
+        source_name, relation_name = parts
+        if source_name not in self._sources:
+            raise UnknownRelationError(qualified)
+        return self._sources[source_name].table(relation_name)
+
+    def all_tables(self) -> List[Table]:
+        """Every table in every registered source."""
+        tables: List[Table] = []
+        for source in self._sources.values():
+            tables.extend(source.tables())
+        return tables
+
+    def all_foreign_keys(self) -> List[Tuple[str, ForeignKey]]:
+        """Every foreign key, paired with its owning source name."""
+        result: List[Tuple[str, ForeignKey]] = []
+        for source in self._sources.values():
+            for fk in source.schema.foreign_keys:
+                result.append((source.name, fk))
+        return result
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def source_count(self) -> int:
+        """Number of registered sources."""
+        return len(self._sources)
+
+    @property
+    def relation_count(self) -> int:
+        """Number of relations across all sources."""
+        return sum(s.relation_count for s in self._sources.values())
+
+    @property
+    def attribute_count(self) -> int:
+        """Number of attributes across all sources."""
+        return sum(s.attribute_count for s in self._sources.values())
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __iter__(self) -> Iterator[DataSource]:
+        return iter(self._sources.values())
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name in self._sources
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Catalog(sources={list(self._sources)!r})"

@@ -1,0 +1,186 @@
+"""Inverted indexes over data values.
+
+Two indexes support the Q pipeline:
+
+* :class:`ValueIndex` — maps canonical data values to the ``(table,
+  attribute, row)`` occurrences.  Used for lazy keyword-to-value matching in
+  the query graph (paper Section 2.2) and for the "Value Overlap Filter"
+  variant in the Figure 7 experiment.
+* :class:`TokenIndex` — maps text tokens to the attribute values containing
+  them, with document frequencies.  This backs the tf-idf keyword similarity
+  metric.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..similarity.tokenize import tokenize
+from .database import Catalog, DataSource
+from .table import Table
+from .types import canonicalize
+
+
+@dataclass(frozen=True)
+class ValueOccurrence:
+    """One occurrence of a data value in a specific table cell."""
+
+    relation: str  # qualified relation name, "<source>.<relation>"
+    attribute: str  # local attribute name
+    row_id: int
+    value: str  # canonical value
+
+
+class ValueIndex:
+    """Inverted index from canonical values to their occurrences."""
+
+    def __init__(self) -> None:
+        self._occurrences: Dict[str, List[ValueOccurrence]] = defaultdict(list)
+        self._attribute_values: Dict[Tuple[str, str], Set[str]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def index_table(self, table: Table) -> None:
+        """Add every cell of ``table`` to the index."""
+        relation = table.schema.qualified_name
+        for row in table:
+            for attr_name, value in zip(table.schema.attribute_names, row.values):
+                canon = canonicalize(value)
+                if canon is None:
+                    continue
+                occurrence = ValueOccurrence(relation, attr_name, row.row_id, canon)
+                self._occurrences[canon].append(occurrence)
+                self._attribute_values[(relation, attr_name)].add(canon)
+
+    def index_source(self, source: DataSource) -> None:
+        """Index every table of ``source``."""
+        for table in source:
+            self.index_table(table)
+
+    @classmethod
+    def from_catalog(cls, catalog: Catalog) -> "ValueIndex":
+        """Build an index over every table of every source in ``catalog``."""
+        index = cls()
+        for source in catalog:
+            index.index_source(source)
+        return index
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, value: str) -> Tuple[ValueOccurrence, ...]:
+        """Exact lookup of a canonical value."""
+        canon = canonicalize(value)
+        if canon is None:
+            return ()
+        return tuple(self._occurrences.get(canon, ()))
+
+    def lookup_substring(self, needle: str, limit: Optional[int] = None) -> Tuple[ValueOccurrence, ...]:
+        """Case-insensitive substring lookup over indexed values.
+
+        Used when a keyword only partially matches stored values (e.g. the
+        keyword ``membrane`` matching the GO term ``plasma membrane``).
+        """
+        needle_lower = needle.lower()
+        matches: List[ValueOccurrence] = []
+        for value, occurrences in self._occurrences.items():
+            if needle_lower in value.lower():
+                matches.extend(occurrences)
+                if limit is not None and len(matches) >= limit:
+                    return tuple(matches[:limit])
+        return tuple(matches)
+
+    def attribute_values(self, relation: str, attribute: str) -> Set[str]:
+        """Distinct canonical values stored in ``relation.attribute``."""
+        return set(self._attribute_values.get((relation, attribute), set()))
+
+    def attributes_with_value(self, value: str) -> Set[Tuple[str, str]]:
+        """All ``(relation, attribute)`` pairs containing ``value``."""
+        canon = canonicalize(value)
+        if canon is None:
+            return set()
+        return {(o.relation, o.attribute) for o in self._occurrences.get(canon, ())}
+
+    def overlap(
+        self, relation_a: str, attribute_a: str, relation_b: str, attribute_b: str
+    ) -> int:
+        """Number of shared distinct values between two attributes."""
+        values_a = self._attribute_values.get((relation_a, attribute_a), set())
+        values_b = self._attribute_values.get((relation_b, attribute_b), set())
+        return len(values_a & values_b)
+
+    def has_overlap(
+        self, relation_a: str, attribute_a: str, relation_b: str, attribute_b: str
+    ) -> bool:
+        """Whether two attributes share at least one value (join is possible)."""
+        return self.overlap(relation_a, attribute_a, relation_b, attribute_b) > 0
+
+    @property
+    def distinct_value_count(self) -> int:
+        """Number of distinct values in the index."""
+        return len(self._occurrences)
+
+    def indexed_attributes(self) -> Tuple[Tuple[str, str], ...]:
+        """All ``(relation, attribute)`` pairs that have at least one value."""
+        return tuple(self._attribute_values.keys())
+
+
+class TokenIndex:
+    """Token-level inverted index with document frequencies.
+
+    Every attribute value and every schema label (relation and attribute
+    name) is treated as a "document".  The index exposes document
+    frequencies used by the tf-idf keyword similarity metric.
+    """
+
+    def __init__(self) -> None:
+        self.document_count = 0
+        self._document_frequency: Dict[str, int] = defaultdict(int)
+        self._documents: Dict[str, Set[str]] = {}
+
+    def add_document(self, doc_id: str, text: str) -> None:
+        """Add (or replace) a document's token set."""
+        tokens = set(tokenize(text))
+        previous = self._documents.get(doc_id)
+        if previous is not None:
+            for token in previous:
+                self._document_frequency[token] -= 1
+            self.document_count -= 1
+        self._documents[doc_id] = tokens
+        self.document_count += 1
+        for token in tokens:
+            self._document_frequency[token] += 1
+
+    def document_frequency(self, token: str) -> int:
+        """Number of documents containing ``token``."""
+        return self._document_frequency.get(token.lower(), 0)
+
+    def tokens(self, doc_id: str) -> Set[str]:
+        """The token set of document ``doc_id`` (empty if unknown)."""
+        return set(self._documents.get(doc_id, set()))
+
+    @classmethod
+    def from_catalog(cls, catalog: Catalog, include_values: bool = True) -> "TokenIndex":
+        """Index all schema labels (and optionally values) in ``catalog``."""
+        index = cls()
+        for source in catalog:
+            for table in source:
+                relation = table.schema.qualified_name
+                index.add_document(f"relation:{relation}", table.schema.name)
+                for attr in table.schema:
+                    index.add_document(f"attribute:{relation}.{attr.name}", attr.name)
+                if include_values:
+                    for row in table:
+                        for attr_name, value in zip(
+                            table.schema.attribute_names, row.values
+                        ):
+                            canon = canonicalize(value)
+                            if canon is None:
+                                continue
+                            index.add_document(
+                                f"value:{relation}.{attr_name}:{row.row_id}", canon
+                            )
+        return index

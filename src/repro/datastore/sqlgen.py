@@ -1,0 +1,149 @@
+"""SQL text generation for conjunctive queries.
+
+The paper translates each Steiner tree into a conjunctive SQL statement and
+unions the statements with a disjoint ("outer") union (Section 2.2).  Our
+executor evaluates the queries natively, but we also render equivalent SQL
+text: it documents what is being run, is useful in the examples, and lets a
+downstream user push the generated queries to a real RDBMS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .query import ConjunctiveQuery, SelectionPredicate
+
+
+def _quote_identifier(name: str) -> str:
+    """Quote an identifier, replacing the source separator with ``_``."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _quote_literal(value: str) -> str:
+    """Render a string literal with single quotes escaped."""
+    return "'" + str(value).replace("'", "''") + "'"
+
+
+def _render_selection(predicate: SelectionPredicate) -> str:
+    column = f"{_quote_identifier(predicate.alias)}.{_quote_identifier(predicate.attribute)}"
+    if predicate.mode == "equals":
+        return f"{column} = {_quote_literal(predicate.value)}"
+    # ``contains`` and ``keyword`` both render as LIKE patterns; keyword mode
+    # produces one LIKE per token, conjoined.
+    if predicate.mode == "contains":
+        return f"{column} LIKE {_quote_literal('%' + predicate.value + '%')}"
+    tokens = predicate.value.split()
+    clauses = [f"{column} LIKE {_quote_literal('%' + token + '%')}" for token in tokens]
+    return "(" + " AND ".join(clauses) + ")" if clauses else "1 = 1"
+
+
+def query_to_sql(query: ConjunctiveQuery, include_cost: bool = True) -> str:
+    """Render one conjunctive query as a SQL ``SELECT`` statement.
+
+    Parameters
+    ----------
+    query:
+        The query to render.
+    include_cost:
+        If ``True``, the query's cost is emitted as a constant ``_cost``
+        column, mirroring the per-branch cost term ``e`` of the paper.
+    """
+    query.validate()
+    select_items: List[str] = []
+    if query.outputs:
+        for column in query.outputs:
+            expr = f"{_quote_identifier(column.alias)}.{_quote_identifier(column.attribute)}"
+            select_items.append(f"{expr} AS {_quote_identifier(column.label)}")
+    else:
+        select_items.append("*")
+    if include_cost:
+        select_items.append(f"{query.cost:.6f} AS {_quote_identifier('_cost')}")
+
+    from_items = [
+        f"{_quote_identifier(atom.relation)} AS {_quote_identifier(atom.alias)}"
+        for atom in query.atoms
+    ]
+
+    where_clauses: List[str] = []
+    for join in query.joins:
+        left = f"{_quote_identifier(join.left_alias)}.{_quote_identifier(join.left_attribute)}"
+        right = f"{_quote_identifier(join.right_alias)}.{_quote_identifier(join.right_attribute)}"
+        where_clauses.append(f"{left} = {right}")
+    for selection in query.selections:
+        where_clauses.append(_render_selection(selection))
+
+    sql = "SELECT " + ",\n       ".join(select_items)
+    sql += "\nFROM " + ",\n     ".join(from_items)
+    if where_clauses:
+        sql += "\nWHERE " + "\n  AND ".join(where_clauses)
+    return sql
+
+
+def union_to_sql(
+    queries: Sequence[ConjunctiveQuery],
+    unified_columns: Optional[Sequence[str]] = None,
+    column_mappings: Optional[Sequence[Dict[str, str]]] = None,
+) -> str:
+    """Render a ranked disjoint union of queries as ``UNION ALL`` SQL.
+
+    Every branch projects the full unified column list, emitting ``NULL``
+    for the columns it does not populate, then the union is ordered by the
+    per-branch cost column — matching the multiway disjoint union described
+    in Section 2.2.
+
+    Parameters
+    ----------
+    queries:
+        The branch queries, in any order (the output is ordered by cost).
+    unified_columns:
+        The unified output schema.  If omitted, the union of all branch
+        output labels is used, in first-seen order.
+    column_mappings:
+        Optional per-branch mapping from the branch's own output labels to
+        unified labels (as produced by the executor's column alignment).
+    """
+    ordered = sorted(range(len(queries)), key=lambda i: queries[i].cost)
+    if unified_columns is None:
+        seen: List[str] = []
+        for index in ordered:
+            mapping = column_mappings[index] if column_mappings else {}
+            for label in queries[index].output_labels():
+                unified = mapping.get(label, label)
+                if unified not in seen:
+                    seen.append(unified)
+        unified_columns = seen
+
+    branches: List[str] = []
+    for index in ordered:
+        query = queries[index]
+        mapping = column_mappings[index] if column_mappings else {}
+        label_to_column = {}
+        for column in query.outputs:
+            unified = mapping.get(column.label, column.label)
+            label_to_column[unified] = (
+                f"{_quote_identifier(column.alias)}.{_quote_identifier(column.attribute)}"
+            )
+        select_items = []
+        for unified in unified_columns:
+            expr = label_to_column.get(unified, "NULL")
+            select_items.append(f"{expr} AS {_quote_identifier(unified)}")
+        select_items.append(f"{query.cost:.6f} AS {_quote_identifier('_cost')}")
+
+        branch_sql = "SELECT " + ",\n       ".join(select_items)
+        branch_sql += "\nFROM " + ",\n     ".join(
+            f"{_quote_identifier(atom.relation)} AS {_quote_identifier(atom.alias)}"
+            for atom in query.atoms
+        )
+        where_clauses = []
+        for join in query.joins:
+            left = f"{_quote_identifier(join.left_alias)}.{_quote_identifier(join.left_attribute)}"
+            right = f"{_quote_identifier(join.right_alias)}.{_quote_identifier(join.right_attribute)}"
+            where_clauses.append(f"{left} = {right}")
+        for selection in query.selections:
+            where_clauses.append(_render_selection(selection))
+        if where_clauses:
+            branch_sql += "\nWHERE " + "\n  AND ".join(where_clauses)
+        branches.append(branch_sql)
+
+    union_sql = "\nUNION ALL\n".join(branches)
+    return union_sql + f"\nORDER BY {_quote_identifier('_cost')} ASC"

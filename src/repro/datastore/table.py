@@ -1,0 +1,195 @@
+"""In-memory tuple storage for relations.
+
+A :class:`Table` couples a :class:`~repro.datastore.schema.RelationSchema`
+with row storage and per-attribute value statistics.  Tables are the
+instance-level substrate for:
+
+* keyword-to-value matching when expanding a query graph (paper Section 2.2),
+* the MAD column-value graph (paper Section 3.2.2),
+* the value-overlap filter used in the Figure 7 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..exceptions import DataError
+from .schema import RelationSchema
+from .types import ValueType, canonicalize, infer_column_type
+
+
+class Row:
+    """A single tuple of a table, addressable by attribute name or index.
+
+    ``Row`` is deliberately lightweight: it stores a reference to the table
+    schema plus a value tuple, and provides mapping-style access.
+    """
+
+    __slots__ = ("schema", "values", "row_id")
+
+    def __init__(self, schema: RelationSchema, values: Tuple[Any, ...], row_id: int) -> None:
+        self.schema = schema
+        self.values = values
+        self.row_id = row_id
+
+    def __getitem__(self, key) -> Any:
+        if isinstance(key, int):
+            return self.values[key]
+        return self.values[self.schema.attribute_index(key)]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Mapping-style ``get`` by attribute name."""
+        if self.schema.has_attribute(key):
+            return self[key]
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return the row as an ``{attribute: value}`` dict."""
+        return dict(zip(self.schema.attribute_names, self.values))
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self.values == other.values and self.schema is other.schema
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Row({self.as_dict()!r})"
+
+
+class Table:
+    """A relation schema plus its stored tuples.
+
+    Parameters
+    ----------
+    schema:
+        The relation schema describing column names and types.
+    rows:
+        Optional initial rows; each row may be a mapping from attribute name
+        to value or a positional sequence.
+    """
+
+    def __init__(self, schema: RelationSchema, rows: Optional[Iterable] = None) -> None:
+        self.schema = schema
+        self._rows: List[Row] = []
+        self._distinct_cache: Dict[str, Set[str]] = {}
+        if rows is not None:
+            self.extend(rows)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, row) -> Row:
+        """Append a single row (mapping or sequence) and return the stored Row."""
+        values = self._coerce(row)
+        stored = Row(self.schema, values, len(self._rows))
+        self._rows.append(stored)
+        self._distinct_cache.clear()
+        return stored
+
+    def extend(self, rows: Iterable) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.append(row)
+
+    def _coerce(self, row) -> Tuple[Any, ...]:
+        names = self.schema.attribute_names
+        if isinstance(row, Row):
+            row = row.as_dict()
+        if isinstance(row, Mapping):
+            unknown = set(row) - set(names)
+            if unknown:
+                raise DataError(
+                    f"row has attributes {sorted(unknown)!r} not in relation "
+                    f"{self.schema.qualified_name!r}"
+                )
+            return tuple(row.get(name) for name in names)
+        if isinstance(row, Sequence) and not isinstance(row, (str, bytes)):
+            if len(row) != len(names):
+                raise DataError(
+                    f"row of arity {len(row)} does not match relation "
+                    f"{self.schema.qualified_name!r} of arity {len(names)}"
+                )
+            return tuple(row)
+        raise DataError(f"cannot interpret row value of type {type(row).__name__}")
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        """All stored rows as an immutable tuple."""
+        return tuple(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def column(self, attribute: str) -> List[Any]:
+        """Return all values of ``attribute`` in row order."""
+        idx = self.schema.attribute_index(attribute)
+        return [row.values[idx] for row in self._rows]
+
+    def distinct_values(self, attribute: str) -> Set[str]:
+        """Return the set of canonicalized, non-null values of ``attribute``.
+
+        Results are cached; the cache is invalidated on any mutation.
+        """
+        cached = self._distinct_cache.get(attribute)
+        if cached is not None:
+            return cached
+        values: Set[str] = set()
+        idx = self.schema.attribute_index(attribute)
+        for row in self._rows:
+            canon = canonicalize(row.values[idx])
+            if canon is not None:
+                values.add(canon)
+        self._distinct_cache[attribute] = values
+        return values
+
+    def inferred_column_type(self, attribute: str) -> ValueType:
+        """Infer the dominant value type of ``attribute`` from stored data."""
+        return infer_column_type(self.column(attribute))
+
+    def value_overlap(self, attribute: str, other: "Table", other_attribute: str) -> int:
+        """Number of distinct canonical values shared with another column."""
+        return len(self.distinct_values(attribute) & other.distinct_values(other_attribute))
+
+    # ------------------------------------------------------------------
+    # Simple relational operations (used by the executor and tests)
+    # ------------------------------------------------------------------
+    def select(self, predicate) -> "Table":
+        """Return a new table containing rows for which ``predicate(row)`` holds."""
+        result = Table(self.schema)
+        for row in self._rows:
+            if predicate(row):
+                result.append(row.as_dict())
+        return result
+
+    def project(self, attributes: Sequence[str]) -> "Table":
+        """Return a new table with only the given attributes (duplicates kept)."""
+        new_schema = RelationSchema(
+            self.schema.name,
+            [self.schema.attribute(a) for a in attributes],
+            source=self.schema.source,
+        )
+        result = Table(new_schema)
+        for row in self._rows:
+            result.append({a: row[a] for a in attributes})
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.schema.qualified_name!r}, rows={len(self._rows)})"

@@ -1,0 +1,138 @@
+"""Lightweight value typing for the relational substrate.
+
+The Q system reasons about *type compatibility* of attributes — e.g. the MAD
+matcher prunes numeric columns because they "are likely to induce spurious
+associations between attributes" (Section 5.2.1 of the paper).  This module
+provides a small, dependency-free type system used by
+:mod:`repro.datastore.schema` and the matchers.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import re
+from typing import Any, Iterable, Optional
+
+
+class ValueType(enum.Enum):
+    """Coarse-grained value types recognised by the substrate."""
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    IDENTIFIER = "identifier"
+    NULL = "null"
+
+    def is_numeric(self) -> bool:
+        """Return ``True`` for the numeric types (integer / float)."""
+        return self in (ValueType.INTEGER, ValueType.FLOAT)
+
+    def is_textual(self) -> bool:
+        """Return ``True`` for string-like types (string / identifier)."""
+        return self in (ValueType.STRING, ValueType.IDENTIFIER)
+
+
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+# Identifiers in bioinformatics databases frequently look like "GO:0005134"
+# or "IPR000001": an alphabetic prefix followed by punctuation/digits.
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z]{1,10}[:_\-]?\d{2,}$")
+_BOOL_VALUES = {"true", "false", "t", "f", "yes", "no"}
+
+
+def infer_value_type(value: Any) -> ValueType:
+    """Infer the :class:`ValueType` of a single Python value.
+
+    ``None`` and NaN floats map to :data:`ValueType.NULL`.  Strings are
+    inspected syntactically so that CSV-loaded data (all strings) still gets
+    useful types.
+    """
+    if value is None:
+        return ValueType.NULL
+    if isinstance(value, bool):
+        return ValueType.BOOLEAN
+    if isinstance(value, int):
+        return ValueType.INTEGER
+    if isinstance(value, float):
+        if math.isnan(value):
+            return ValueType.NULL
+        return ValueType.FLOAT
+    text = str(value).strip()
+    if not text:
+        return ValueType.NULL
+    if text.lower() in _BOOL_VALUES:
+        return ValueType.BOOLEAN
+    if _INT_RE.match(text):
+        return ValueType.INTEGER
+    if _FLOAT_RE.match(text):
+        return ValueType.FLOAT
+    if _IDENTIFIER_RE.match(text):
+        return ValueType.IDENTIFIER
+    return ValueType.STRING
+
+
+def infer_column_type(values: Iterable[Any], sample_limit: Optional[int] = 1000) -> ValueType:
+    """Infer the dominant :class:`ValueType` of a column of values.
+
+    The most frequent non-null type wins.  Ties are broken in favour of the
+    more general type (``STRING`` > ``IDENTIFIER`` > ``FLOAT`` > ``INTEGER``
+    > ``BOOLEAN``).  If every value is null, :data:`ValueType.NULL` is
+    returned.
+
+    Parameters
+    ----------
+    values:
+        Any iterable of cell values.
+    sample_limit:
+        Only the first ``sample_limit`` values are inspected (``None`` means
+        inspect everything).  Keeps inference cheap on very large columns.
+    """
+    generality = {
+        ValueType.STRING: 5,
+        ValueType.IDENTIFIER: 4,
+        ValueType.FLOAT: 3,
+        ValueType.INTEGER: 2,
+        ValueType.BOOLEAN: 1,
+        ValueType.NULL: 0,
+    }
+    counts: dict[ValueType, int] = {}
+    for i, value in enumerate(values):
+        if sample_limit is not None and i >= sample_limit:
+            break
+        vtype = infer_value_type(value)
+        if vtype is ValueType.NULL:
+            continue
+        counts[vtype] = counts.get(vtype, 0) + 1
+    if not counts:
+        return ValueType.NULL
+    return max(counts, key=lambda t: (counts[t], generality[t]))
+
+
+def is_null(value: Any) -> bool:
+    """Return ``True`` if ``value`` should be treated as SQL NULL."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, str) and not value.strip():
+        return True
+    return False
+
+
+def canonicalize(value: Any) -> Optional[str]:
+    """Return the canonical string form of ``value`` used for joins/overlap.
+
+    Values are compared *textually* throughout the library (the paper joins
+    on shared data values across heterogeneous sources, where one side may
+    store ``42`` and the other ``"42"``).  Whitespace is stripped and case
+    preserved; null-like values canonicalize to ``None``.
+    """
+    if is_null(value):
+        return None
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value).strip()

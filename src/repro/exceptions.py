@@ -1,0 +1,87 @@
+"""Exception hierarchy for the Q reproduction library.
+
+Every error raised by the library derives from :class:`QError` so that
+callers can catch library-specific failures without masking programming
+errors such as :class:`TypeError` or :class:`KeyError` raised by misuse of
+Python itself.
+"""
+
+from __future__ import annotations
+
+
+class QError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(QError):
+    """Raised when a schema definition is inconsistent.
+
+    Examples include duplicate attribute names within a relation, foreign
+    keys that reference attributes which do not exist, or registering two
+    relations under the same qualified name.
+    """
+
+
+class UnknownRelationError(SchemaError):
+    """Raised when a relation name cannot be resolved in a catalog."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class UnknownAttributeError(SchemaError):
+    """Raised when an attribute name cannot be resolved in a relation."""
+
+    def __init__(self, relation: str, attribute: str) -> None:
+        super().__init__(f"unknown attribute {attribute!r} in relation {relation!r}")
+        self.relation = relation
+        self.attribute = attribute
+
+
+class DataError(QError):
+    """Raised when tuple data does not conform to its relation schema."""
+
+
+class GraphError(QError):
+    """Raised for inconsistent search-graph or query-graph operations."""
+
+
+class UnknownNodeError(GraphError):
+    """Raised when a node id is not present in a graph."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"unknown graph node: {node_id!r}")
+        self.node_id = node_id
+
+
+class QueryError(QError):
+    """Raised when a conjunctive query is malformed or cannot be executed."""
+
+
+class SteinerError(QError):
+    """Raised when a Steiner-tree computation cannot be carried out.
+
+    The most common cause is a set of terminals that is not connected in the
+    underlying graph, in which case no Steiner tree exists.
+    """
+
+
+class MatcherError(QError):
+    """Raised when a schema matcher is misconfigured or fails."""
+
+
+class AlignmentError(QError):
+    """Raised by aligner strategies (exhaustive / view-based / preferential)."""
+
+
+class LearningError(QError):
+    """Raised by the feedback / MIRA learning components."""
+
+
+class FeedbackError(LearningError):
+    """Raised when user feedback refers to unknown answers or queries."""
+
+
+class RegistrationError(QError):
+    """Raised when registration of a new data source fails."""

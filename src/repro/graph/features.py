@@ -1,0 +1,199 @@
+"""Feature-based edge costs (paper Section 3.4, Equation 1).
+
+Every edge of the search graph carries a *feature vector* ``f(i, j)``; the
+system maintains a single global *weight vector* ``w``; and the edge cost is
+the dot product ``C((i, j), w) = w · f(i, j)``.
+
+The standard features attached to an association edge are:
+
+* ``DEFAULT_FEATURE`` — value 1 on every edge; its weight is the uniform
+  cost offset that keeps all edge costs positive.
+* ``matcher_feature(name)`` — the (possibly binned) confidence score of each
+  schema matcher that proposed the edge; its weight encodes how much that
+  matcher is trusted.
+* ``relation_feature(relation)`` — value 1 for each relation an edge
+  touches; its weight is the negated log-authoritativeness of the relation.
+* ``edge_feature(edge_id)`` — value 1 only on that edge; its weight is a
+  per-edge cost correction, which is what lets feedback suppress one
+  specific bad alignment.
+
+Real-valued matcher confidences can optionally be *binned* into indicator
+features (see :mod:`repro.learning.binning`), as the paper does to avoid
+mixing real-valued and Boolean features in MIRA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, MutableMapping, Optional, Tuple
+
+DEFAULT_FEATURE = "default"
+_MATCHER_PREFIX = "matcher::"
+_RELATION_PREFIX = "relation::"
+_EDGE_PREFIX = "edge::"
+_BIN_PREFIX = "bin::"
+
+
+def matcher_feature(matcher_name: str) -> str:
+    """Feature name carrying the confidence of matcher ``matcher_name``."""
+    return f"{_MATCHER_PREFIX}{matcher_name}"
+
+
+def relation_feature(relation: str) -> str:
+    """Feature name for the authoritativeness of ``relation``."""
+    return f"{_RELATION_PREFIX}{relation}"
+
+
+def edge_feature(edge_id: str) -> str:
+    """Feature name identifying a single edge."""
+    return f"{_EDGE_PREFIX}{edge_id}"
+
+
+def bin_feature(base_feature: str, bin_index: int) -> str:
+    """Indicator feature for ``base_feature`` falling in bin ``bin_index``."""
+    return f"{_BIN_PREFIX}{base_feature}::{bin_index}"
+
+
+def is_matcher_feature(name: str) -> bool:
+    """Whether ``name`` is a matcher-confidence feature (possibly binned)."""
+    return name.startswith(_MATCHER_PREFIX) or (
+        name.startswith(_BIN_PREFIX) and _MATCHER_PREFIX in name
+    )
+
+
+def is_edge_feature(name: str) -> bool:
+    """Whether ``name`` is a per-edge identity feature."""
+    return name.startswith(_EDGE_PREFIX)
+
+
+def is_relation_feature(name: str) -> bool:
+    """Whether ``name`` is a per-relation authoritativeness feature."""
+    return name.startswith(_RELATION_PREFIX)
+
+
+class FeatureVector:
+    """A sparse mapping from feature name to real value.
+
+    Feature vectors are immutable once attached to an edge (the learner
+    changes *weights*, never feature values).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Optional[Mapping[str, float]] = None) -> None:
+        self._values: Dict[str, float] = dict(values or {})
+
+    def get(self, feature: str, default: float = 0.0) -> float:
+        """The value of ``feature`` (0.0 if absent)."""
+        return self._values.get(feature, default)
+
+    def items(self) -> Iterable[Tuple[str, float]]:
+        """Iterate over (feature, value) pairs."""
+        return self._values.items()
+
+    def features(self) -> Tuple[str, ...]:
+        """The feature names present in this vector."""
+        return tuple(self._values.keys())
+
+    def with_feature(self, feature: str, value: float) -> "FeatureVector":
+        """Return a copy of this vector with one feature added/overridden."""
+        values = dict(self._values)
+        values[feature] = value
+        return FeatureVector(values)
+
+    def without_feature(self, feature: str) -> "FeatureVector":
+        """Return a copy of this vector with one feature removed."""
+        values = dict(self._values)
+        values.pop(feature, None)
+        return FeatureVector(values)
+
+    def merged(self, other: "FeatureVector") -> "FeatureVector":
+        """Union of two vectors; on conflicts the other vector wins."""
+        values = dict(self._values)
+        values.update(other._values)
+        return FeatureVector(values)
+
+    def as_dict(self) -> Dict[str, float]:
+        """A copy of the underlying mapping."""
+        return dict(self._values)
+
+    def __contains__(self, feature: object) -> bool:
+        return feature in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FeatureVector):
+            return self._values == other._values
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FeatureVector({self._values!r})"
+
+
+class WeightVector:
+    """The global weight vector ``w`` learned by MIRA.
+
+    Unknown features have weight 0 by default; a *default weight* per
+    feature prefix can be installed so that, e.g., every matcher-confidence
+    feature starts with a sensible prior weight before any learning.
+    """
+
+    def __init__(self, weights: Optional[Mapping[str, float]] = None) -> None:
+        self._weights: Dict[str, float] = dict(weights or {})
+
+    # ------------------------------------------------------------------
+    # Access / mutation
+    # ------------------------------------------------------------------
+    def get(self, feature: str, default: float = 0.0) -> float:
+        """Weight of ``feature`` (``default`` if never set)."""
+        return self._weights.get(feature, default)
+
+    def set(self, feature: str, weight: float) -> None:
+        """Set the weight of one feature."""
+        self._weights[feature] = weight
+
+    def update(self, deltas: Mapping[str, float]) -> None:
+        """Add ``deltas`` to the current weights (creating entries as needed)."""
+        for feature, delta in deltas.items():
+            self._weights[feature] = self._weights.get(feature, 0.0) + delta
+
+    def items(self) -> Iterable[Tuple[str, float]]:
+        """Iterate over (feature, weight) pairs that have been set."""
+        return self._weights.items()
+
+    def as_dict(self) -> Dict[str, float]:
+        """A copy of the underlying mapping."""
+        return dict(self._weights)
+
+    def copy(self) -> "WeightVector":
+        """An independent copy of this weight vector."""
+        return WeightVector(self._weights)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def dot(self, features: FeatureVector) -> float:
+        """Dot product ``w · f`` over the features present in ``features``."""
+        return sum(self.get(name) * value for name, value in features.items())
+
+    def cost(self, features: FeatureVector) -> float:
+        """Alias of :meth:`dot`: the cost of an edge with feature vector ``features``."""
+        return self.dot(features)
+
+    def distance_to(self, other: "WeightVector") -> float:
+        """Euclidean distance between two weight vectors."""
+        names = set(self._weights) | set(other._weights)
+        return sum((self.get(n) - other.get(n)) ** 2 for n in names) ** 0.5
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __contains__(self, feature: object) -> bool:
+        return feature in self._weights
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeightVector({len(self._weights)} features)"

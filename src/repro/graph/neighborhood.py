@@ -1,0 +1,66 @@
+"""α-cost neighborhoods (paper Section 3.3, Figure 5).
+
+``GETCOSTNEIGHBORHOOD(G, C, α, k)`` — all nodes reachable from keyword node
+``k`` at cost at most α — is the pruning primitive used by
+``VIEWBASEDALIGNER``: a new source can only affect a view's top-k answers if
+one of its relations can participate in a Steiner tree of cost ≤ α, and
+because edge costs are non-negative any such relation must lie within the α
+neighborhood of some keyword node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from .nodes import Node, NodeKind
+from .search_graph import SearchGraph
+
+
+def cost_neighborhood(
+    graph: SearchGraph,
+    start_nodes: Iterable[str],
+    alpha: float,
+) -> Dict[str, float]:
+    """All nodes within cost ``alpha`` of any node in ``start_nodes``.
+
+    Returns a mapping from node id to its distance from the nearest start
+    node.  Start nodes themselves are included with distance 0.
+    """
+    start_list = [n for n in start_nodes if graph.has_node(n)]
+    if not start_list:
+        return {}
+    return graph.shortest_path_costs(start_list, max_cost=alpha)
+
+
+def neighborhood_relations(
+    graph: SearchGraph,
+    start_nodes: Iterable[str],
+    alpha: float,
+) -> Set[str]:
+    """Qualified relation names whose nodes fall inside the α neighborhood.
+
+    A relation is in the neighborhood if its relation node *or any of its
+    attribute nodes* is within cost α of a start node (an alignment against
+    any of those attributes could contribute a tree of cost ≤ α).
+    """
+    distances = cost_neighborhood(graph, start_nodes, alpha)
+    relations: Set[str] = set()
+    for node_id in distances:
+        node = graph.node(node_id)
+        if node.kind in (NodeKind.RELATION, NodeKind.ATTRIBUTE) and node.relation:
+            relations.add(node.relation)
+    return relations
+
+
+def neighborhood_attributes(
+    graph: SearchGraph,
+    start_nodes: Iterable[str],
+    alpha: float,
+) -> Set[str]:
+    """Attribute node ids inside the α neighborhood of the start nodes."""
+    distances = cost_neighborhood(graph, start_nodes, alpha)
+    return {
+        node_id
+        for node_id in distances
+        if graph.node(node_id).kind is NodeKind.ATTRIBUTE
+    }

@@ -1,0 +1,248 @@
+"""Query-graph expansion from keyword queries (paper Section 2.2, Figure 3).
+
+Given a keyword query ``Q = {K1, ..., Km}``, the search graph is expanded
+into a *query graph*:
+
+* a keyword node is added for each ``Ki``;
+* each keyword is matched against schema labels (relation and attribute
+  names) with a keyword-similarity metric (tf-idf by default); matching
+  nodes get a ``KEYWORD_MATCH`` edge whose cost is ``w * s`` where ``s`` is
+  the mismatch cost and ``w`` an adjustable weight;
+* data values matching the keyword are materialized lazily: a value node is
+  added per matching cell, linked to its attribute node by a zero-cost
+  ``VALUE_MEMBERSHIP`` edge and to the keyword node by a similarity edge.
+
+The expansion returns a :class:`QueryGraph` wrapping the expanded
+:class:`~repro.graph.search_graph.SearchGraph` plus the keyword node ids —
+exactly what the Steiner-tree machinery needs as terminals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datastore.database import Catalog
+from ..datastore.indexes import ValueIndex
+from ..similarity.tfidf import TfIdfScorer
+from .edges import Edge, EdgeKind
+from .features import DEFAULT_FEATURE, FeatureVector, edge_feature
+from .nodes import (
+    Node,
+    NodeKind,
+    attribute_node_id,
+    make_keyword_node,
+    make_value_node,
+)
+from .search_graph import SearchGraph
+
+# Feature carrying the keyword mismatch cost ``s`` on keyword-match edges.
+KEYWORD_MISMATCH_FEATURE = "keyword_mismatch"
+
+
+@dataclass
+class KeywordMatch:
+    """One match of a keyword against a schema element or data value."""
+
+    keyword: str
+    node_id: str
+    similarity: float
+    mismatch_cost: float
+    target_kind: NodeKind
+
+
+@dataclass
+class QueryGraph:
+    """An expanded query graph: base graph + keyword terminals.
+
+    Attributes
+    ----------
+    graph:
+        The expanded :class:`SearchGraph` (a copy of the base search graph
+        sharing its weight vector, plus keyword and value nodes).
+    keyword_nodes:
+        Mapping from keyword text to its node id.
+    matches:
+        All keyword matches that produced edges, useful for debugging and
+        for the examples.
+    """
+
+    graph: SearchGraph
+    keyword_nodes: Dict[str, str] = field(default_factory=dict)
+    matches: List[KeywordMatch] = field(default_factory=list)
+
+    @property
+    def terminals(self) -> Tuple[str, ...]:
+        """The keyword node ids (the Steiner tree terminals)."""
+        return tuple(self.keyword_nodes.values())
+
+    def matches_for(self, keyword: str) -> List[KeywordMatch]:
+        """The matches recorded for one keyword."""
+        return [m for m in self.matches if m.keyword == keyword]
+
+
+class QueryGraphBuilder:
+    """Expands a search graph into a query graph for a keyword query.
+
+    Parameters
+    ----------
+    catalog:
+        The catalog backing the search graph (used to find matching data
+        values).
+    value_index:
+        Optional pre-built :class:`ValueIndex`; built lazily from the
+        catalog when omitted.
+    scorer:
+        Optional :class:`TfIdfScorer`; built from the catalog's schema
+        labels and values when omitted.
+    similarity_threshold:
+        Minimum keyword similarity for a match edge to be added.
+    max_value_matches:
+        Cap on the number of value nodes materialized per keyword (the
+        "lazy" expansion of the paper).
+    keyword_match_weight:
+        The starting weight ``w`` that scales the mismatch cost ``s``.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        value_index: Optional[ValueIndex] = None,
+        scorer: Optional[TfIdfScorer] = None,
+        similarity_threshold: float = 0.3,
+        max_value_matches: int = 25,
+        keyword_match_weight: float = 1.0,
+    ) -> None:
+        self.catalog = catalog
+        self.value_index = value_index or ValueIndex.from_catalog(catalog)
+        self.scorer = scorer or self._build_scorer(catalog)
+        self.similarity_threshold = similarity_threshold
+        self.max_value_matches = max_value_matches
+        self.keyword_match_weight = keyword_match_weight
+
+    @staticmethod
+    def _build_scorer(catalog: Catalog) -> TfIdfScorer:
+        scorer = TfIdfScorer()
+        for source in catalog:
+            for table in source:
+                scorer.add_document(table.schema.name)
+                for attr in table.schema:
+                    scorer.add_document(attr.name)
+        return scorer
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def expand(self, base_graph: SearchGraph, keywords: Sequence[str]) -> QueryGraph:
+        """Expand ``base_graph`` for ``keywords`` and return the query graph."""
+        graph = base_graph.copy(share_weights=True)
+        result = QueryGraph(graph=graph)
+        for keyword in keywords:
+            keyword_node = make_keyword_node(keyword)
+            graph.add_node(keyword_node)
+            result.keyword_nodes[keyword] = keyword_node.node_id
+            self._match_schema_elements(graph, keyword, keyword_node, result)
+            self._match_data_values(graph, keyword, keyword_node, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Schema-element matching
+    # ------------------------------------------------------------------
+    def _match_schema_elements(
+        self, graph: SearchGraph, keyword: str, keyword_node: Node, result: QueryGraph
+    ) -> None:
+        for node in graph.nodes():
+            if node.kind not in (NodeKind.RELATION, NodeKind.ATTRIBUTE):
+                continue
+            similarity = self.scorer.similarity(keyword, node.label)
+            if similarity < self.similarity_threshold:
+                continue
+            mismatch = 1.0 - similarity
+            self._add_match_edge(graph, keyword_node.node_id, node.node_id, mismatch)
+            result.matches.append(
+                KeywordMatch(
+                    keyword=keyword,
+                    node_id=node.node_id,
+                    similarity=similarity,
+                    mismatch_cost=mismatch,
+                    target_kind=node.kind,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Lazy value matching
+    # ------------------------------------------------------------------
+    def _match_data_values(
+        self, graph: SearchGraph, keyword: str, keyword_node: Node, result: QueryGraph
+    ) -> None:
+        occurrences = self.value_index.lookup(keyword)
+        if not occurrences:
+            occurrences = self.value_index.lookup_substring(
+                keyword, limit=self.max_value_matches
+            )
+        seen_cells: Set[Tuple[str, str, int]] = set()
+        added = 0
+        for occurrence in occurrences:
+            if added >= self.max_value_matches:
+                break
+            cell = (occurrence.relation, occurrence.attribute, occurrence.row_id)
+            if cell in seen_cells:
+                continue
+            seen_cells.add(cell)
+            similarity = self.scorer.similarity(keyword, occurrence.value)
+            if similarity < self.similarity_threshold:
+                # Exact-substring matches of very short keywords can still
+                # score low under tf-idf; fall back to a containment bonus.
+                if keyword.lower() in occurrence.value.lower():
+                    similarity = max(similarity, 0.5)
+                else:
+                    continue
+            mismatch = 1.0 - similarity
+            value_node = make_value_node(
+                occurrence.relation, occurrence.attribute, occurrence.row_id, occurrence.value
+            )
+            graph.add_node(value_node)
+            attr_id = attribute_node_id(occurrence.relation, occurrence.attribute)
+            if graph.has_node(attr_id) and not graph.find_edges(
+                value_node.node_id, attr_id, EdgeKind.VALUE_MEMBERSHIP
+            ):
+                graph.add_edge(
+                    Edge.create(value_node.node_id, attr_id, EdgeKind.VALUE_MEMBERSHIP)
+                )
+            self._add_match_edge(graph, keyword_node.node_id, value_node.node_id, mismatch)
+            result.matches.append(
+                KeywordMatch(
+                    keyword=keyword,
+                    node_id=value_node.node_id,
+                    similarity=similarity,
+                    mismatch_cost=mismatch,
+                    target_kind=NodeKind.VALUE,
+                )
+            )
+            added += 1
+
+    # ------------------------------------------------------------------
+    # Edge construction
+    # ------------------------------------------------------------------
+    def _add_match_edge(
+        self, graph: SearchGraph, keyword_node_id: str, target_node_id: str, mismatch: float
+    ) -> Edge:
+        edge = Edge.create(
+            keyword_node_id,
+            target_node_id,
+            EdgeKind.KEYWORD_MATCH,
+            metadata={"mismatch": mismatch},
+        )
+        edge.features = FeatureVector(
+            {
+                KEYWORD_MISMATCH_FEATURE: mismatch,
+                edge_feature(edge.edge_id): 1.0,
+            }
+        )
+        if KEYWORD_MISMATCH_FEATURE not in graph.weights:
+            graph.weights.set(KEYWORD_MISMATCH_FEATURE, self.keyword_match_weight)
+        # Ensure keyword-match edges always carry a small positive base cost
+        # even for perfect matches, so that Steiner trees prefer fewer hops.
+        if edge_feature(edge.edge_id) not in graph.weights:
+            graph.weights.set(edge_feature(edge.edge_id), 0.05)
+        return graph.add_edge(edge)

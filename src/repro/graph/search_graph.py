@@ -1,0 +1,430 @@
+"""The search graph (paper Section 2.1).
+
+The search graph is the data model queried by Q.  It contains relation and
+attribute nodes connected by zero-cost membership edges, foreign-key edges
+with a default cost, and association (alignment) edges whose cost is a
+weighted sum of features.  Data-value nodes are materialized lazily at query
+time (see :mod:`repro.graph.query_graph`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..datastore.database import Catalog, DataSource
+from ..datastore.schema import ForeignKey
+from ..exceptions import GraphError, UnknownNodeError
+from .edges import Edge, EdgeKind, default_association_features
+from .features import (
+    DEFAULT_FEATURE,
+    FeatureVector,
+    WeightVector,
+    edge_feature,
+    matcher_feature,
+    relation_feature,
+)
+from .nodes import (
+    Node,
+    NodeKind,
+    attribute_node_id,
+    make_attribute_node,
+    make_keyword_node,
+    make_relation_node,
+    make_value_node,
+    relation_node_id,
+)
+
+
+@dataclass
+class GraphConfig:
+    """Tunable defaults for search-graph construction.
+
+    Attributes
+    ----------
+    default_cost:
+        Initial weight of the shared default feature — the uniform cost
+        offset added to every learnable edge.
+    foreign_key_cost:
+        The paper's default foreign-key cost ``cd``; foreign-key edges start
+        with this cost (expressed through their edge-identity feature).
+    initial_matcher_weight:
+        Initial weight given to each matcher's confidence feature.  Negative
+        so that *higher* confidence yields *lower* cost.
+    association_threshold:
+        Association edges whose confidence is below this value are not added
+        to the graph at all (keeps the graph from being flooded by noise).
+    minimum_edge_cost:
+        Numerical floor applied to learnable edge costs.
+    """
+
+    default_cost: float = 1.0
+    foreign_key_cost: float = 0.5
+    initial_matcher_weight: float = -0.5
+    association_threshold: float = 0.0
+    minimum_edge_cost: float = 1e-6
+
+
+class SearchGraph:
+    """Undirected multigraph of relations, attributes, values and keywords."""
+
+    def __init__(self, config: Optional[GraphConfig] = None, weights: Optional[WeightVector] = None) -> None:
+        self.config = config or GraphConfig()
+        self.weights = weights if weights is not None else WeightVector({DEFAULT_FEATURE: self.config.default_cost})
+        if DEFAULT_FEATURE not in self.weights:
+            self.weights.set(DEFAULT_FEATURE, self.config.default_cost)
+        self._nodes: Dict[str, Node] = {}
+        self._edges: Dict[str, Edge] = {}
+        self._adjacency: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Add ``node`` if not already present; returns the stored node."""
+        existing = self._nodes.get(node.node_id)
+        if existing is not None:
+            return existing
+        self._nodes[node.node_id] = node
+        self._adjacency[node.node_id] = []
+        return node
+
+    def node(self, node_id: str) -> Node:
+        """Return the node with id ``node_id``."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def has_node(self, node_id: str) -> bool:
+        """Whether ``node_id`` is present."""
+        return node_id in self._nodes
+
+    def nodes(self, kind: Optional[NodeKind] = None) -> Tuple[Node, ...]:
+        """All nodes, optionally filtered by kind."""
+        if kind is None:
+            return tuple(self._nodes.values())
+        return tuple(n for n in self._nodes.values() if n.kind is kind)
+
+    def relation_nodes(self) -> Tuple[Node, ...]:
+        """All relation nodes."""
+        return self.nodes(NodeKind.RELATION)
+
+    def attribute_nodes(self) -> Tuple[Node, ...]:
+        """All attribute nodes."""
+        return self.nodes(NodeKind.ATTRIBUTE)
+
+    def attribute_nodes_of(self, qualified_relation: str) -> Tuple[Node, ...]:
+        """Attribute nodes belonging to ``qualified_relation``."""
+        return tuple(
+            n
+            for n in self._nodes.values()
+            if n.kind is NodeKind.ATTRIBUTE and n.relation == qualified_relation
+        )
+
+    # ------------------------------------------------------------------
+    # Edge management
+    # ------------------------------------------------------------------
+    def add_edge(self, edge: Edge) -> Edge:
+        """Add ``edge``; both endpoints must already be nodes."""
+        for endpoint in edge.endpoints():
+            if endpoint not in self._nodes:
+                raise UnknownNodeError(endpoint)
+        if edge.edge_id in self._edges:
+            raise GraphError(f"duplicate edge id {edge.edge_id!r}")
+        self._edges[edge.edge_id] = edge
+        self._adjacency[edge.u].append(edge.edge_id)
+        if edge.v != edge.u:
+            self._adjacency[edge.v].append(edge.edge_id)
+        return edge
+
+    def remove_edge(self, edge_id: str) -> Edge:
+        """Remove and return the edge with id ``edge_id``."""
+        try:
+            edge = self._edges.pop(edge_id)
+        except KeyError:
+            raise GraphError(f"unknown edge id {edge_id!r}") from None
+        for endpoint in set(edge.endpoints()):
+            self._adjacency[endpoint] = [e for e in self._adjacency[endpoint] if e != edge_id]
+        return edge
+
+    def edge(self, edge_id: str) -> Edge:
+        """Return the edge with id ``edge_id``."""
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise GraphError(f"unknown edge id {edge_id!r}") from None
+
+    def has_edge(self, edge_id: str) -> bool:
+        """Whether the edge id is present."""
+        return edge_id in self._edges
+
+    def edges(self, kind: Optional[EdgeKind] = None) -> Tuple[Edge, ...]:
+        """All edges, optionally filtered by kind."""
+        if kind is None:
+            return tuple(self._edges.values())
+        return tuple(e for e in self._edges.values() if e.kind is kind)
+
+    def association_edges(self) -> Tuple[Edge, ...]:
+        """All association (alignment) edges."""
+        return self.edges(EdgeKind.ASSOCIATION)
+
+    def learnable_edges(self) -> Tuple[Edge, ...]:
+        """Edges whose cost the learner may change."""
+        return tuple(e for e in self._edges.values() if e.is_learnable())
+
+    def edges_of(self, node_id: str) -> Tuple[Edge, ...]:
+        """Edges incident to ``node_id``."""
+        if node_id not in self._adjacency:
+            raise UnknownNodeError(node_id)
+        return tuple(self._edges[eid] for eid in self._adjacency[node_id])
+
+    def neighbors(self, node_id: str) -> Tuple[str, ...]:
+        """Node ids adjacent to ``node_id``."""
+        return tuple(edge.other(node_id) for edge in self.edges_of(node_id))
+
+    def find_edges(self, a: str, b: str, kind: Optional[EdgeKind] = None) -> Tuple[Edge, ...]:
+        """All edges between nodes ``a`` and ``b`` (optionally of one kind)."""
+        if a not in self._adjacency:
+            return ()
+        result = []
+        for eid in self._adjacency[a]:
+            edge = self._edges[eid]
+            if edge.connects(a, b) and (kind is None or edge.kind is kind):
+                result.append(edge)
+        return tuple(result)
+
+    # ------------------------------------------------------------------
+    # Cost
+    # ------------------------------------------------------------------
+    def edge_cost(self, edge: Edge) -> float:
+        """Cost of ``edge`` under the graph's current weights."""
+        return edge.cost(self.weights, minimum=self.config.minimum_edge_cost)
+
+    def edge_cost_by_id(self, edge_id: str) -> float:
+        """Cost of the edge with id ``edge_id``."""
+        return self.edge_cost(self.edge(edge_id))
+
+    # ------------------------------------------------------------------
+    # Construction from catalogs / sources
+    # ------------------------------------------------------------------
+    def add_source(self, source: DataSource) -> List[Node]:
+        """Add relation/attribute nodes and membership + FK edges for ``source``.
+
+        Returns the list of newly created relation and attribute nodes.
+        """
+        created: List[Node] = []
+        for table in source:
+            relation = table.schema.qualified_name
+            rel_node = make_relation_node(relation)
+            if not self.has_node(rel_node.node_id):
+                created.append(self.add_node(rel_node))
+            else:
+                self.add_node(rel_node)
+            for attr in table.schema:
+                attr_node = make_attribute_node(relation, attr.name)
+                if not self.has_node(attr_node.node_id):
+                    created.append(self.add_node(attr_node))
+                    self.add_edge(
+                        Edge.create(
+                            rel_node.node_id,
+                            attr_node.node_id,
+                            EdgeKind.MEMBERSHIP,
+                        )
+                    )
+        for fk in source.schema.foreign_keys:
+            self.add_foreign_key(source.name, fk)
+        return created
+
+    def add_catalog(self, catalog: Catalog) -> None:
+        """Add every source of ``catalog`` to the graph."""
+        for source in catalog:
+            self.add_source(source)
+
+    def add_foreign_key(self, source_name: str, fk: ForeignKey) -> Edge:
+        """Add a foreign-key edge between the two relation nodes of ``fk``.
+
+        The edge's initial cost is the configured ``foreign_key_cost``,
+        realized through its edge-identity feature so that learning can
+        later adjust it per edge.
+        """
+        src_rel = f"{source_name}.{fk.source_relation}" if "." not in fk.source_relation else fk.source_relation
+        dst_rel = f"{source_name}.{fk.target_relation}" if "." not in fk.target_relation else fk.target_relation
+        u = relation_node_id(src_rel)
+        v = relation_node_id(dst_rel)
+        for node_id, relation in ((u, src_rel), (v, dst_rel)):
+            if not self.has_node(node_id):
+                self.add_node(make_relation_node(relation))
+        existing = self.find_edges(u, v, EdgeKind.FOREIGN_KEY)
+        if existing:
+            return existing[0]
+        edge = Edge.create(u, v, EdgeKind.FOREIGN_KEY, metadata={"foreign_key": fk.as_tuple()})
+        edge.features = FeatureVector({edge_feature(edge.edge_id): 1.0})
+        if edge_feature(edge.edge_id) not in self.weights:
+            self.weights.set(edge_feature(edge.edge_id), self.config.foreign_key_cost)
+        return self.add_edge(edge)
+
+    # ------------------------------------------------------------------
+    # Associations (alignments)
+    # ------------------------------------------------------------------
+    def add_association(
+        self,
+        relation_a: str,
+        attribute_a: str,
+        relation_b: str,
+        attribute_b: str,
+        matcher_confidences: Optional[Mapping[str, float]] = None,
+        metadata: Optional[Mapping[str, object]] = None,
+    ) -> Edge:
+        """Add (or update) an association edge between two attributes.
+
+        If an association between the same attribute pair already exists,
+        the new matcher confidences are merged into the existing edge's
+        features instead of creating a parallel edge — this is how the
+        outputs of multiple matchers are combined on one edge
+        (paper Section 3.2.3).
+        """
+        u = attribute_node_id(relation_a, attribute_a)
+        v = attribute_node_id(relation_b, attribute_b)
+        for node_id, relation, attribute in ((u, relation_a, attribute_a), (v, relation_b, attribute_b)):
+            if not self.has_node(node_id):
+                self.add_node(make_attribute_node(relation, attribute))
+        confidences = dict(matcher_confidences or {})
+
+        existing = self.find_edges(u, v, EdgeKind.ASSOCIATION)
+        if existing:
+            edge = existing[0]
+            features = edge.features
+            for matcher_name, confidence in confidences.items():
+                features = features.with_feature(matcher_feature(matcher_name), float(confidence))
+                self._ensure_matcher_weight(matcher_name)
+                edge.metadata.setdefault("matchers", {})
+                edge.metadata["matchers"][matcher_name] = float(confidence)  # type: ignore[index]
+            if metadata:
+                edge.metadata.update(metadata)
+            edge.features = features
+            return edge
+
+        edge = Edge.create(u, v, EdgeKind.ASSOCIATION, metadata=dict(metadata or {}))
+        edge.metadata["matchers"] = dict(confidences)
+        edge.features = default_association_features(
+            edge.edge_id,
+            relations=(relation_a, relation_b),
+            matcher_confidences=confidences,
+        )
+        for matcher_name in confidences:
+            self._ensure_matcher_weight(matcher_name)
+        return self.add_edge(edge)
+
+    def _ensure_matcher_weight(self, matcher_name: str) -> None:
+        name = matcher_feature(matcher_name)
+        if name not in self.weights:
+            self.weights.set(name, self.config.initial_matcher_weight)
+
+    def association_between(
+        self, relation_a: str, attribute_a: str, relation_b: str, attribute_b: str
+    ) -> Optional[Edge]:
+        """The association edge between two attributes, if present."""
+        u = attribute_node_id(relation_a, attribute_a)
+        v = attribute_node_id(relation_b, attribute_b)
+        edges = self.find_edges(u, v, EdgeKind.ASSOCIATION)
+        return edges[0] if edges else None
+
+    # ------------------------------------------------------------------
+    # Shortest paths
+    # ------------------------------------------------------------------
+    def shortest_path_costs(
+        self,
+        sources: Iterable[str],
+        max_cost: Optional[float] = None,
+        allowed_nodes: Optional[Set[str]] = None,
+    ) -> Dict[str, float]:
+        """Multi-source Dijkstra over edge costs.
+
+        Parameters
+        ----------
+        sources:
+            Node ids to start from (all at distance 0).
+        max_cost:
+            If given, nodes farther than this cost are not expanded or
+            reported (used for the α-cost neighborhood).
+        allowed_nodes:
+            If given, the search is restricted to this node set.
+        """
+        distances: Dict[str, float] = {}
+        heap: List[Tuple[float, str]] = []
+        for source in sources:
+            if source not in self._nodes:
+                raise UnknownNodeError(source)
+            distances[source] = 0.0
+            heapq.heappush(heap, (0.0, source))
+        while heap:
+            dist, node_id = heapq.heappop(heap)
+            if dist > distances.get(node_id, float("inf")):
+                continue
+            for edge in self.edges_of(node_id):
+                neighbor = edge.other(node_id)
+                if allowed_nodes is not None and neighbor not in allowed_nodes:
+                    continue
+                candidate = dist + self.edge_cost(edge)
+                if max_cost is not None and candidate > max_cost:
+                    continue
+                if candidate < distances.get(neighbor, float("inf")):
+                    distances[neighbor] = candidate
+                    heapq.heappush(heap, (candidate, neighbor))
+        if max_cost is not None:
+            distances = {n: d for n, d in distances.items() if d <= max_cost}
+        return distances
+
+    # ------------------------------------------------------------------
+    # Copying / stats
+    # ------------------------------------------------------------------
+    def copy(self, share_weights: bool = True) -> "SearchGraph":
+        """A structural copy of the graph.
+
+        Node and edge objects are shared (they are treated as immutable once
+        added); the node/edge/adjacency containers are new.  If
+        ``share_weights`` is ``True``, the copy uses the *same*
+        :class:`WeightVector` object so that learning updates affect both
+        graphs — this is what the query-graph expansion wants.
+        """
+        clone = SearchGraph(
+            config=self.config,
+            weights=self.weights if share_weights else self.weights.copy(),
+        )
+        clone._nodes = dict(self._nodes)
+        clone._edges = dict(self._edges)
+        clone._adjacency = {node: list(edges) for node, edges in self._adjacency.items()}
+        return clone
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def relation_of_node(self, node_id: str) -> Optional[str]:
+        """The qualified relation a node belongs to (or is), if any."""
+        node = self.node(node_id)
+        return node.relation
+
+    def relation_node_of(self, node_id: str) -> Optional[Node]:
+        """The relation node that owns ``node_id`` (itself, if already a relation)."""
+        node = self.node(node_id)
+        if node.kind is NodeKind.RELATION:
+            return node
+        if node.relation is None:
+            return None
+        rel_id = relation_node_id(node.relation)
+        return self._nodes.get(rel_id)
+
+    def __contains__(self, node_id: object) -> bool:
+        return isinstance(node_id, str) and node_id in self._nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SearchGraph(nodes={self.node_count}, edges={self.edge_count})"

@@ -1,0 +1,47 @@
+"""Learning from user feedback: MIRA weight updates, feedback generalization, binning.
+
+Public API
+----------
+* :class:`OnlineLearner`, :func:`hildreth_solve`, :class:`LinearConstraint`,
+  :func:`tree_feature_vector` — the MIRA-style online learner (Algorithm 4).
+* :class:`FeedbackEvent`, :class:`AnswerAnnotation`, :class:`AnnotationKind`,
+  :class:`FeedbackGeneralizer`, :class:`FeedbackLog` — feedback over answers
+  and its generalization to query trees (Section 4).
+* :func:`symmetric_edge_loss`, :func:`normalized_edge_loss`,
+  :func:`zero_one_loss` — tree loss functions (Equation 2).
+* :class:`FeatureBinner` — binning of real-valued features into indicators.
+"""
+
+from .binning import FeatureBinner
+from .feedback import (
+    AnnotationKind,
+    AnswerAnnotation,
+    FeedbackEvent,
+    FeedbackGeneralizer,
+    FeedbackLog,
+)
+from .loss import normalized_edge_loss, symmetric_edge_loss, zero_one_loss
+from .mira import (
+    FeedbackStepResult,
+    LinearConstraint,
+    OnlineLearner,
+    hildreth_solve,
+    tree_feature_vector,
+)
+
+__all__ = [
+    "AnnotationKind",
+    "AnswerAnnotation",
+    "FeatureBinner",
+    "FeedbackEvent",
+    "FeedbackGeneralizer",
+    "FeedbackLog",
+    "FeedbackStepResult",
+    "LinearConstraint",
+    "OnlineLearner",
+    "hildreth_solve",
+    "normalized_edge_loss",
+    "symmetric_edge_loss",
+    "tree_feature_vector",
+    "zero_one_loss",
+]

@@ -1,0 +1,225 @@
+"""MIRA-based online learning of edge costs (paper Section 4, Algorithm 4).
+
+Each feedback event supplies the keyword terminals ``S_r`` and the target
+tree ``T_r`` the user favoured.  The learner retrieves the ``k`` lowest-cost
+Steiner trees ``B`` under the current weights and solves the margin problem
+
+    minimize   ||w - w_prev||^2
+    subject to C(T, w) - C(T_r, w) >= L(T_r, T)    for every T in B
+               C(e, w) >= epsilon                  for every learnable edge e
+               C(e, w) = fixed                     for every fixed-cost edge e
+
+The equality constraints of the original algorithm (the set ``A`` of
+zero-cost edges) are handled *structurally* in this implementation: fixed
+cost edges carry no learnable features, so no weight assignment can change
+their cost.  The inequality-constrained quadratic program is solved with
+Hildreth's cyclic projection method, which needs no external QP solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import LearningError
+from ..graph.features import FeatureVector, WeightVector
+from ..graph.search_graph import SearchGraph
+from ..steiner.topk import KBestSteiner
+from ..steiner.tree import SteinerTree
+from .feedback import FeedbackEvent
+from .loss import symmetric_edge_loss
+
+LossFn = Callable[[SteinerTree, SteinerTree], float]
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """A linear inequality ``sum_m coefficients[m] * w[m] >= bound``."""
+
+    coefficients: Mapping[str, float]
+    bound: float
+
+    def violation(self, weights: WeightVector) -> float:
+        """``bound - a·w``; positive when the constraint is violated."""
+        value = sum(weights.get(name) * coeff for name, coeff in self.coefficients.items())
+        return self.bound - value
+
+    def squared_norm(self) -> float:
+        """``||a||^2`` of the coefficient vector."""
+        return sum(coeff * coeff for coeff in self.coefficients.values())
+
+
+def hildreth_solve(
+    weights: WeightVector,
+    constraints: Sequence[LinearConstraint],
+    max_iterations: int = 100,
+    tolerance: float = 1e-8,
+) -> WeightVector:
+    """Solve ``min ||w - w0||^2  s.t.  a_i · w >= b_i`` with Hildreth's method.
+
+    The starting point ``weights`` is ``w0``; the returned vector is the
+    (approximate) projection of ``w0`` onto the feasible polyhedron.  The
+    method maintains one non-negative multiplier per constraint and cycles
+    through the constraints applying coordinate-wise dual ascent.
+    """
+    if not constraints:
+        return weights.copy()
+    result = weights.copy()
+    multipliers = [0.0] * len(constraints)
+    norms = [max(c.squared_norm(), 1e-12) for c in constraints]
+    for _ in range(max_iterations):
+        max_update = 0.0
+        for index, constraint in enumerate(constraints):
+            violation = constraint.violation(result)
+            step = violation / norms[index]
+            # Multipliers must stay non-negative.
+            step = max(step, -multipliers[index])
+            if step == 0.0:
+                continue
+            multipliers[index] += step
+            result.update({name: step * coeff for name, coeff in constraint.coefficients.items()})
+            max_update = max(max_update, abs(step))
+        if max_update < tolerance:
+            break
+    return result
+
+
+def tree_feature_vector(graph: SearchGraph, tree: SteinerTree) -> Tuple[Dict[str, float], float]:
+    """Aggregate feature vector and fixed-cost sum of a tree.
+
+    Returns ``(phi, fixed)`` where ``phi[m]`` is the summed value of feature
+    ``m`` over the tree's *learnable* edges and ``fixed`` is the summed cost
+    of its fixed-cost edges — so that ``C(T, w) = w · phi + fixed``.
+    """
+    phi: Dict[str, float] = {}
+    fixed = 0.0
+    for edge_id in tree.edge_ids:
+        edge = graph.edge(edge_id)
+        if not edge.is_learnable():
+            fixed += edge.fixed_cost or 0.0
+            continue
+        for name, value in edge.features.items():
+            phi[name] = phi.get(name, 0.0) + value
+    return phi, fixed
+
+
+@dataclass
+class FeedbackStepResult:
+    """Diagnostics for one processed feedback event."""
+
+    candidate_trees: List[SteinerTree]
+    target_tree: SteinerTree
+    constraints: int
+    weight_change: float
+
+
+class OnlineLearner:
+    """The ONLINELEARNER of Algorithm 4, operating on a query graph.
+
+    Parameters
+    ----------
+    graph:
+        The (query) graph whose weights are learned.  The graph's
+        :class:`~repro.graph.features.WeightVector` is updated in place so
+        that views sharing the weight vector see the new costs immediately.
+    k:
+        Number of candidate trees retrieved per feedback step.
+    loss:
+        Loss function between trees; defaults to the symmetric edge loss.
+    positive_margin:
+        Minimum cost enforced for every learnable edge (the strict
+        positivity constraint of Algorithm 4, made numerical).
+    solver:
+        Top-k Steiner solver; a default :class:`KBestSteiner` is used when
+        omitted.
+    """
+
+    def __init__(
+        self,
+        graph: SearchGraph,
+        k: int = 5,
+        loss: LossFn = symmetric_edge_loss,
+        positive_margin: float = 0.01,
+        solver: Optional[KBestSteiner] = None,
+        max_qp_iterations: int = 200,
+    ) -> None:
+        self.graph = graph
+        self.k = k
+        self.loss = loss
+        self.positive_margin = positive_margin
+        self.solver = solver or KBestSteiner()
+        self.max_qp_iterations = max_qp_iterations
+        self.steps_processed = 0
+
+    # ------------------------------------------------------------------
+    # Single feedback step
+    # ------------------------------------------------------------------
+    def process(self, event: FeedbackEvent) -> FeedbackStepResult:
+        """Apply one feedback event, updating the graph's weights in place."""
+        terminals = [t for t in event.terminals if self.graph.has_node(t)]
+        if not terminals:
+            raise LearningError("feedback event references no terminals present in the graph")
+
+        candidates = self.solver.solve(self.graph, terminals, self.k)
+        target = event.target_tree.recost(self.graph)
+
+        constraints: List[LinearConstraint] = []
+        target_phi, target_fixed = tree_feature_vector(self.graph, target)
+
+        comparison_trees = list(candidates)
+        if event.demoted_tree is not None:
+            comparison_trees.append(event.demoted_tree.recost(self.graph))
+
+        for tree in comparison_trees:
+            if tree.edge_ids == target.edge_ids:
+                continue  # L(Tr, Tr) = 0: trivially satisfied.
+            margin = self.loss(target, tree)
+            phi, fixed = tree_feature_vector(self.graph, tree)
+            coefficients: Dict[str, float] = {}
+            for name in set(phi) | set(target_phi):
+                coefficients[name] = phi.get(name, 0.0) - target_phi.get(name, 0.0)
+            if not coefficients:
+                continue
+            bound = margin - (fixed - target_fixed)
+            constraints.append(LinearConstraint(coefficients, bound))
+
+        # Positivity constraints for every learnable edge of the graph.
+        for edge in self.graph.learnable_edges():
+            coefficients = dict(edge.features.items())
+            if not coefficients:
+                continue
+            constraints.append(LinearConstraint(coefficients, self.positive_margin))
+
+        before = self.graph.weights.copy()
+        updated = hildreth_solve(
+            self.graph.weights, constraints, max_iterations=self.max_qp_iterations
+        )
+        # Install the new weights in place so all sharers observe them.
+        for name, value in updated.as_dict().items():
+            self.graph.weights.set(name, value)
+        self.steps_processed += 1
+        return FeedbackStepResult(
+            candidate_trees=candidates,
+            target_tree=target,
+            constraints=len(constraints),
+            weight_change=before.distance_to(self.graph.weights),
+        )
+
+    # ------------------------------------------------------------------
+    # Streams of feedback
+    # ------------------------------------------------------------------
+    def process_stream(self, events: Iterable[FeedbackEvent]) -> List[FeedbackStepResult]:
+        """Apply a sequence of feedback events in order."""
+        return [self.process(event) for event in events]
+
+    def replay(self, events: Sequence[FeedbackEvent], repetitions: int) -> List[FeedbackStepResult]:
+        """Apply ``events`` ``repetitions`` times in a row (feedback replay).
+
+        The paper replays the feedback log several times to reinforce the
+        constraints ("we input the 10 feedback items to the learner four
+        times in succession").
+        """
+        results: List[FeedbackStepResult] = []
+        for _ in range(max(repetitions, 0)):
+            results.extend(self.process_stream(events))
+        return results

@@ -1,0 +1,171 @@
+"""Matcher interfaces and correspondence objects.
+
+Q treats schema matchers as *black boxes* (paper Section 3.2): each matcher
+is asked to align the attributes of a pair of relations and returns scored
+*correspondences*.  The aligner strategies (Section 3.3) call the matcher
+through :meth:`BaseMatcher.match_relations`, and the number of pairwise
+attribute comparisons performed is instrumented so that the Figure 7/8
+experiments can be reproduced exactly.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..datastore.table import Table
+
+
+@dataclass(frozen=True)
+class AttributeRef:
+    """A fully qualified reference to one attribute of one relation."""
+
+    relation: str  # qualified relation name, "<source>.<relation>"
+    attribute: str
+
+    @property
+    def qualified(self) -> str:
+        """``"<source>.<relation>.<attribute>"``."""
+        return f"{self.relation}.{self.attribute}"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.qualified
+
+
+@dataclass(frozen=True)
+class Correspondence:
+    """One proposed alignment between two attributes.
+
+    Attributes
+    ----------
+    source, target:
+        The aligned attributes.  Correspondences are undirected; the
+        source/target naming only records which side came from the newly
+        registered source when relevant.
+    confidence:
+        Matcher confidence, normalized to ``[0, 1]``.
+    matcher:
+        Name of the matcher that produced the correspondence.
+    """
+
+    source: AttributeRef
+    target: AttributeRef
+    confidence: float
+    matcher: str
+
+    def key(self) -> Tuple[str, str]:
+        """Order-independent identity of the aligned attribute pair."""
+        a, b = self.source.qualified, self.target.qualified
+        return (a, b) if a <= b else (b, a)
+
+    def reversed(self) -> "Correspondence":
+        """The same correspondence with source and target swapped."""
+        return replace(self, source=self.target, target=self.source)
+
+
+class ComparisonCounter:
+    """Counts pairwise attribute comparisons (the metric of Figures 7 and 8)."""
+
+    def __init__(self) -> None:
+        self.attribute_comparisons = 0
+        self.relation_pairs = 0
+
+    def record_relation_pair(self, attributes_a: int, attributes_b: int) -> None:
+        """Record one relation-pair alignment of the given attribute arities."""
+        self.relation_pairs += 1
+        self.attribute_comparisons += attributes_a * attributes_b
+
+    def record_comparisons(self, count: int) -> None:
+        """Record ``count`` explicit attribute comparisons."""
+        self.attribute_comparisons += count
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.attribute_comparisons = 0
+        self.relation_pairs = 0
+
+
+class BaseMatcher(abc.ABC):
+    """Abstract pairwise schema matcher.
+
+    Concrete matchers must implement :meth:`match_relations`; the default
+    :meth:`match_source_against` fans a new source's relations out against a
+    set of existing relations, which is exactly what ``BASEMATCHER(G', v)``
+    does in Algorithms 2 and 3.
+    """
+
+    #: Matcher name used for feature names and reporting.
+    name: str = "matcher"
+
+    def __init__(self) -> None:
+        self.counter = ComparisonCounter()
+
+    @abc.abstractmethod
+    def match_relations(self, table_a: Table, table_b: Table) -> List[Correspondence]:
+        """Align the attributes of two relations and return scored correspondences."""
+
+    def match_source_against(
+        self, new_tables: Sequence[Table], existing_tables: Sequence[Table]
+    ) -> List[Correspondence]:
+        """Align every new relation against every existing relation."""
+        correspondences: List[Correspondence] = []
+        for new_table in new_tables:
+            for existing_table in existing_tables:
+                correspondences.extend(self.match_relations(new_table, existing_table))
+        return correspondences
+
+    def reset_counters(self) -> None:
+        """Reset the comparison instrumentation."""
+        self.counter.reset()
+
+
+def top_y_per_attribute(
+    correspondences: Iterable[Correspondence],
+    y: int,
+    min_confidence: float = 0.0,
+) -> List[Correspondence]:
+    """Keep, for each attribute, its ``y`` highest-confidence correspondences.
+
+    This realizes the paper's "top-Y candidate alignments per attribute"
+    (Section 3.2.3): the search graph receives up to Y association edges per
+    attribute so that feedback can later suppress a bad alignment and fall
+    back to an alternative.
+    """
+    if y < 1:
+        raise ValueError("y must be >= 1")
+    by_attribute: Dict[str, List[Correspondence]] = defaultdict(list)
+    for correspondence in correspondences:
+        if correspondence.confidence < min_confidence:
+            continue
+        by_attribute[correspondence.source.qualified].append(correspondence)
+        by_attribute[correspondence.target.qualified].append(correspondence)
+
+    kept: Dict[Tuple[str, str], Correspondence] = {}
+    for attribute, candidates in by_attribute.items():
+        candidates.sort(key=lambda c: (-c.confidence, c.key()))
+        for correspondence in candidates[:y]:
+            key = (correspondence.key(), correspondence.matcher)
+            existing = kept.get(key)
+            if existing is None or correspondence.confidence > existing.confidence:
+                kept[key] = correspondence
+    return sorted(kept.values(), key=lambda c: (-c.confidence, c.key()))
+
+
+def merge_correspondences(
+    correspondences: Iterable[Correspondence],
+) -> Dict[Tuple[str, str], Dict[str, float]]:
+    """Group correspondences by attribute pair, keeping per-matcher confidences.
+
+    Returns a mapping ``(attr_a, attr_b) -> {matcher_name: confidence}``
+    where the pair key is order-independent.  This is the form consumed by
+    :meth:`repro.graph.search_graph.SearchGraph.add_association`.
+    """
+    merged: Dict[Tuple[str, str], Dict[str, float]] = defaultdict(dict)
+    for correspondence in correspondences:
+        key = correspondence.key()
+        existing = merged[key].get(correspondence.matcher)
+        if existing is None or correspondence.confidence > existing:
+            merged[key][correspondence.matcher] = correspondence.confidence
+    return dict(merged)

@@ -1,0 +1,107 @@
+"""Value-overlap matcher and filter.
+
+Two roles:
+
+* :class:`ValueOverlapMatcher` — a simple instance-based matcher scoring
+  attribute pairs by the containment of their distinct value sets.  Used as
+  an extra ensemble component and in tests as a sanity baseline.
+* :class:`ValueOverlapFilter` — the "Value Overlap Filter" of the Figure 7
+  experiment: given a content index, only attribute pairs that share at
+  least one value (and hence could join) are compared at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datastore.indexes import ValueIndex
+from ..datastore.table import Table
+from ..similarity.jaccard import max_containment
+from .base import AttributeRef, BaseMatcher, Correspondence
+
+
+class ValueOverlapMatcher(BaseMatcher):
+    """Scores attribute pairs by the overlap of their distinct values."""
+
+    name = "value_overlap"
+
+    def __init__(self, min_confidence: float = 0.1, min_shared_values: int = 1) -> None:
+        super().__init__()
+        self.min_confidence = min_confidence
+        self.min_shared_values = min_shared_values
+
+    def match_relations(self, table_a: Table, table_b: Table) -> List[Correspondence]:
+        """Align attributes of two relations by distinct-value containment."""
+        relation_a = table_a.schema.qualified_name
+        relation_b = table_b.schema.qualified_name
+        if relation_a == relation_b:
+            return []
+        self.counter.record_relation_pair(
+            len(table_a.schema.attribute_names), len(table_b.schema.attribute_names)
+        )
+        correspondences: List[Correspondence] = []
+        for attr_a in table_a.schema.attribute_names:
+            values_a = table_a.distinct_values(attr_a)
+            if not values_a:
+                continue
+            for attr_b in table_b.schema.attribute_names:
+                values_b = table_b.distinct_values(attr_b)
+                if not values_b:
+                    continue
+                shared = len(values_a & values_b)
+                if shared < self.min_shared_values:
+                    continue
+                confidence = max_containment(values_a, values_b)
+                if confidence < self.min_confidence:
+                    continue
+                correspondences.append(
+                    Correspondence(
+                        source=AttributeRef(relation_a, attr_a),
+                        target=AttributeRef(relation_b, attr_b),
+                        confidence=round(confidence, 6),
+                        matcher=self.name,
+                    )
+                )
+        return correspondences
+
+
+@dataclass
+class ValueOverlapFilter:
+    """Prunes attribute comparisons to pairs that share at least one value.
+
+    Mirrors the "Value Overlap Filter" assumption of Figure 7: a content
+    index is available for both the existing sources and the new source, so
+    comparisons can be restricted to attribute pairs that can actually join.
+    """
+
+    index: ValueIndex
+    min_shared_values: int = 1
+
+    @classmethod
+    def from_tables(cls, tables: Sequence[Table], min_shared_values: int = 1) -> "ValueOverlapFilter":
+        """Build a filter by indexing ``tables``."""
+        index = ValueIndex()
+        for table in tables:
+            index.index_table(table)
+        return cls(index=index, min_shared_values=min_shared_values)
+
+    def allows(
+        self, relation_a: str, attribute_a: str, relation_b: str, attribute_b: str
+    ) -> bool:
+        """Whether the attribute pair shares enough values to be worth comparing."""
+        return (
+            self.index.overlap(relation_a, attribute_a, relation_b, attribute_b)
+            >= self.min_shared_values
+        )
+
+    def comparable_pairs(self, table_a: Table, table_b: Table) -> int:
+        """Number of attribute pairs of the two relations that pass the filter."""
+        relation_a = table_a.schema.qualified_name
+        relation_b = table_b.schema.qualified_name
+        count = 0
+        for attr_a in table_a.schema.attribute_names:
+            for attr_b in table_b.schema.attribute_names:
+                if self.allows(relation_a, attr_a, relation_b, attr_b):
+                    count += 1
+        return count

@@ -1,0 +1,104 @@
+"""Edit-distance based string similarity.
+
+The paper mentions edit distance as one of the alternative keyword
+similarity metrics (Section 2.2).  We provide classic Levenshtein distance,
+a normalized similarity in ``[0, 1]``, and the Jaro–Winkler similarity which
+is widely used by metadata schema matchers for attribute-name comparison.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Return the Levenshtein (edit) distance between ``a`` and ``b``.
+
+    Uses the standard two-row dynamic program: ``O(len(a) * len(b))`` time,
+    ``O(min(len(a), len(b)))`` space.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            substitute_cost = previous[j - 1] + (0 if char_a == char_b else 1)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Normalized edit similarity ``1 - distance / max(len)`` in ``[0, 1]``."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity between two strings, in ``[0, 1]``."""
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    match_window = max(len_a, len_b) // 2 - 1
+    match_window = max(match_window, 0)
+    a_matched = [False] * len_a
+    b_matched = [False] * len_b
+    matches = 0
+    for i, char_a in enumerate(a):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len_b)
+        for j in range(start, end):
+            if b_matched[j] or b[j] != char_a:
+                continue
+            a_matched[i] = True
+            b_matched[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len_a):
+        if not a_matched[i]:
+            continue
+        while not b_matched[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len_a + matches / len_b + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
+    """Jaro–Winkler similarity, boosting strings that share a common prefix.
+
+    Parameters
+    ----------
+    a, b:
+        Strings to compare (case-sensitive; callers usually lowercase first).
+    prefix_scale:
+        How much the common-prefix bonus contributes (standard value 0.1).
+    max_prefix:
+        Maximum prefix length to consider for the bonus (standard value 4).
+    """
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b or prefix >= max_prefix:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)

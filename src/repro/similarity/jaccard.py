@@ -1,0 +1,59 @@
+"""Set-based similarity measures over tokens and value sets.
+
+Used for (a) token-level label similarity in the metadata matcher, and
+(b) instance-level value-overlap similarity between attributes (the basis of
+the value-overlap filter and a feature of the ensemble matcher).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from .tokenize import token_set
+
+
+def jaccard(a: Iterable, b: Iterable) -> float:
+    """Jaccard similarity ``|A ∩ B| / |A ∪ B|`` between two collections."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 0.0
+    return len(set_a & set_b) / len(union)
+
+
+def containment(a: Iterable, b: Iterable) -> float:
+    """Containment of A in B: ``|A ∩ B| / |A|`` (1.0 if A is empty and B is not).
+
+    Containment is more appropriate than Jaccard when one attribute's value
+    set is a small subset of another (a common pattern with cross-reference
+    tables), because Jaccard punishes the size asymmetry.
+    """
+    set_a, set_b = set(a), set(b)
+    if not set_a:
+        return 1.0 if set_b else 0.0
+    return len(set_a & set_b) / len(set_a)
+
+
+def max_containment(a: Iterable, b: Iterable) -> float:
+    """Symmetric containment: ``max(containment(A, B), containment(B, A))``."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    intersection = len(set_a & set_b)
+    return max(intersection / len(set_a), intersection / len(set_b))
+
+
+def token_jaccard(label_a: str, label_b: str) -> float:
+    """Jaccard similarity between the token sets of two labels."""
+    return jaccard(token_set(label_a), token_set(label_b))
+
+
+def overlap_count(a: Iterable, b: Iterable) -> int:
+    """Number of shared distinct elements between two collections."""
+    set_a: Set = set(a)
+    set_b: Set = set(b)
+    return len(set_a & set_b)

@@ -1,0 +1,41 @@
+"""Character n-gram similarity.
+
+One of the alternative keyword/label similarity metrics mentioned in the
+paper (Section 2.2), and a component of the metadata matcher.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .tokenize import character_ngrams
+
+
+def ngram_similarity(a: str, b: str, n: int = 3) -> float:
+    """Dice coefficient over character n-gram multisets, in ``[0, 1]``.
+
+    The Dice coefficient ``2 |A ∩ B| / (|A| + |B|)`` over n-gram *multisets*
+    is robust to repeated substrings and is the classic "trigram similarity"
+    used by schema matchers.
+    """
+    grams_a = Counter(character_ngrams(a, n))
+    grams_b = Counter(character_ngrams(b, n))
+    if not grams_a and not grams_b:
+        return 1.0
+    if not grams_a or not grams_b:
+        return 0.0
+    shared = sum((grams_a & grams_b).values())
+    total = sum(grams_a.values()) + sum(grams_b.values())
+    return 2.0 * shared / total
+
+
+def ngram_jaccard(a: str, b: str, n: int = 3) -> float:
+    """Jaccard similarity over character n-gram *sets*, in ``[0, 1]``."""
+    grams_a = set(character_ngrams(a, n))
+    grams_b = set(character_ngrams(b, n))
+    if not grams_a and not grams_b:
+        return 1.0
+    union = grams_a | grams_b
+    if not union:
+        return 0.0
+    return len(grams_a & grams_b) / len(union)

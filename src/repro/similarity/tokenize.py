@@ -1,0 +1,101 @@
+"""Tokenization helpers shared by the similarity metrics and matchers.
+
+Schema labels in real databases mix conventions: ``entry_ac``, ``go_id``,
+``InterPro2GO``, ``pubTitle``.  The tokenizer splits on non-alphanumeric
+characters, camel-case boundaries and digit boundaries so that, e.g.,
+``InterPro2GO`` tokenizes to ``["inter", "pro", "2", "go"]`` and matches the
+label ``go`` of another attribute.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_SPLIT_RE = re.compile(r"[^0-9A-Za-z]+")
+_DIGIT_BOUNDARY_RE = re.compile(r"(?<=[A-Za-z])(?=\d)|(?<=\d)(?=[A-Za-z])")
+
+# Tokens that carry no discriminative information for schema matching.
+STOPWORDS = frozenset(
+    {
+        "a",
+        "an",
+        "and",
+        "at",
+        "by",
+        "for",
+        "from",
+        "in",
+        "is",
+        "of",
+        "on",
+        "or",
+        "the",
+        "to",
+        "with",
+    }
+)
+
+
+def tokenize(text: str, drop_stopwords: bool = False) -> List[str]:
+    """Split ``text`` into lowercase tokens.
+
+    Splitting happens on whitespace/punctuation, camel-case boundaries and
+    letter/digit boundaries.  Empty tokens are dropped.
+
+    Parameters
+    ----------
+    text:
+        The string to tokenize.
+    drop_stopwords:
+        If ``True``, common English stopwords are removed.
+    """
+    if not text:
+        return []
+    pieces: List[str] = []
+    for chunk in _SPLIT_RE.split(str(text)):
+        if not chunk:
+            continue
+        chunk = _CAMEL_RE.sub(" ", chunk)
+        chunk = _DIGIT_BOUNDARY_RE.sub(" ", chunk)
+        pieces.extend(p for p in chunk.split() if p)
+    tokens = [p.lower() for p in pieces]
+    if drop_stopwords:
+        tokens = [t for t in tokens if t not in STOPWORDS]
+    return tokens
+
+
+def token_set(text: str, drop_stopwords: bool = False) -> frozenset:
+    """Return the set of tokens of ``text``."""
+    return frozenset(tokenize(text, drop_stopwords=drop_stopwords))
+
+
+def normalize_label(text: str) -> str:
+    """Canonical single-string form of a schema label (tokens joined by ``_``)."""
+    return "_".join(tokenize(text))
+
+
+def character_ngrams(text: str, n: int = 3, pad: bool = True) -> Tuple[str, ...]:
+    """Return the character n-grams of ``text`` (lowercased).
+
+    Parameters
+    ----------
+    text:
+        Input string.
+    n:
+        The n-gram length (must be >= 1).
+    pad:
+        If ``True``, the string is padded with ``n - 1`` boundary markers
+        (``#``) on each side, which gives extra weight to prefixes and
+        suffixes — the convention used by most n-gram schema matchers.
+    """
+    if n < 1:
+        raise ValueError("n-gram length must be >= 1")
+    normalized = str(text).lower()
+    if pad and n > 1:
+        padding = "#" * (n - 1)
+        normalized = f"{padding}{normalized}{padding}"
+    if len(normalized) < n:
+        return (normalized,) if normalized else ()
+    return tuple(normalized[i : i + n] for i in range(len(normalized) - n + 1))

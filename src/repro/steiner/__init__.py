@@ -1,0 +1,26 @@
+"""Steiner-tree algorithms for keyword query interpretation.
+
+Public API
+----------
+* :class:`SteinerTree` — value object for a tree plus its cost.
+* :func:`exact_steiner_tree` — Dreyfus–Wagner exact DP (small terminal sets).
+* :func:`approximate_steiner_tree` — distance-network 2-approximation.
+* :class:`KBestSteiner`, :func:`k_best_steiner_trees` — top-k enumeration
+  (``KBESTSTEINER`` of Algorithm 4).
+* :func:`default_solver` — exact-or-approximate dispatch used by the system.
+"""
+
+from .approx import approximate_steiner_tree
+from .exact import exact_steiner_tree
+from .topk import KBestSteiner, default_solver, k_best_steiner_trees
+from .tree import SteinerTree, validate_terminals
+
+__all__ = [
+    "KBestSteiner",
+    "SteinerTree",
+    "approximate_steiner_tree",
+    "default_solver",
+    "exact_steiner_tree",
+    "k_best_steiner_trees",
+    "validate_terminals",
+]

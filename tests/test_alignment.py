@@ -1,0 +1,224 @@
+"""Unit tests for the aligner strategies and the registration service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alignment import (
+    AlignmentResult,
+    ExhaustiveAligner,
+    PreferentialAligner,
+    SourceRegistrar,
+    ViewBasedAligner,
+    install_associations,
+    prior_from_weights,
+)
+from repro.datastore.database import Catalog, DataSource
+from repro.exceptions import AlignmentError, RegistrationError
+from repro.graph import QueryGraphBuilder, SearchGraph, relation_feature
+from repro.matching import (
+    AttributeRef,
+    Correspondence,
+    MetadataMatcher,
+    ValueOverlapFilter,
+)
+
+
+@pytest.fixture()
+def new_source() -> DataSource:
+    """A new source whose attributes overlap with the mini catalog."""
+    return DataSource.build(
+        "newdb",
+        {"xref": ["go_acc", "entry_ac", "note"]},
+        data={
+            "xref": [
+                {"go_acc": "GO:0001", "entry_ac": "IPR001", "note": "curated"},
+                {"go_acc": "GO:0002", "entry_ac": "IPR002", "note": "automatic"},
+            ]
+        },
+    )
+
+
+def register(graph, catalog, source):
+    """Add the new source to catalog + graph the way the registrar does."""
+    catalog.add_source(source)
+    graph.add_source(source)
+
+
+class TestExhaustiveAligner:
+    def test_considers_all_existing_relations(self, mini_catalog, mini_graph, new_source):
+        register(mini_graph, mini_catalog, new_source)
+        aligner = ExhaustiveAligner(MetadataMatcher())
+        result = aligner.align(mini_graph, mini_catalog, new_source)
+        assert result.strategy == "exhaustive"
+        assert set(result.candidate_relations) == {
+            "go.term",
+            "interpro.interpro2go",
+            "interpro.entry",
+            "interpro.pub",
+            "interpro.entry2pub",
+        }
+        # 3 new attributes x 10 existing attributes
+        assert result.attribute_comparisons == 30
+        assert result.relation_pairs_considered == 5
+        assert result.elapsed_seconds >= 0.0
+
+    def test_installs_association_edges(self, mini_catalog, mini_graph, new_source):
+        register(mini_graph, mini_catalog, new_source)
+        before = len(mini_graph.association_edges())
+        result = ExhaustiveAligner(MetadataMatcher()).align(mini_graph, mini_catalog, new_source)
+        assert len(result.edges_added) > 0
+        assert len(mini_graph.association_edges()) > before
+        # entry_ac should align by name.
+        edge = mini_graph.association_between(
+            "newdb.xref", "entry_ac", "interpro.entry", "entry_ac"
+        )
+        assert edge is not None
+
+    def test_value_filter_reduces_comparisons(self, mini_catalog, mini_graph, new_source):
+        register(mini_graph, mini_catalog, new_source)
+        tables = mini_catalog.all_tables()
+        overlap_filter = ValueOverlapFilter.from_tables(tables)
+        unfiltered = ExhaustiveAligner(MetadataMatcher()).align(mini_graph, mini_catalog, new_source)
+        filtered = ExhaustiveAligner(
+            MetadataMatcher(), value_filter=overlap_filter
+        ).align(mini_graph, mini_catalog, new_source)
+        assert filtered.attribute_comparisons < unfiltered.attribute_comparisons
+
+    def test_count_only_mode_adds_no_edges(self, mini_catalog, mini_graph, new_source):
+        register(mini_graph, mini_catalog, new_source)
+        before = len(mini_graph.association_edges())
+        result = ExhaustiveAligner(MetadataMatcher(), count_only=True).align(
+            mini_graph, mini_catalog, new_source
+        )
+        assert result.attribute_comparisons > 0
+        assert result.edges_added == []
+        assert len(mini_graph.association_edges()) == before
+
+
+class TestViewBasedAligner:
+    def _query_graph(self, mini_catalog, mini_graph, keywords):
+        builder = QueryGraphBuilder(mini_catalog)
+        return builder.expand(mini_graph, keywords)
+
+    def test_restricts_to_alpha_neighborhood(self, mini_catalog, mini_graph, new_source):
+        expanded = self._query_graph(mini_catalog, mini_graph, ["membrane"])
+        register(expanded.graph, mini_catalog, new_source)
+        aligner = ViewBasedAligner(
+            MetadataMatcher(), keyword_nodes=expanded.terminals, alpha=0.5
+        )
+        result = aligner.align(expanded.graph, mini_catalog, new_source)
+        # With a small alpha only go.term (where 'plasma membrane' lives) is reachable.
+        assert result.candidate_relations == ["go.term"]
+        assert result.attribute_comparisons <= 3 * 2
+
+    def test_larger_alpha_reaches_more_relations(self, mini_catalog, mini_graph, new_source):
+        expanded = self._query_graph(mini_catalog, mini_graph, ["membrane"])
+        register(expanded.graph, mini_catalog, new_source)
+        small = ViewBasedAligner(MetadataMatcher(), expanded.terminals, alpha=0.5).align(
+            expanded.graph, mini_catalog, new_source
+        )
+        large = ViewBasedAligner(MetadataMatcher(), expanded.terminals, alpha=10.0).align(
+            expanded.graph, mini_catalog, new_source
+        )
+        assert set(small.candidate_relations) <= set(large.candidate_relations)
+        assert large.attribute_comparisons >= small.attribute_comparisons
+
+    def test_never_more_comparisons_than_exhaustive(self, mini_catalog, mini_graph, new_source):
+        expanded = self._query_graph(mini_catalog, mini_graph, ["membrane"])
+        register(expanded.graph, mini_catalog, new_source)
+        view_based = ViewBasedAligner(MetadataMatcher(), expanded.terminals, alpha=2.0).align(
+            expanded.graph, mini_catalog, new_source
+        )
+        exhaustive = ExhaustiveAligner(MetadataMatcher()).align(
+            expanded.graph, mini_catalog, new_source
+        )
+        assert view_based.attribute_comparisons <= exhaustive.attribute_comparisons
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(AlignmentError):
+            ViewBasedAligner(MetadataMatcher(), ["kw"], alpha=-1.0)
+
+    def test_missing_keyword_nodes_raise(self, mini_catalog, mini_graph, new_source):
+        register(mini_graph, mini_catalog, new_source)
+        aligner = ViewBasedAligner(MetadataMatcher(), ["kw:not_there"], alpha=1.0)
+        with pytest.raises(AlignmentError):
+            aligner.align(mini_graph, mini_catalog, new_source)
+
+
+class TestPreferentialAligner:
+    def test_prior_ordering_and_budget(self, mini_catalog, mini_graph, new_source):
+        register(mini_graph, mini_catalog, new_source)
+        prior = {"interpro.pub": 10.0, "go.term": 5.0, "interpro.entry": 1.0}
+        aligner = PreferentialAligner(MetadataMatcher(), prior=prior, max_relations=2)
+        result = aligner.align(mini_graph, mini_catalog, new_source)
+        assert result.candidate_relations == ["interpro.pub", "go.term"]
+
+    def test_callable_prior(self, mini_catalog, mini_graph, new_source):
+        register(mini_graph, mini_catalog, new_source)
+        aligner = PreferentialAligner(
+            MetadataMatcher(), prior=lambda rel: len(rel), max_relations=1
+        )
+        result = aligner.align(mini_graph, mini_catalog, new_source)
+        assert result.candidate_relations == ["interpro.interpro2go"]
+
+    def test_prior_from_weights(self, mini_graph):
+        mini_graph.weights.set(relation_feature("go.term"), -2.0)
+        mini_graph.weights.set(relation_feature("interpro.pub"), 1.0)
+        prior = prior_from_weights(mini_graph)
+        assert prior["go.term"] == pytest.approx(2.0)
+        assert prior["interpro.pub"] == pytest.approx(-1.0)
+
+    def test_invalid_budget(self):
+        with pytest.raises(AlignmentError):
+            PreferentialAligner(MetadataMatcher(), max_relations=0)
+
+    def test_cheaper_than_view_based(self, mini_catalog, mini_graph, new_source):
+        register(mini_graph, mini_catalog, new_source)
+        preferential = PreferentialAligner(
+            MetadataMatcher(), prior={}, max_relations=1
+        ).align(mini_graph, mini_catalog, new_source)
+        exhaustive = ExhaustiveAligner(MetadataMatcher()).align(
+            mini_graph, mini_catalog, new_source
+        )
+        assert preferential.attribute_comparisons < exhaustive.attribute_comparisons
+
+
+class TestInstallAssociations:
+    def test_merges_matchers_on_one_edge(self, mini_graph):
+        correspondences = [
+            Correspondence(AttributeRef("go.term", "acc"), AttributeRef("interpro.entry", "entry_ac"), 0.7, "m1"),
+            Correspondence(AttributeRef("interpro.entry", "entry_ac"), AttributeRef("go.term", "acc"), 0.4, "m2"),
+        ]
+        edges = install_associations(mini_graph, correspondences)
+        assert len(edges) == 1
+        assert edges[0].metadata["matchers"] == {"m1": 0.7, "m2": 0.4}
+
+
+class TestSourceRegistrar:
+    def test_register_adds_and_aligns(self, mini_catalog, mini_graph, new_source):
+        registrar = SourceRegistrar(mini_catalog, mini_graph)
+        seen = []
+        registrar.add_listener(lambda source, result: seen.append((source.name, result.strategy)))
+        result = registrar.register(new_source, ExhaustiveAligner(MetadataMatcher()))
+        assert isinstance(result, AlignmentResult)
+        assert mini_catalog.has_source("newdb")
+        assert mini_graph.has_node("rel:newdb.xref")
+        assert registrar.registered_sources() == ["newdb"]
+        assert seen == [("newdb", "exhaustive")]
+
+    def test_duplicate_registration_rejected(self, mini_catalog, mini_graph, new_source):
+        registrar = SourceRegistrar(mini_catalog, mini_graph)
+        registrar.register(new_source, ExhaustiveAligner(MetadataMatcher()))
+        with pytest.raises(RegistrationError):
+            registrar.register(new_source, ExhaustiveAligner(MetadataMatcher()))
+
+    def test_failed_alignment_rolls_back_catalog(self, mini_catalog, mini_graph, new_source):
+        class ExplodingAligner(ExhaustiveAligner):
+            def candidate_relations(self, graph, catalog, source):
+                raise RuntimeError("boom")
+
+        registrar = SourceRegistrar(mini_catalog, mini_graph)
+        with pytest.raises(RuntimeError):
+            registrar.register(new_source, ExplodingAligner(MetadataMatcher()))
+        assert not mini_catalog.has_source("newdb")

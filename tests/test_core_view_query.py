@@ -1,0 +1,201 @@
+"""Unit tests for query generation from trees, ranked views, and the QSystem facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QSystem, QSystemConfig
+from repro.core import (
+    GoldStandard,
+    QueryGenerator,
+    RankedView,
+    gold_target_tree,
+    simulated_feedback_for_view,
+    tree_signature,
+)
+from repro.datastore.database import DataSource
+from repro.exceptions import QError, RegistrationError
+from repro.graph import QueryGraphBuilder, SearchGraph
+from repro.learning import AnnotationKind
+from repro.matching import MetadataMatcher
+from repro.steiner import k_best_steiner_trees
+
+
+@pytest.fixture()
+def expanded(mini_catalog, mini_graph):
+    builder = QueryGraphBuilder(mini_catalog)
+    return builder.expand(mini_graph, ["membrane", "title"])
+
+
+class TestQueryGenerator:
+    def test_tree_to_query(self, mini_catalog, expanded):
+        trees = k_best_steiner_trees(expanded.graph, expanded.terminals, 1)
+        generated = QueryGenerator(expanded.graph).generate(trees[0])
+        query = generated.query
+        query.validate()
+        assert query.cost == pytest.approx(trees[0].cost)
+        relations = set(query.relations())
+        assert "go.term" in relations
+        # the selection carries the matched value
+        assert any(s.value == "plasma membrane" for s in query.selections)
+        assert generated.signature == tree_signature(trees[0])
+
+    def test_generate_all_skips_failures(self, mini_catalog, expanded):
+        trees = k_best_steiner_trees(expanded.graph, expanded.terminals, 3)
+        generated = QueryGenerator(expanded.graph).generate_all(trees)
+        assert 1 <= len(generated) <= 3
+        signatures = {g.signature for g in generated}
+        assert len(signatures) == len(generated)
+
+    def test_signature_is_stable(self, expanded):
+        trees = k_best_steiner_trees(expanded.graph, expanded.terminals, 1)
+        assert tree_signature(trees[0]) == tree_signature(trees[0])
+
+
+class TestRankedView:
+    def test_refresh_produces_ranked_answers(self, mini_catalog, mini_graph):
+        view = RankedView(["membrane", "title"], mini_catalog, mini_graph, k=3)
+        state = view.refresh()
+        assert state.trees
+        assert state.queries
+        assert view.alpha is not None and view.alpha > 0
+        costs = [a.cost for a in view.answers()]
+        assert costs == sorted(costs)
+
+    def test_answers_have_provenance(self, mini_catalog, mini_graph):
+        view = RankedView(["membrane", "title"], mini_catalog, mini_graph, k=3)
+        view.refresh()
+        for answer in view.answers():
+            assert answer.provenance is not None
+            assert answer.provenance.query_id.startswith("tree:")
+
+    def test_uses_relation(self, mini_catalog, mini_graph):
+        view = RankedView(["membrane", "title"], mini_catalog, mini_graph, k=3)
+        view.refresh()
+        assert view.uses_relation("go.term")
+        assert not view.uses_relation("not.there")
+
+    def test_annotation_roundtrip(self, mini_catalog, mini_graph):
+        view = RankedView(["membrane", "title"], mini_catalog, mini_graph, k=3)
+        view.refresh()
+        answers = view.answers()
+        assert answers, "the mini catalog should produce at least one answer"
+        event = view.annotate(answers[0], AnnotationKind.VALID)
+        assert event.terminals == view.terminals
+        assert event.target_tree.edge_ids
+
+    def test_rebuild_query_graph_picks_up_new_sources(self, mini_catalog, mini_graph):
+        view = RankedView(["membrane", "title"], mini_catalog, mini_graph, k=3)
+        view.refresh()
+        new_source = DataSource.build(
+            "extra", {"info": ["acc", "comment"]}, data={"info": [{"acc": "GO:0001", "comment": "x"}]}
+        )
+        mini_catalog.add_source(new_source)
+        mini_graph.add_source(new_source)
+        view.builder = QueryGraphBuilder(mini_catalog)
+        view.refresh(rebuild_graph=True)
+        assert view.query_graph.graph.has_node("rel:extra.info")
+
+
+class TestSimulatedFeedback:
+    def test_gold_tree_uses_only_gold_associations(self, mini_catalog, mini_graph):
+        gold = GoldStandard.from_pairs([("go.term.acc", "interpro.interpro2go.go_id")])
+        # add a non-gold association that must be excluded
+        mini_graph.add_association("go.term", "name", "interpro.pub", "title", {"mad": 0.9})
+        builder = QueryGraphBuilder(mini_catalog)
+        expanded = builder.expand(mini_graph, ["membrane", "IPR001"])
+        tree = gold_target_tree(expanded.graph, expanded.terminals, gold)
+        assert tree is not None
+        from repro.core.evaluation import edge_attribute_pair
+        from repro.graph import EdgeKind
+
+        for edge in tree.edges(expanded.graph):
+            if edge.kind is EdgeKind.ASSOCIATION:
+                assert edge_attribute_pair(expanded.graph, edge) in gold.pairs
+
+    def test_unreachable_gold_returns_none(self, mini_catalog, mini_graph):
+        gold = GoldStandard.from_pairs([("x.y.z", "a.b.c")])  # no usable association
+        # Remove the only cross-source association so go.term is unreachable
+        # from interpro through gold edges alone... but FK edges remain, so use
+        # keywords that require the association edge.
+        for edge in list(mini_graph.association_edges()):
+            mini_graph.remove_edge(edge.edge_id)
+        builder = QueryGraphBuilder(mini_catalog)
+        expanded = builder.expand(mini_graph, ["membrane", "title"])
+        tree = gold_target_tree(expanded.graph, expanded.terminals, gold)
+        assert tree is None
+
+
+class TestQSystem:
+    @pytest.fixture()
+    def system(self, interpro_go_dataset):
+        return QSystem(
+            sources=interpro_go_dataset.catalog.sources(),
+            config=QSystemConfig(top_k=3, top_y=2),
+        )
+
+    def test_bootstrap_installs_associations(self, system):
+        correspondences = system.bootstrap_alignments(top_y=2)
+        assert correspondences
+        assert system.graph.association_edges()
+
+    def test_create_view_and_alpha(self, system):
+        system.bootstrap_alignments(top_y=2)
+        view = system.create_view(["membrane", "title"])
+        assert view.alpha is not None
+        assert "membrane title" in system.views
+
+    def test_register_source_exhaustive(self, system):
+        system.bootstrap_alignments(top_y=2)
+        new_source = DataSource.build(
+            "mirna",
+            {"target": ["entry_ac", "mirna_id"]},
+            data={"target": [{"entry_ac": "IPR000001", "mirna_id": "MIR1"}]},
+        )
+        result = system.register_source(new_source, strategy="exhaustive")
+        assert result.strategy == "exhaustive"
+        assert system.catalog.has_source("mirna")
+        assert result.attribute_comparisons > 0
+
+    def test_register_source_view_based_requires_view(self, system):
+        new_source = DataSource.build("x", {"r": ["a"]})
+        with pytest.raises(RegistrationError):
+            system.register_source(new_source, strategy="view_based")
+
+    def test_register_source_view_based(self, system):
+        system.bootstrap_alignments(top_y=2)
+        view = system.create_view(["membrane", "title"])
+        new_source = DataSource.build(
+            "mirna2",
+            {"target": ["entry_ac", "mirna_id"]},
+            data={"target": [{"entry_ac": "IPR000001", "mirna_id": "MIR1"}]},
+        )
+        result = system.register_source(new_source, strategy="view_based", view=view)
+        assert result.strategy == "view_based"
+        exhaustive_candidates = system.catalog.relation_count - 1
+        assert len(result.candidate_relations) <= exhaustive_candidates
+
+    def test_register_source_preferential(self, system):
+        system.bootstrap_alignments(top_y=2)
+        new_source = DataSource.build(
+            "mirna3", {"target": ["entry_ac"]}, data={"target": [{"entry_ac": "IPR000001"}]}
+        )
+        result = system.register_source(
+            new_source, strategy="preferential", max_relations=2
+        )
+        assert len(result.candidate_relations) == 2
+
+    def test_unknown_strategy(self, system):
+        new_source = DataSource.build("y", {"r": ["a"]})
+        with pytest.raises(QError):
+            system.register_source(new_source, strategy="nope")
+
+    def test_feedback_changes_costs(self, system, interpro_go_dataset):
+        system.bootstrap_alignments(top_y=2)
+        view = system.create_view(["membrane", "title"])
+        event = simulated_feedback_for_view(view, interpro_go_dataset.gold)
+        assert event is not None
+        weights_before = system.graph.weights.as_dict()
+        system.apply_feedback_events(view, [event], repetitions=1)
+        assert system.graph.weights.as_dict() != weights_before
+        assert len(system.feedback_log) == 1

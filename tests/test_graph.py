@@ -1,0 +1,242 @@
+"""Unit tests for the search graph, features, edges and neighborhoods."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError, UnknownNodeError
+from repro.graph import (
+    DEFAULT_FEATURE,
+    Edge,
+    EdgeKind,
+    FeatureVector,
+    GraphConfig,
+    NodeKind,
+    SearchGraph,
+    WeightVector,
+    attribute_node_id,
+    cost_neighborhood,
+    edge_feature,
+    keyword_node_id,
+    make_attribute_node,
+    make_keyword_node,
+    make_relation_node,
+    matcher_feature,
+    neighborhood_relations,
+    relation_feature,
+    relation_node_id,
+)
+
+
+class TestFeatureVector:
+    def test_get_default(self):
+        fv = FeatureVector({"a": 1.0})
+        assert fv.get("a") == 1.0
+        assert fv.get("missing") == 0.0
+
+    def test_immutability_via_copies(self):
+        fv = FeatureVector({"a": 1.0})
+        fv2 = fv.with_feature("b", 2.0)
+        assert "b" not in fv
+        assert fv2.get("b") == 2.0
+        fv3 = fv2.without_feature("a")
+        assert "a" in fv2 and "a" not in fv3
+
+    def test_merged(self):
+        merged = FeatureVector({"a": 1.0}).merged(FeatureVector({"a": 2.0, "b": 3.0}))
+        assert merged.get("a") == 2.0
+        assert merged.get("b") == 3.0
+
+    def test_container_protocols(self):
+        fv = FeatureVector({"a": 1.0, "b": 2.0})
+        assert len(fv) == 2
+        assert set(iter(fv)) == {"a", "b"}
+        assert fv == FeatureVector({"b": 2.0, "a": 1.0})
+
+
+class TestWeightVector:
+    def test_dot_product(self):
+        weights = WeightVector({"a": 2.0, "b": -1.0})
+        features = FeatureVector({"a": 1.0, "b": 0.5, "c": 10.0})
+        assert weights.dot(features) == pytest.approx(1.5)
+
+    def test_update_and_copy(self):
+        weights = WeightVector({"a": 1.0})
+        clone = weights.copy()
+        weights.update({"a": 0.5, "b": 2.0})
+        assert weights.get("a") == 1.5
+        assert weights.get("b") == 2.0
+        assert clone.get("a") == 1.0
+        assert clone.get("b") == 0.0
+
+    def test_distance(self):
+        a = WeightVector({"x": 1.0})
+        b = WeightVector({"x": 4.0, "y": 4.0})
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=4), st.floats(-10, 10), max_size=6))
+    def test_distance_to_self_is_zero_property(self, mapping):
+        weights = WeightVector(mapping)
+        assert weights.distance_to(weights.copy()) == pytest.approx(0.0)
+
+
+class TestFeatureNames:
+    def test_helpers(self):
+        assert matcher_feature("mad") == "matcher::mad"
+        assert relation_feature("go.term") == "relation::go.term"
+        assert edge_feature("e1").startswith("edge::")
+
+
+class TestEdge:
+    def test_zero_cost_kinds(self):
+        node_a = make_relation_node("go.term")
+        node_b = make_attribute_node("go.term", "acc")
+        edge = Edge.create(node_a.node_id, node_b.node_id, EdgeKind.MEMBERSHIP)
+        assert edge.fixed_cost == 0.0
+        assert not edge.is_learnable()
+        assert edge.cost(WeightVector({DEFAULT_FEATURE: 5.0})) == 0.0
+
+    def test_learnable_cost_clamped(self):
+        edge = Edge.create("a", "b", EdgeKind.ASSOCIATION, features=FeatureVector({"x": 1.0}))
+        weights = WeightVector({"x": -5.0})
+        assert edge.cost(weights, minimum=1e-3) == pytest.approx(1e-3)
+
+    def test_other_and_connects(self):
+        edge = Edge.create("a", "b", EdgeKind.ASSOCIATION)
+        assert edge.other("a") == "b"
+        assert edge.connects("b", "a")
+        with pytest.raises(ValueError):
+            edge.other("c")
+
+
+class TestSearchGraphConstruction:
+    def test_add_catalog(self, mini_catalog):
+        graph = SearchGraph()
+        graph.add_catalog(mini_catalog)
+        assert len(graph.relation_nodes()) == 5
+        assert len(graph.attribute_nodes()) == 10
+        # membership edges: one per attribute; foreign keys: 3
+        assert len(graph.edges(EdgeKind.MEMBERSHIP)) == 10
+        assert len(graph.edges(EdgeKind.FOREIGN_KEY)) == 3
+
+    def test_adding_source_twice_is_idempotent(self, mini_catalog):
+        graph = SearchGraph()
+        graph.add_catalog(mini_catalog)
+        nodes_before = graph.node_count
+        edges_before = graph.edge_count
+        graph.add_source(mini_catalog.source("go"))
+        assert graph.node_count == nodes_before
+        assert graph.edge_count == edges_before
+
+    def test_unknown_node_errors(self, mini_graph):
+        with pytest.raises(UnknownNodeError):
+            mini_graph.node("missing")
+        with pytest.raises(UnknownNodeError):
+            mini_graph.edges_of("missing")
+        with pytest.raises(UnknownNodeError):
+            mini_graph.add_edge(Edge.create("missing", "also_missing", EdgeKind.ASSOCIATION))
+
+    def test_duplicate_edge_id_rejected(self, mini_graph):
+        rel = relation_node_id("go.term")
+        attr = attribute_node_id("go.term", "acc")
+        edge = Edge.create(rel, attr, EdgeKind.MEMBERSHIP, edge_id="fixed-id")
+        mini_graph.add_edge(edge)
+        with pytest.raises(GraphError):
+            mini_graph.add_edge(Edge.create(rel, attr, EdgeKind.MEMBERSHIP, edge_id="fixed-id"))
+
+    def test_remove_edge(self, mini_graph):
+        edge = mini_graph.association_edges()[0]
+        mini_graph.remove_edge(edge.edge_id)
+        assert not mini_graph.has_edge(edge.edge_id)
+        with pytest.raises(GraphError):
+            mini_graph.remove_edge(edge.edge_id)
+
+    def test_attribute_nodes_of(self, mini_graph):
+        attrs = mini_graph.attribute_nodes_of("go.term")
+        assert {n.attribute for n in attrs} == {"acc", "name"}
+
+    def test_relation_node_of(self, mini_graph):
+        attr_id = attribute_node_id("go.term", "acc")
+        rel_node = mini_graph.relation_node_of(attr_id)
+        assert rel_node is not None and rel_node.relation == "go.term"
+        rel_self = mini_graph.relation_node_of(relation_node_id("go.term"))
+        assert rel_self is not None and rel_self.kind is NodeKind.RELATION
+
+
+class TestAssociations:
+    def test_association_edge_cost_reflects_confidence(self, mini_graph):
+        config = mini_graph.config
+        edge = mini_graph.association_between("go.term", "acc", "interpro.interpro2go", "go_id")
+        assert edge is not None
+        expected = config.default_cost + config.initial_matcher_weight * 0.9
+        assert mini_graph.edge_cost(edge) == pytest.approx(expected)
+
+    def test_merging_second_matcher_on_same_edge(self, mini_graph):
+        before = len(mini_graph.association_edges())
+        edge = mini_graph.add_association(
+            "go.term", "acc", "interpro.interpro2go", "go_id", {"metadata": 0.8}
+        )
+        assert len(mini_graph.association_edges()) == before
+        assert edge.metadata["matchers"] == {"mad": 0.9, "metadata": 0.8}
+        assert edge.features.get(matcher_feature("metadata")) == pytest.approx(0.8)
+
+    def test_association_creates_missing_attribute_nodes(self):
+        graph = SearchGraph()
+        graph.add_association("a.r", "x", "b.s", "y", {"mad": 0.5})
+        assert graph.has_node(attribute_node_id("a.r", "x"))
+        assert graph.has_node(attribute_node_id("b.s", "y"))
+
+    def test_matcher_weight_initialized_once(self, mini_graph):
+        initial = mini_graph.weights.get(matcher_feature("mad"))
+        mini_graph.weights.set(matcher_feature("mad"), -0.9)
+        mini_graph.add_association("go.term", "name", "interpro.entry", "name", {"mad": 0.4})
+        assert mini_graph.weights.get(matcher_feature("mad")) == -0.9
+        assert initial == mini_graph.config.initial_matcher_weight
+
+
+class TestShortestPathsAndNeighborhood:
+    def test_shortest_path_costs(self, mini_graph):
+        start = relation_node_id("go.term")
+        distances = mini_graph.shortest_path_costs([start])
+        # membership edges are free, so attributes of go.term are at cost 0.
+        assert distances[attribute_node_id("go.term", "acc")] == 0.0
+        # interpro2go is reachable through the association edge.
+        assert relation_node_id("interpro.interpro2go") in distances
+
+    def test_max_cost_prunes(self, mini_graph):
+        start = relation_node_id("go.term")
+        near = mini_graph.shortest_path_costs([start], max_cost=0.0)
+        assert relation_node_id("interpro.interpro2go") not in near
+        assert attribute_node_id("go.term", "name") in near
+
+    def test_cost_neighborhood_and_relations(self, mini_graph):
+        start = attribute_node_id("go.term", "acc")
+        relations_near = neighborhood_relations(mini_graph, [start], alpha=0.0)
+        assert relations_near == {"go.term"}
+        relations_far = neighborhood_relations(mini_graph, [start], alpha=10.0)
+        assert "interpro.pub" in relations_far
+
+    def test_cost_neighborhood_missing_start(self, mini_graph):
+        assert cost_neighborhood(mini_graph, ["missing"], alpha=1.0) == {}
+
+    def test_unknown_source_node_raises(self, mini_graph):
+        with pytest.raises(UnknownNodeError):
+            mini_graph.shortest_path_costs(["missing"])
+
+
+class TestCopy:
+    def test_copy_shares_weights_but_not_structure(self, mini_graph):
+        clone = mini_graph.copy(share_weights=True)
+        edge = clone.association_edges()[0]
+        clone.remove_edge(edge.edge_id)
+        assert mini_graph.has_edge(edge.edge_id)
+        # Weight changes propagate (shared vector).
+        mini_graph.weights.set(DEFAULT_FEATURE, 7.0)
+        assert clone.weights.get(DEFAULT_FEATURE) == 7.0
+
+    def test_copy_independent_weights(self, mini_graph):
+        clone = mini_graph.copy(share_weights=False)
+        mini_graph.weights.set(DEFAULT_FEATURE, 9.0)
+        assert clone.weights.get(DEFAULT_FEATURE) != 9.0

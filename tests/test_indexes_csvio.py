@@ -1,0 +1,137 @@
+"""Unit tests for the value/token indexes and the CSV / JSON IO helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datastore.csvio import (
+    load_catalog_json,
+    load_relation_csv,
+    load_source_from_csv_dir,
+    save_catalog_json,
+    save_source_to_csv_dir,
+    source_from_dict,
+    source_to_dict,
+)
+from repro.datastore.database import Catalog, DataSource
+from repro.datastore.indexes import TokenIndex, ValueIndex
+from repro.exceptions import DataError
+
+
+class TestValueIndex:
+    @pytest.fixture()
+    def index(self, mini_catalog) -> ValueIndex:
+        return ValueIndex.from_catalog(mini_catalog)
+
+    def test_exact_lookup(self, index):
+        occurrences = index.lookup("GO:0001")
+        relations = {o.relation for o in occurrences}
+        assert relations == {"go.term", "interpro.interpro2go"}
+
+    def test_lookup_missing(self, index):
+        assert index.lookup("NOPE") == ()
+        assert index.lookup("") == ()
+
+    def test_substring_lookup(self, index):
+        occurrences = index.lookup_substring("membrane")
+        assert any(o.value == "plasma membrane" for o in occurrences)
+
+    def test_substring_limit(self, index):
+        assert len(index.lookup_substring("GO:", limit=2)) == 2
+
+    def test_attribute_values(self, index):
+        values = index.attribute_values("go.term", "acc")
+        assert values == {"GO:0001", "GO:0002", "GO:0003"}
+
+    def test_attributes_with_value(self, index):
+        pairs = index.attributes_with_value("IPR001")
+        assert ("interpro.entry", "entry_ac") in pairs
+        assert ("interpro.interpro2go", "entry_ac") in pairs
+
+    def test_overlap(self, index):
+        assert index.overlap("go.term", "acc", "interpro.interpro2go", "go_id") == 2
+        assert index.has_overlap("go.term", "acc", "interpro.interpro2go", "go_id")
+        assert not index.has_overlap("go.term", "name", "interpro.pub", "pub_id")
+
+    def test_distinct_count_positive(self, index):
+        assert index.distinct_value_count > 5
+        assert ("go.term", "acc") in index.indexed_attributes()
+
+
+class TestTokenIndex:
+    def test_from_catalog_counts(self, mini_catalog):
+        index = TokenIndex.from_catalog(mini_catalog, include_values=False)
+        assert index.document_frequency("entry") >= 2  # relation + attribute labels
+        assert index.document_frequency("unseen") == 0
+
+    def test_replacing_document(self):
+        index = TokenIndex()
+        index.add_document("d1", "alpha beta")
+        index.add_document("d1", "gamma")
+        assert index.document_count == 1
+        assert index.document_frequency("alpha") == 0
+        assert index.tokens("d1") == {"gamma"}
+        assert index.tokens("missing") == set()
+
+
+class TestCsvIO:
+    def test_relation_roundtrip(self, tmp_path):
+        csv_path = tmp_path / "entry.csv"
+        csv_path.write_text("entry_ac,name\nIPR001,Kinase\nIPR002,Zinc finger\n")
+        schema, rows = load_relation_csv(csv_path)
+        assert schema.name == "entry"
+        assert schema.attribute_names == ("entry_ac", "name")
+        assert rows[1]["name"] == "Zinc finger"
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            load_relation_csv(path)
+
+    def test_bad_arity_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(DataError):
+            load_relation_csv(path)
+
+    def test_source_directory_roundtrip(self, tmp_path, mini_catalog):
+        source = mini_catalog.source("interpro")
+        out_dir = tmp_path / "interpro"
+        written = save_source_to_csv_dir(source, out_dir)
+        assert len(written) == 4
+        loaded = load_source_from_csv_dir(out_dir)
+        assert loaded.name == "interpro"
+        assert loaded.relation_count == 4
+        assert loaded.table("entry").distinct_values("entry_ac") == {"IPR001", "IPR002"}
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(DataError):
+            load_source_from_csv_dir(tmp_path / "nope")
+
+    def test_load_empty_directory(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(DataError):
+            load_source_from_csv_dir(empty)
+
+
+class TestDictAndJsonIO:
+    def test_source_dict_roundtrip(self, mini_catalog):
+        source = mini_catalog.source("interpro")
+        payload = source_to_dict(source)
+        restored = source_from_dict(payload)
+        assert restored.name == source.name
+        assert restored.relation_count == source.relation_count
+        assert restored.row_count == source.row_count
+        assert len(restored.schema.foreign_keys) == len(source.schema.foreign_keys)
+
+    def test_catalog_json_roundtrip(self, tmp_path, mini_catalog):
+        path = save_catalog_json(mini_catalog, tmp_path / "catalog.json")
+        loaded = load_catalog_json(path)
+        assert loaded.source_count == mini_catalog.source_count
+        assert loaded.relation("go.term").distinct_values("acc") == {
+            "GO:0001",
+            "GO:0002",
+            "GO:0003",
+        }

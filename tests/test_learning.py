@@ -1,0 +1,313 @@
+"""Unit tests for feedback generalization, loss functions, binning, Hildreth QP and MIRA."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastore.provenance import AnswerTuple, TupleProvenance
+from repro.exceptions import FeedbackError, LearningError
+from repro.graph import (
+    Edge,
+    EdgeKind,
+    FeatureVector,
+    Node,
+    NodeKind,
+    SearchGraph,
+    WeightVector,
+    edge_feature,
+    matcher_feature,
+)
+from repro.learning import (
+    AnnotationKind,
+    AnswerAnnotation,
+    FeatureBinner,
+    FeedbackEvent,
+    FeedbackGeneralizer,
+    FeedbackLog,
+    LinearConstraint,
+    OnlineLearner,
+    hildreth_solve,
+    normalized_edge_loss,
+    symmetric_edge_loss,
+    tree_feature_vector,
+    zero_one_loss,
+)
+from repro.steiner import SteinerTree, k_best_steiner_trees
+
+
+def build_parallel_edge_graph():
+    """Two terminals connected by three parallel association edges of different cost."""
+    graph = SearchGraph()
+    for name in ("s", "t"):
+        graph.add_node(Node(node_id=name, kind=NodeKind.RELATION, label=name, relation=name))
+    edges = []
+    for index, cost in enumerate((1.0, 2.0, 3.0)):
+        edge = Edge.create("s", "t", EdgeKind.ASSOCIATION)
+        edge.features = FeatureVector({edge_feature(edge.edge_id): 1.0})
+        graph.weights.set(edge_feature(edge.edge_id), cost)
+        graph.add_edge(edge)
+        edges.append(edge)
+    return graph, edges
+
+
+class TestLossFunctions:
+    def setup_method(self):
+        self.tree_a = SteinerTree(frozenset({"e1", "e2"}), frozenset({"t"}), 1.0)
+        self.tree_b = SteinerTree(frozenset({"e2", "e3"}), frozenset({"t"}), 2.0)
+
+    def test_symmetric_loss(self):
+        assert symmetric_edge_loss(self.tree_a, self.tree_b) == 2.0
+        assert symmetric_edge_loss(self.tree_a, self.tree_a) == 0.0
+
+    def test_normalized_loss(self):
+        assert normalized_edge_loss(self.tree_a, self.tree_b) == pytest.approx(2 / 3)
+        empty = SteinerTree(frozenset(), frozenset({"t"}), 0.0)
+        assert normalized_edge_loss(empty, empty) == 0.0
+
+    def test_zero_one_loss(self):
+        assert zero_one_loss(self.tree_a, self.tree_b) == 1.0
+        assert zero_one_loss(self.tree_a, self.tree_a) == 0.0
+
+
+class TestHildrethSolver:
+    def test_no_constraints_returns_copy(self):
+        weights = WeightVector({"a": 1.0})
+        result = hildreth_solve(weights, [])
+        assert result.as_dict() == {"a": 1.0}
+        assert result is not weights
+
+    def test_single_constraint_projection(self):
+        weights = WeightVector({"a": 0.0})
+        constraint = LinearConstraint({"a": 1.0}, 2.0)
+        result = hildreth_solve(weights, [constraint])
+        assert result.get("a") == pytest.approx(2.0, abs=1e-6)
+
+    def test_satisfied_constraint_leaves_weights(self):
+        weights = WeightVector({"a": 5.0})
+        constraint = LinearConstraint({"a": 1.0}, 2.0)
+        result = hildreth_solve(weights, [constraint])
+        assert result.get("a") == pytest.approx(5.0)
+
+    def test_multiple_constraints(self):
+        weights = WeightVector({})
+        constraints = [
+            LinearConstraint({"a": 1.0}, 1.0),
+            LinearConstraint({"b": 1.0}, 2.0),
+            LinearConstraint({"a": 1.0, "b": 1.0}, 2.0),
+        ]
+        result = hildreth_solve(weights, constraints)
+        assert result.get("a") >= 1.0 - 1e-6
+        assert result.get("b") >= 2.0 - 1e-6
+
+    def test_violation_and_norm(self):
+        constraint = LinearConstraint({"a": 2.0}, 4.0)
+        assert constraint.violation(WeightVector({"a": 1.0})) == pytest.approx(2.0)
+        assert constraint.squared_norm() == pytest.approx(4.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 3.0), st.floats(-2.0, 2.0)), min_size=1, max_size=5
+        )
+    )
+    def test_constraints_satisfied_property(self, specs):
+        # Single-variable constraints coeff * w >= bound are always feasible
+        # when all coefficients are positive.
+        constraints = [LinearConstraint({"w": coeff}, bound) for coeff, bound in specs]
+        result = hildreth_solve(WeightVector({}), constraints, max_iterations=500)
+        for constraint in constraints:
+            assert constraint.violation(result) <= 1e-5
+
+
+class TestTreeFeatureVector:
+    def test_aggregates_learnable_and_fixed(self, mini_graph):
+        association = mini_graph.association_edges()[0]
+        membership = mini_graph.edges(EdgeKind.MEMBERSHIP)[0]
+        tree = SteinerTree(
+            frozenset({association.edge_id, membership.edge_id}), frozenset(), 0.0
+        )
+        phi, fixed = tree_feature_vector(mini_graph, tree)
+        assert fixed == 0.0  # membership edges cost 0
+        assert phi.get(matcher_feature("mad")) == pytest.approx(0.9)
+        assert phi.get("default") == pytest.approx(1.0)
+
+
+class TestOnlineLearner:
+    def test_promoting_expensive_edge_changes_ranking(self):
+        graph, edges = build_parallel_edge_graph()
+        terminals = ["s", "t"]
+        before = k_best_steiner_trees(graph, terminals, 1)[0]
+        assert edges[0].edge_id in before.edge_ids
+
+        target = SteinerTree.from_edges(graph, [edges[2].edge_id], terminals)
+        learner = OnlineLearner(graph, k=3)
+        result = learner.process(FeedbackEvent(terminals=tuple(terminals), target_tree=target))
+        assert result.constraints > 0
+        assert result.weight_change > 0
+        after = k_best_steiner_trees(graph, terminals, 1)[0]
+        assert after.edge_ids == target.edge_ids
+
+    def test_margin_between_target_and_alternatives(self):
+        graph, edges = build_parallel_edge_graph()
+        terminals = ["s", "t"]
+        target = SteinerTree.from_edges(graph, [edges[1].edge_id], terminals)
+        OnlineLearner(graph, k=3).process(
+            FeedbackEvent(terminals=tuple(terminals), target_tree=target)
+        )
+        target_cost = target.recost(graph).cost
+        for edge in (edges[0], edges[2]):
+            other = SteinerTree.from_edges(graph, [edge.edge_id], terminals)
+            # symmetric loss between two single-edge trees is 2
+            assert other.cost - target_cost >= 2.0 - 1e-4
+
+    def test_edge_costs_stay_positive(self):
+        graph, edges = build_parallel_edge_graph()
+        terminals = ["s", "t"]
+        target = SteinerTree.from_edges(graph, [edges[2].edge_id], terminals)
+        learner = OnlineLearner(graph, k=3, positive_margin=0.01)
+        learner.replay([FeedbackEvent(terminals=tuple(terminals), target_tree=target)], 3)
+        for edge in graph.learnable_edges():
+            assert graph.edge_cost(edge) >= 0.01 - 1e-6
+
+    def test_demoted_tree_constraint(self):
+        graph, edges = build_parallel_edge_graph()
+        terminals = ["s", "t"]
+        target = SteinerTree.from_edges(graph, [edges[1].edge_id], terminals)
+        demoted = SteinerTree.from_edges(graph, [edges[0].edge_id], terminals)
+        OnlineLearner(graph, k=1).process(
+            FeedbackEvent(terminals=tuple(terminals), target_tree=target, demoted_tree=demoted)
+        )
+        assert demoted.recost(graph).cost > target.recost(graph).cost
+
+    def test_missing_terminals_raise(self):
+        graph, edges = build_parallel_edge_graph()
+        target = SteinerTree.from_edges(graph, [edges[0].edge_id], ["s", "t"])
+        learner = OnlineLearner(graph)
+        with pytest.raises(LearningError):
+            learner.process(FeedbackEvent(terminals=("missing",), target_tree=target))
+
+    def test_process_stream_counts_steps(self):
+        graph, edges = build_parallel_edge_graph()
+        terminals = ("s", "t")
+        target = SteinerTree.from_edges(graph, [edges[1].edge_id], terminals)
+        learner = OnlineLearner(graph, k=2)
+        learner.process_stream(
+            [FeedbackEvent(terminals=terminals, target_tree=target)] * 3
+        )
+        assert learner.steps_processed == 3
+        assert learner.replay([], 5) == []
+
+
+class TestFeedbackGeneralization:
+    def _answer(self, query_id: str) -> AnswerTuple:
+        return AnswerTuple(
+            values={"x": "1"},
+            cost=1.0,
+            provenance=TupleProvenance(query_id=query_id, query_cost=1.0),
+        )
+
+    def setup_method(self):
+        self.tree_a = SteinerTree(frozenset({"e1"}), frozenset({"kw"}), 1.0)
+        self.tree_b = SteinerTree(frozenset({"e2"}), frozenset({"kw"}), 2.0)
+        self.generalizer = FeedbackGeneralizer(
+            ["kw"], {"qa": self.tree_a, "qb": self.tree_b}
+        )
+
+    def test_valid_annotation_promotes_tree(self):
+        event = self.generalizer.generalize(
+            AnswerAnnotation(self._answer("qa"), AnnotationKind.VALID)
+        )
+        assert event.target_tree is self.tree_a
+        assert event.demoted_tree is None
+
+    def test_invalid_annotation_prefers_alternative(self):
+        event = self.generalizer.generalize(
+            AnswerAnnotation(self._answer("qa"), AnnotationKind.INVALID)
+        )
+        assert event.target_tree is self.tree_b
+        assert event.demoted_tree is self.tree_a
+
+    def test_invalid_without_alternative_raises(self):
+        lonely = FeedbackGeneralizer(["kw"], {"qa": self.tree_a})
+        with pytest.raises(FeedbackError):
+            lonely.generalize(AnswerAnnotation(self._answer("qa"), AnnotationKind.INVALID))
+
+    def test_preference_annotation(self):
+        event = self.generalizer.generalize(
+            AnswerAnnotation(
+                self._answer("qb"), AnnotationKind.PREFERRED_OVER, other=self._answer("qa")
+            )
+        )
+        assert event.target_tree is self.tree_b
+        assert event.demoted_tree is self.tree_a
+
+    def test_preference_requires_other(self):
+        with pytest.raises(FeedbackError):
+            self.generalizer.generalize(
+                AnswerAnnotation(self._answer("qa"), AnnotationKind.PREFERRED_OVER)
+            )
+
+    def test_unknown_query_id(self):
+        with pytest.raises(FeedbackError):
+            self.generalizer.generalize(
+                AnswerAnnotation(self._answer("unknown"), AnnotationKind.VALID)
+            )
+
+    def test_missing_provenance(self):
+        with pytest.raises(FeedbackError):
+            self.generalizer.generalize(
+                AnswerAnnotation(AnswerTuple(values={}), AnnotationKind.VALID)
+            )
+
+
+class TestFeedbackLog:
+    def test_sliding_window(self):
+        log = FeedbackLog(window_size=2)
+        tree = SteinerTree(frozenset(), frozenset(), 0.0)
+        for i in range(4):
+            log.add(FeedbackEvent(terminals=(f"k{i}",), target_tree=tree))
+        assert len(log) == 2
+        assert [e.terminals for e in log] == [("k2",), ("k3",)]
+
+    def test_replay_sequence(self):
+        log = FeedbackLog()
+        tree = SteinerTree(frozenset(), frozenset(), 0.0)
+        log.add(FeedbackEvent(terminals=("a",), target_tree=tree))
+        assert len(log.replay_sequence(3)) == 3
+        assert log.replay_sequence(0) == []
+
+
+class TestFeatureBinner:
+    def test_bin_index_and_center(self):
+        binner = FeatureBinner(num_bins=4)
+        assert binner.bin_index(-1.0) == 0
+        assert binner.bin_index(0.1) == 0
+        assert binner.bin_index(0.49) == 1
+        assert binner.bin_index(1.5) == 3
+        assert binner.bin_center(0) == pytest.approx(0.125)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FeatureBinner(num_bins=0)
+        with pytest.raises(ValueError):
+            FeatureBinner(lower=1.0, upper=0.0)
+
+    def test_bin_vector_replaces_selected_features(self):
+        binner = FeatureBinner(num_bins=2)
+        features = FeatureVector({matcher_feature("mad"): 0.9, "default": 1.0})
+        binned = binner.bin_vector(features, [matcher_feature("mad")])
+        assert matcher_feature("mad") not in binned
+        assert binned.get("default") == 1.0
+        assert any(name.startswith("bin::") for name in binned.features())
+
+    def test_apply_to_graph_preserves_costs(self, mini_graph):
+        edge = mini_graph.association_edges()[0]
+        cost_before = mini_graph.edge_cost(edge)
+        rewritten = FeatureBinner(num_bins=5).apply_to_graph(mini_graph)
+        assert rewritten >= 1
+        cost_after = mini_graph.edge_cost(edge)
+        # Bin centers approximate the original confidence, so the cost moves
+        # by at most half a bin width times the matcher weight.
+        assert cost_after == pytest.approx(cost_before, abs=0.06)

@@ -1,0 +1,194 @@
+"""Unit tests for the conjunctive query model, the executor and SQL rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datastore.executor import QueryExecutor
+from repro.datastore.query import ConjunctiveQuery, SelectionPredicate
+from repro.datastore.sqlgen import query_to_sql, union_to_sql
+from repro.exceptions import QueryError
+
+
+def make_join_query(cost: float = 1.0) -> ConjunctiveQuery:
+    query = ConjunctiveQuery(cost=cost, provenance="q1")
+    query.add_atom("go.term", "t")
+    query.add_atom("interpro.interpro2go", "i2g")
+    query.add_join("t", "acc", "i2g", "go_id")
+    query.add_output("t", "name", "term_name")
+    query.add_output("i2g", "entry_ac", "entry_ac")
+    return query
+
+
+class TestConjunctiveQuery:
+    def test_duplicate_alias_rejected(self):
+        query = ConjunctiveQuery()
+        query.add_atom("go.term", "t")
+        with pytest.raises(QueryError):
+            query.add_atom("interpro.entry", "t")
+
+    def test_unbound_alias_rejected(self):
+        query = ConjunctiveQuery()
+        query.add_atom("go.term", "t")
+        with pytest.raises(QueryError):
+            query.add_join("t", "acc", "missing", "go_id")
+        with pytest.raises(QueryError):
+            query.add_selection("missing", "acc", "GO:0001")
+        with pytest.raises(QueryError):
+            query.add_output("missing", "acc")
+
+    def test_validate_empty_query(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery().validate()
+
+    def test_invalid_selection_mode(self):
+        with pytest.raises(QueryError):
+            SelectionPredicate("t", "acc", "x", mode="regex")
+
+    def test_introspection(self):
+        query = make_join_query()
+        assert query.relations() == ("go.term", "interpro.interpro2go")
+        assert query.alias_map()["t"] == "go.term"
+        assert query.output_labels() == ("term_name", "entry_ac")
+        query.rename_output(0, "name")
+        assert query.output_labels()[0] == "name"
+
+
+class TestQueryExecutor:
+    def test_simple_join(self, mini_catalog):
+        executor = QueryExecutor(mini_catalog)
+        answers = executor.execute(make_join_query())
+        assert len(answers) == 2
+        values = {(a["term_name"], a["entry_ac"]) for a in answers}
+        assert ("plasma membrane", "IPR001") in values
+        assert ("nucleus", "IPR002") in values
+
+    def test_selection_keyword_mode(self, mini_catalog):
+        query = make_join_query()
+        query.add_selection("t", "name", "membrane")
+        answers = QueryExecutor(mini_catalog).execute(query)
+        assert len(answers) == 1
+        assert answers[0]["term_name"] == "plasma membrane"
+
+    def test_selection_equals_mode(self, mini_catalog):
+        query = make_join_query()
+        query.add_selection("t", "acc", "GO:0002", mode="equals")
+        answers = QueryExecutor(mini_catalog).execute(query)
+        assert len(answers) == 1
+        assert answers[0]["entry_ac"] == "IPR002"
+
+    def test_selection_contains_mode(self, mini_catalog):
+        query = make_join_query()
+        query.add_selection("t", "name", "MEMBRANE", mode="contains")
+        answers = QueryExecutor(mini_catalog).execute(query)
+        assert len(answers) == 1
+
+    def test_three_way_join(self, mini_catalog):
+        query = ConjunctiveQuery(cost=2.0, provenance="q3")
+        query.add_atom("interpro.entry", "e")
+        query.add_atom("interpro.entry2pub", "e2p")
+        query.add_atom("interpro.pub", "p")
+        query.add_join("e", "entry_ac", "e2p", "entry_ac")
+        query.add_join("e2p", "pub_id", "p", "pub_id")
+        query.add_output("e", "name", "entry_name")
+        query.add_output("p", "title", "title")
+        answers = QueryExecutor(mini_catalog).execute(query)
+        assert {(a["entry_name"], a["title"]) for a in answers} == {
+            ("Kinase domain", "Kinase domain structure"),
+            ("Zinc finger", "Zinc finger review"),
+        }
+
+    def test_empty_join_produces_no_answers(self, mini_catalog):
+        query = ConjunctiveQuery()
+        query.add_atom("go.term", "t")
+        query.add_atom("interpro.pub", "p")
+        query.add_join("t", "name", "p", "title")  # no shared values
+        assert QueryExecutor(mini_catalog).execute(query) == []
+
+    def test_no_outputs_returns_all_columns(self, mini_catalog):
+        query = ConjunctiveQuery()
+        query.add_atom("go.term", "t")
+        answers = QueryExecutor(mini_catalog).execute(query)
+        assert len(answers) == 3
+        assert "t.acc" in answers[0].values
+
+    def test_limit(self, mini_catalog):
+        query = ConjunctiveQuery()
+        query.add_atom("go.term", "t")
+        answers = QueryExecutor(mini_catalog).execute(query, limit=1)
+        assert len(answers) == 1
+
+    def test_provenance_attached(self, mini_catalog):
+        answers = QueryExecutor(mini_catalog).execute(make_join_query(cost=3.5))
+        provenance = answers[0].provenance
+        assert provenance is not None
+        assert provenance.query_id == "q1"
+        assert provenance.query_cost == 3.5
+        assert any(rel == "go.term" for rel, _ in provenance.base_tuples)
+        assert provenance.involves_relation("go.term")
+        assert answers[0].cost == 3.5
+
+    def test_answer_key_stable(self, mini_catalog):
+        answers_a = QueryExecutor(mini_catalog).execute(make_join_query())
+        answers_b = QueryExecutor(mini_catalog).execute(make_join_query())
+        assert {a.key() for a in answers_a} == {b.key() for b in answers_b}
+
+
+class TestDisjointUnion:
+    def test_union_aligns_compatible_columns(self, mini_catalog):
+        cheap = make_join_query(cost=1.0)
+        expensive = ConjunctiveQuery(cost=2.0, provenance="q2")
+        expensive.add_atom("interpro.entry", "e")
+        expensive.add_output("e", "name", "entry_name")
+        expensive.add_output("e", "entry_ac", "entry_ac")
+        answers = QueryExecutor(mini_catalog).execute_union([expensive, cheap])
+        # All answers share one unified schema and are sorted by cost.
+        assert [a.cost for a in answers] == sorted(a.cost for a in answers)
+        columns = set(answers[0].values.keys())
+        for answer in answers:
+            assert set(answer.values.keys()) == columns
+        # entry_ac from both queries lands in the same column.
+        assert "entry_ac" in columns
+
+    def test_union_limit(self, mini_catalog):
+        answers = QueryExecutor(mini_catalog).execute_union([make_join_query()], limit=1)
+        assert len(answers) == 1
+
+    def test_union_custom_compatibility(self, mini_catalog):
+        q1 = make_join_query(cost=1.0)
+        q2 = ConjunctiveQuery(cost=2.0, provenance="q2")
+        q2.add_atom("interpro.entry", "e")
+        q2.add_output("e", "name", "entry_label")
+        answers = QueryExecutor(mini_catalog).execute_union(
+            [q1, q2], compatible=lambda a, b: {a, b} == {"entry_label", "term_name"}
+        )
+        columns = set(answers[0].values.keys())
+        assert "entry_label" not in columns  # renamed onto term_name
+
+
+class TestSqlGeneration:
+    def test_single_query_sql(self):
+        sql = query_to_sql(make_join_query(cost=1.25))
+        assert 'FROM "go.term" AS "t"' in sql
+        assert '"t"."acc" = "i2g"."go_id"' in sql
+        assert "1.250000" in sql
+
+    def test_selection_rendering(self):
+        query = make_join_query()
+        query.add_selection("t", "name", "plasma membrane", mode="keyword")
+        query.add_selection("t", "acc", "GO:0001", mode="equals")
+        query.add_selection("t", "name", "mem", mode="contains")
+        sql = query_to_sql(query, include_cost=False)
+        assert "LIKE '%plasma%'" in sql
+        assert "= 'GO:0001'" in sql
+        assert "LIKE '%mem%'" in sql
+
+    def test_union_sql_pads_missing_columns(self):
+        q1 = make_join_query(cost=1.0)
+        q2 = ConjunctiveQuery(cost=2.0, provenance="q2")
+        q2.add_atom("interpro.pub", "p")
+        q2.add_output("p", "title", "title")
+        sql = union_to_sql([q2, q1])
+        assert "UNION ALL" in sql
+        assert "NULL" in sql
+        assert sql.strip().endswith('ORDER BY "_cost" ASC')

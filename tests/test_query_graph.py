@@ -1,0 +1,79 @@
+"""Unit tests for keyword query-graph expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    EdgeKind,
+    NodeKind,
+    QueryGraphBuilder,
+    SearchGraph,
+    keyword_node_id,
+)
+
+
+@pytest.fixture()
+def builder(mini_catalog) -> QueryGraphBuilder:
+    return QueryGraphBuilder(mini_catalog)
+
+
+class TestQueryGraphExpansion:
+    def test_keyword_nodes_added(self, mini_graph, builder):
+        expanded = builder.expand(mini_graph, ["membrane", "title"])
+        assert set(expanded.keyword_nodes) == {"membrane", "title"}
+        assert len(expanded.terminals) == 2
+        for terminal in expanded.terminals:
+            assert expanded.graph.node(terminal).kind is NodeKind.KEYWORD
+
+    def test_base_graph_not_mutated(self, mini_graph, builder):
+        nodes_before = mini_graph.node_count
+        edges_before = mini_graph.edge_count
+        builder.expand(mini_graph, ["membrane"])
+        assert mini_graph.node_count == nodes_before
+        assert mini_graph.edge_count == edges_before
+
+    def test_schema_label_match(self, mini_graph, builder):
+        expanded = builder.expand(mini_graph, ["title"])
+        matches = expanded.matches_for("title")
+        matched_kinds = {m.target_kind for m in matches}
+        assert NodeKind.ATTRIBUTE in matched_kinds
+        # pub.title should be a perfect match with mismatch cost 0.
+        assert any(m.mismatch_cost == pytest.approx(0.0) for m in matches)
+
+    def test_value_match_creates_value_nodes(self, mini_graph, builder):
+        expanded = builder.expand(mini_graph, ["membrane"])
+        value_nodes = expanded.graph.nodes(NodeKind.VALUE)
+        assert any("plasma membrane" in n.label for n in value_nodes)
+        # Value nodes hang off their attribute by a zero-cost edge.
+        membership = expanded.graph.edges(EdgeKind.VALUE_MEMBERSHIP)
+        assert membership and all(e.fixed_cost == 0.0 for e in membership)
+
+    def test_keyword_match_edges_have_positive_cost(self, mini_graph, builder):
+        expanded = builder.expand(mini_graph, ["membrane", "title"])
+        for edge in expanded.graph.edges(EdgeKind.KEYWORD_MATCH):
+            assert expanded.graph.edge_cost(edge) > 0.0
+
+    def test_unmatched_keyword_still_gets_node(self, mini_graph, builder):
+        expanded = builder.expand(mini_graph, ["zzz_unmatchable"])
+        node_id = keyword_node_id("zzz_unmatchable")
+        assert expanded.graph.has_node(node_id)
+        assert expanded.matches_for("zzz_unmatchable") == []
+
+    def test_exact_value_match_preferred(self, mini_graph, builder):
+        expanded = builder.expand(mini_graph, ["GO:0001"])
+        matches = expanded.matches_for("GO:0001")
+        assert matches, "identifier keyword should match indexed values"
+        assert any(m.target_kind is NodeKind.VALUE for m in matches)
+
+    def test_max_value_matches_cap(self, mini_catalog, mini_graph):
+        capped = QueryGraphBuilder(mini_catalog, max_value_matches=1)
+        expanded = capped.expand(mini_graph, ["GO"])
+        value_matches = [
+            m for m in expanded.matches_for("GO") if m.target_kind is NodeKind.VALUE
+        ]
+        assert len(value_matches) <= 1
+
+    def test_shared_weight_vector(self, mini_graph, builder):
+        expanded = builder.expand(mini_graph, ["membrane"])
+        assert expanded.graph.weights is mini_graph.weights

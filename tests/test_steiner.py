@@ -1,0 +1,185 @@
+"""Unit and property tests for the Steiner tree algorithms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SteinerError
+from repro.graph import Edge, EdgeKind, FeatureVector, Node, NodeKind, SearchGraph, edge_feature
+from repro.steiner import (
+    KBestSteiner,
+    SteinerTree,
+    approximate_steiner_tree,
+    default_solver,
+    exact_steiner_tree,
+    k_best_steiner_trees,
+    validate_terminals,
+)
+
+
+def build_weighted_graph(edges):
+    """Build a SearchGraph from (u, v, cost) triples over generic nodes."""
+    graph = SearchGraph()
+    nodes = {u for u, _, _ in edges} | {v for _, v, _ in edges}
+    for name in nodes:
+        graph.add_node(Node(node_id=name, kind=NodeKind.RELATION, label=name, relation=name))
+    for u, v, cost in edges:
+        edge = Edge.create(u, v, EdgeKind.ASSOCIATION)
+        edge.features = FeatureVector({edge_feature(edge.edge_id): 1.0})
+        graph.weights.set(edge_feature(edge.edge_id), cost)
+        graph.add_edge(edge)
+    return graph
+
+
+@pytest.fixture()
+def diamond_graph() -> SearchGraph:
+    """a-b-d and a-c-d paths plus an expensive direct a-d edge."""
+    return build_weighted_graph(
+        [
+            ("a", "b", 1.0),
+            ("b", "d", 1.0),
+            ("a", "c", 2.0),
+            ("c", "d", 2.0),
+            ("a", "d", 5.0),
+        ]
+    )
+
+
+class TestExactSteiner:
+    def test_two_terminals_is_shortest_path(self, diamond_graph):
+        tree = exact_steiner_tree(diamond_graph, ["a", "d"])
+        assert tree.cost == pytest.approx(2.0)
+        assert len(tree.edge_ids) == 2
+        assert tree.is_connected_tree(diamond_graph)
+
+    def test_single_terminal(self, diamond_graph):
+        tree = exact_steiner_tree(diamond_graph, ["a"])
+        assert tree.cost == 0.0
+        assert tree.edge_ids == frozenset()
+
+    def test_three_terminals(self, diamond_graph):
+        tree = exact_steiner_tree(diamond_graph, ["a", "c", "d"])
+        assert tree.is_connected_tree(diamond_graph)
+        # best solution: a-b-d (2.0) + d-c (2.0) or a-c + c-d = 4.0 either way
+        assert tree.cost == pytest.approx(4.0)
+
+    def test_disconnected_terminals_raise(self):
+        graph = build_weighted_graph([("a", "b", 1.0), ("c", "d", 1.0)])
+        with pytest.raises(SteinerError):
+            exact_steiner_tree(graph, ["a", "c"])
+
+    def test_too_many_terminals_guard(self, diamond_graph):
+        with pytest.raises(SteinerError):
+            exact_steiner_tree(diamond_graph, ["a", "b", "c", "d"], max_terminals=2)
+
+    def test_unknown_terminal(self, diamond_graph):
+        with pytest.raises(SteinerError):
+            exact_steiner_tree(diamond_graph, ["a", "zzz"])
+
+    def test_validate_terminals_dedup(self, diamond_graph):
+        assert validate_terminals(diamond_graph, ["a", "a", "b"]) == ("a", "b")
+        with pytest.raises(SteinerError):
+            validate_terminals(diamond_graph, [])
+
+
+class TestApproximateSteiner:
+    def test_matches_exact_on_small_graph(self, diamond_graph):
+        exact = exact_steiner_tree(diamond_graph, ["a", "d"])
+        approx = approximate_steiner_tree(diamond_graph, ["a", "d"])
+        assert approx.is_connected_tree(diamond_graph)
+        assert approx.cost >= exact.cost - 1e-9
+
+    def test_disconnected_raise(self):
+        graph = build_weighted_graph([("a", "b", 1.0), ("c", "d", 1.0)])
+        with pytest.raises(SteinerError):
+            approximate_steiner_tree(graph, ["a", "d"])
+
+    def test_prunes_nonterminal_leaves(self):
+        graph = build_weighted_graph(
+            [("a", "b", 1.0), ("b", "c", 1.0), ("b", "x", 0.1)]
+        )
+        tree = approximate_steiner_tree(graph, ["a", "c"])
+        nodes = tree.nodes(graph)
+        assert "x" not in nodes
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_approximation_never_beats_exact_property(self, seed):
+        rng = random.Random(seed)
+        names = [f"n{i}" for i in range(8)]
+        edges = []
+        # random connected graph: chain + random extra edges
+        for i in range(1, len(names)):
+            edges.append((names[i - 1], names[i], rng.uniform(0.1, 3.0)))
+        for _ in range(6):
+            u, v = rng.sample(names, 2)
+            edges.append((u, v, rng.uniform(0.1, 3.0)))
+        graph = build_weighted_graph(edges)
+        terminals = rng.sample(names, 3)
+        exact = exact_steiner_tree(graph, terminals)
+        approx = approximate_steiner_tree(graph, terminals)
+        assert exact.is_connected_tree(graph)
+        assert approx.is_connected_tree(graph)
+        assert approx.cost >= exact.cost - 1e-9
+        # KMB guarantee: at most 2x the optimum.
+        assert approx.cost <= 2 * exact.cost + 1e-9
+
+
+class TestTopK:
+    def test_first_tree_is_optimal(self, diamond_graph):
+        trees = k_best_steiner_trees(diamond_graph, ["a", "d"], 3)
+        exact = exact_steiner_tree(diamond_graph, ["a", "d"])
+        assert trees[0].cost == pytest.approx(exact.cost)
+
+    def test_trees_are_distinct_and_sorted(self, diamond_graph):
+        trees = k_best_steiner_trees(diamond_graph, ["a", "d"], 3)
+        assert len(trees) == 3
+        signatures = {t.edge_ids for t in trees}
+        assert len(signatures) == 3
+        costs = [t.cost for t in trees]
+        assert costs == sorted(costs)
+        # the three a-d interpretations: via b (2), via c (4), direct (5)
+        assert costs == pytest.approx([2.0, 4.0, 5.0])
+
+    def test_k_larger_than_alternatives(self, diamond_graph):
+        trees = k_best_steiner_trees(diamond_graph, ["a", "d"], 50)
+        assert 3 <= len(trees) <= 50
+
+    def test_invalid_k(self, diamond_graph):
+        with pytest.raises(ValueError):
+            KBestSteiner().solve(diamond_graph, ["a", "d"], 0)
+
+    def test_disconnected_returns_empty(self):
+        graph = build_weighted_graph([("a", "b", 1.0), ("c", "d", 1.0)])
+        assert KBestSteiner().solve(graph, ["a", "c"], 3) == []
+
+    def test_default_solver_dispatch(self, diamond_graph):
+        tree = default_solver(diamond_graph, ["a", "b", "c", "d"], exact_terminal_limit=3)
+        assert tree.is_connected_tree(diamond_graph)
+
+
+class TestSteinerTreeObject:
+    def test_symmetric_difference(self, diamond_graph):
+        trees = k_best_steiner_trees(diamond_graph, ["a", "d"], 2)
+        assert trees[0].symmetric_edge_difference(trees[0]) == 0
+        assert trees[0].symmetric_edge_difference(trees[1]) == 4
+
+    def test_recost_after_weight_change(self, diamond_graph):
+        tree = exact_steiner_tree(diamond_graph, ["a", "d"])
+        edge_id = next(iter(tree.edge_ids))
+        diamond_graph.weights.set(edge_feature(edge_id), 10.0)
+        recosted = tree.recost(diamond_graph)
+        assert recosted.cost > tree.cost
+
+    def test_contains_relation(self, diamond_graph):
+        tree = exact_steiner_tree(diamond_graph, ["a", "d"])
+        assert tree.contains_relation(diamond_graph, "a")
+        assert not tree.contains_relation(diamond_graph, "c")
+
+    def test_ordering(self, diamond_graph):
+        trees = k_best_steiner_trees(diamond_graph, ["a", "d"], 2)
+        assert trees[0] < trees[1]
