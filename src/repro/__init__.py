@@ -5,6 +5,8 @@ The package implements the Q system end to end:
 
 * :mod:`repro.datastore` — relational substrate (schemas, tables, catalogs,
   indexes, conjunctive query execution with provenance).
+* :mod:`repro.engine` — planned, indexed query execution: compiled
+  predicates, cardinality-ordered hash joins, shared scan/join-index caches.
 * :mod:`repro.similarity` — keyword / label similarity metrics.
 * :mod:`repro.graph` — search graph, query graph, feature-based edge costs.
 * :mod:`repro.steiner` — exact and approximate top-k Steiner trees.

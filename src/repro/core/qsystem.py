@@ -24,6 +24,7 @@ from ..alignment.registration import SourceRegistrar
 from ..alignment.view_based import ViewBasedAligner
 from ..datastore.database import Catalog, DataSource
 from ..datastore.provenance import AnswerTuple
+from ..engine.context import ExecutionContext
 from ..exceptions import QError, RegistrationError
 from ..graph.query_graph import QueryGraphBuilder
 from ..graph.search_graph import GraphConfig, SearchGraph
@@ -67,6 +68,9 @@ class QSystem:
         self.views: Dict[str, RankedView] = {}
         self.feedback_log = FeedbackLog(window_size=self.config.feedback_window)
         self._builder: Optional[QueryGraphBuilder] = None
+        # One execution context for the whole system: all views share its
+        # scan and join-index caches; registration events invalidate it.
+        self.engine_context = ExecutionContext(self.catalog)
         self.registrar.add_listener(self._on_registration)
 
     # ------------------------------------------------------------------
@@ -119,6 +123,7 @@ class QSystem:
             k=k or self.config.top_k,
             builder=self._query_builder(),
             answer_limit=self.config.answer_limit,
+            engine_context=self.engine_context,
         )
         view.refresh()
         view_name = name or " ".join(keywords)
@@ -227,10 +232,21 @@ class QSystem:
         return next(reversed(self.views.values()))  # type: ignore[call-overload]
 
     def _on_registration(self, source: DataSource, result: AlignmentResult) -> None:
-        # Hook point: views are refreshed by register_source after the
-        # registrar returns; the listener records nothing extra for now but
-        # keeps the architecture of Figure 1 explicit.
+        # A new source changes both the data and the graph structure: drop
+        # the engine's shared scan/join-index caches and every view's
+        # per-signature answer cache.  The views themselves are refreshed by
+        # register_source after the registrar returns.
         del source, result
+        self.engine_context.invalidate()
+        for view in self.views.values():
+            view.invalidate_cache()
+
+    def _on_learning_update(self, result) -> None:
+        # Edge costs moved: notify every view so its next refresh re-solves
+        # (cached query answers stay valid and are merely re-priced).
+        del result
+        for view in self.views.values():
+            view.on_weights_updated()
 
     # ------------------------------------------------------------------
     # Feedback
@@ -253,7 +269,11 @@ class QSystem:
         """
         event = view.annotate(answer, kind, other=other)
         self.feedback_log.add(event)
-        learner = OnlineLearner(view.query_graph.graph, k=self.config.top_k)
+        learner = OnlineLearner(
+            view.query_graph.graph,
+            k=self.config.top_k,
+            listeners=[self._on_learning_update],
+        )
         learner.replay([event], replay)
         self._refresh_all_views()
         return [event]
@@ -262,7 +282,11 @@ class QSystem:
         self, view: RankedView, events: Sequence[FeedbackEvent], repetitions: int = 1
     ) -> None:
         """Apply pre-built feedback events (used by the experiment harnesses)."""
-        learner = OnlineLearner(view.query_graph.graph, k=self.config.top_k)
+        learner = OnlineLearner(
+            view.query_graph.graph,
+            k=self.config.top_k,
+            listeners=[self._on_learning_update],
+        )
         for event in events:
             self.feedback_log.add(event)
         learner.replay(list(events), repetitions)

@@ -6,16 +6,29 @@ conjunctive queries generated from them, and the ranked union of their
 answers.  The view is kept up to date as the underlying search graph changes
 — new association edges from source registration, or new edge costs from
 feedback — by calling :meth:`RankedView.refresh`.
+
+Refreshes are *incremental*: the view diffs the newly solved trees against
+the previous generation by tree signature and only re-executes the
+conjunctive queries whose trees actually changed.  Unchanged trees reuse
+their cached answers (re-priced to the current tree cost — feedback moves
+costs without touching the joined tuples), and when neither the edge weights
+nor the query-graph structure changed since the last refresh, the Steiner
+solve itself is skipped.  Execution goes through the planned engine
+(:mod:`repro.engine`) whose :class:`~repro.engine.context.ExecutionContext`
+shares scan and join-index caches across the view's k queries (and across
+views, when the Q system supplies a shared context).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..datastore.database import Catalog
-from ..datastore.executor import QueryExecutor
 from ..datastore.provenance import AnswerTuple
+from ..engine.context import ExecutionContext
+from ..engine.executor import PlanExecutor, ranked_union
 from ..exceptions import QueryError
 from ..graph.query_graph import QueryGraph, QueryGraphBuilder
 from ..graph.search_graph import SearchGraph
@@ -46,6 +59,29 @@ class ViewState:
         return max(tree.cost for tree in self.trees)
 
 
+@dataclass
+class RefreshStats:
+    """Bookkeeping of the last refresh (what was reused vs recomputed)."""
+
+    solver_runs: int = 0
+    queries_executed: int = 0
+    queries_reused: int = 0
+
+
+@dataclass
+class _CachedAnswers:
+    """Raw (un-unioned) answers of one query, tagged with data versions.
+
+    ``table_versions`` entries carry the :class:`Table` *object* alongside
+    its version counter: a source re-registered under the same name yields
+    a different table whose version may coincide with the old one's, and
+    identity is what distinguishes them.
+    """
+
+    table_versions: Tuple[Tuple[str, object, int], ...]
+    answers: List[AnswerTuple]
+
+
 class RankedView:
     """A keyword query saved as a continuously maintained top-k view.
 
@@ -63,6 +99,11 @@ class RankedView:
         Number of query trees retained.
     builder:
         Optional query-graph builder (shared across views to reuse indexes).
+    engine_context:
+        Optional shared :class:`~repro.engine.context.ExecutionContext`; the
+        Q system passes one so all views share scan/join-index caches.
+    max_cached_queries:
+        Bound on the per-signature answer cache (LRU eviction).
     """
 
     def __init__(
@@ -73,6 +114,8 @@ class RankedView:
         k: int = 5,
         builder: Optional[QueryGraphBuilder] = None,
         answer_limit: Optional[int] = 200,
+        engine_context: Optional[ExecutionContext] = None,
+        max_cached_queries: int = 64,
     ) -> None:
         self.keywords = list(keywords)
         self.catalog = catalog
@@ -83,7 +126,16 @@ class RankedView:
         self.solver = KBestSteiner()
         self.query_graph: QueryGraph = self.builder.expand(graph, self.keywords)
         self.state = ViewState()
+        self.engine_context = engine_context if engine_context is not None else ExecutionContext(catalog)
+        self.executor = PlanExecutor(catalog, self.engine_context)
+        self.max_cached_queries = max_cached_queries
+        self.last_refresh = RefreshStats()
         self._trees_by_signature: Dict[str, SteinerTree] = {}
+        self._answer_cache: "OrderedDict[str, _CachedAnswers]" = OrderedDict()
+        self._cache_generation = self.engine_context.generation
+        # (weights version, structure version, terminals, k) of the last
+        # solve; refresh skips the solver when nothing it depends on moved.
+        self._solve_state: Optional[Tuple[int, int, Tuple[str, ...], int]] = None
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -96,23 +148,103 @@ class RankedView:
         :meth:`refresh`.
         """
         self.query_graph = self.builder.expand(self.base_graph, self.keywords)
+        self.invalidate_cache()
+
+    def invalidate_cache(self) -> None:
+        """Drop all cached per-query answers and force the next solve.
+
+        Called on structural events: query-graph rebuilds and new-source
+        registrations (the Q system wires the registrar's listener here).
+        """
+        self._answer_cache.clear()
+        self._solve_state = None
+
+    def on_weights_updated(self) -> None:
+        """Learning hook: edge costs changed, so the next refresh must re-solve.
+
+        Cached query answers stay valid — join results do not depend on edge
+        weights; they are merely re-priced on reuse.  (The weight-version
+        fast path would catch this anyway; the explicit hook keeps the
+        learner → view dependency visible and guards against weight vectors
+        swapped wholesale.)
+        """
+        self._solve_state = None
 
     def refresh(self, rebuild_graph: bool = False) -> ViewState:
-        """Recompute trees, queries and answers under the current costs."""
+        """Recompute trees, queries and answers under the current costs.
+
+        Incrementality: the Steiner solve is skipped when edge weights and
+        graph structure are unchanged; per-query answers are reused whenever
+        a tree with the same signature was already executed against the same
+        table versions.
+        """
         if rebuild_graph:
             self.rebuild_query_graph()
+        stats = RefreshStats()
         graph = self.query_graph.graph
         terminals = list(self.query_graph.terminals)
-        trees = self.solver.solve(graph, terminals, self.k) if terminals else []
-        generator = QueryGenerator(graph)
-        queries = generator.generate_all(trees)
-        executor = QueryExecutor(self.catalog)
-        answers = executor.execute_union(
-            [generated.query for generated in queries], limit=self.answer_limit
+        solve_state = (
+            graph.weights.version,
+            graph.structure_version,
+            tuple(terminals),
+            self.k,
         )
+        if self._solve_state == solve_state:
+            trees = self.state.trees
+            queries = self.state.queries
+        else:
+            trees = self.solver.solve(graph, terminals, self.k) if terminals else []
+            generator = QueryGenerator(graph)
+            queries = generator.generate_all(trees)
+            self._solve_state = solve_state
+            stats.solver_runs = 1
+
+        if self.engine_context.generation != self._cache_generation:
+            # The shared context was structurally invalidated (e.g. source
+            # registration); our cached answers may reference stale tables.
+            self._answer_cache.clear()
+            self._cache_generation = self.engine_context.generation
+
+        pairs = [(g.query, self._answers_for(g, stats)) for g in queries]
+        answers = ranked_union(pairs, limit=self.answer_limit)
+
         self.state = ViewState(trees=trees, queries=queries, answers=answers)
+        self.last_refresh = stats
         self._trees_by_signature = {g.signature: g.tree for g in queries}
         return self.state
+
+    def _answers_for(self, generated: GeneratedQuery, stats: RefreshStats) -> List[AnswerTuple]:
+        """Execute one generated query, or replay its cached answers.
+
+        Cache entries are keyed by tree signature and validated against the
+        data versions of every table the query touches, so table mutations
+        invalidate naturally.  On reuse the answers are re-priced to the
+        query's current cost (feedback moves tree costs without changing
+        which tuples join).
+        """
+        versions = self._table_versions(generated.query)
+        cached = self._answer_cache.get(generated.signature)
+        if cached is not None and cached.table_versions == versions:
+            self._answer_cache.move_to_end(generated.signature)
+            stats.queries_reused += 1
+            # No copying here: ranked_union builds fresh AnswerTuples (with
+            # the current query cost stamped on values and provenance) and
+            # never mutates its inputs.
+            return cached.answers
+        answers = self.executor.execute(generated.query)
+        self._answer_cache[generated.signature] = _CachedAnswers(versions, answers)
+        self._answer_cache.move_to_end(generated.signature)
+        while len(self._answer_cache) > self.max_cached_queries:
+            self._answer_cache.popitem(last=False)
+        stats.queries_executed += 1
+        return answers
+
+    def _table_versions(self, query) -> Tuple[Tuple[str, object, int], ...]:
+        entries = []
+        for relation in set(query.relations()):
+            table = self.catalog.relation(relation)
+            entries.append((relation, table, table.version))
+        return tuple(sorted(entries, key=lambda entry: entry[0]))
 
     # ------------------------------------------------------------------
     # Introspection

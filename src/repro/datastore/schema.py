@@ -148,6 +148,8 @@ class RelationSchema:
             )
         self._attributes.append(attr)
         self._by_name[attr.name] = attr
+        self._names_cache: Optional[Tuple[str, ...]] = None
+        self._index_cache: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -159,8 +161,11 @@ class RelationSchema:
 
     @property
     def attribute_names(self) -> Tuple[str, ...]:
-        """The relation's attribute names, in declaration order."""
-        return tuple(a.name for a in self._attributes)
+        """The relation's attribute names, in declaration order (cached)."""
+        cached = self._names_cache
+        if cached is None:
+            cached = self._names_cache = tuple(a.name for a in self._attributes)
+        return cached
 
     def attribute(self, name: str) -> Attribute:
         """Return the attribute called ``name``.
@@ -180,11 +185,20 @@ class RelationSchema:
         return name in self._by_name
 
     def attribute_index(self, name: str) -> int:
-        """Return the positional index of attribute ``name``."""
-        for i, attr in enumerate(self._attributes):
-            if attr.name == name:
-                return i
-        raise UnknownAttributeError(self.name, name)
+        """Return the positional index of attribute ``name`` (cached).
+
+        Hot path: every by-name cell access in a join probe goes through
+        here, so the name → position map is built once per schema.
+        """
+        cache = self._index_cache
+        if cache is None:
+            cache = self._index_cache = {
+                attr.name: i for i, attr in enumerate(self._attributes)
+            }
+        try:
+            return cache[name]
+        except KeyError:
+            raise UnknownAttributeError(self.name, name) from None
 
     @property
     def arity(self) -> int:

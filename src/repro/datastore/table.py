@@ -81,6 +81,10 @@ class Table:
         self.schema = schema
         self._rows: List[Row] = []
         self._distinct_cache: Dict[str, Set[str]] = {}
+        #: Monotonically increasing data version, bumped on every mutation.
+        #: External caches (e.g. the engine's join indexes) key on it so
+        #: that stale entries are detected without explicit invalidation.
+        self.version = 0
         if rows is not None:
             self.extend(rows)
 
@@ -93,6 +97,7 @@ class Table:
         stored = Row(self.schema, values, len(self._rows))
         self._rows.append(stored)
         self._distinct_cache.clear()
+        self.version += 1
         return stored
 
     def extend(self, rows: Iterable) -> None:

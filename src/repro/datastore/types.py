@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 import math
 import re
+from functools import lru_cache
 from typing import Any, Iterable, Optional
 
 
@@ -121,14 +122,24 @@ def is_null(value: Any) -> bool:
     return False
 
 
+@lru_cache(maxsize=131072)
+def _canonicalize_str(value: str) -> Optional[str]:
+    stripped = value.strip()
+    return stripped or None
+
+
 def canonicalize(value: Any) -> Optional[str]:
     """Return the canonical string form of ``value`` used for joins/overlap.
 
     Values are compared *textually* throughout the library (the paper joins
     on shared data values across heterogeneous sources, where one side may
     store ``42`` and the other ``"42"``).  Whitespace is stripped and case
-    preserved; null-like values canonicalize to ``None``.
+    preserved; null-like values canonicalize to ``None``.  The string fast
+    path is memoized — joins and index builds canonicalize the same cell
+    values constantly.
     """
+    if type(value) is str:
+        return _canonicalize_str(value)
     if is_null(value):
         return None
     if isinstance(value, bool):

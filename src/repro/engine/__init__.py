@@ -1,0 +1,41 @@
+"""Planned, indexed query execution engine.
+
+This package replaces the seed executor's ad-hoc left-to-right nested joins
+with an explicit compile/plan/execute pipeline:
+
+* :mod:`repro.engine.predicates` — selection predicates compiled once per
+  query (canonical value, lowered needle, token set precomputed);
+* :mod:`repro.engine.plan` — :class:`QueryPlanner` chooses a join order
+  greedily by filtered cardinality, with selections pushed into the scans;
+* :mod:`repro.engine.context` — :class:`ExecutionContext` caches filtered
+  scans and per-attribute hash join indexes across queries, keyed on table
+  data versions so mutations invalidate naturally;
+* :mod:`repro.engine.executor` — :class:`PlanExecutor` runs plans with
+  composite-key hash joins and reproduces the seed executor's output
+  exactly (values, costs, provenance and order); :func:`ranked_union`
+  aligns pre-executed per-query answers, which is what lets the incremental
+  view refresh reuse cached results.
+
+:class:`~repro.datastore.executor.QueryExecutor` remains the stable facade:
+it delegates here by default and keeps the seed implementation available as
+a reference for parity testing.
+"""
+
+from .context import ContextStatistics, ExecutionContext
+from .executor import PlanExecutor, default_column_compatibility, ranked_union
+from .plan import PlannedJoin, PlanStep, QueryPlan, QueryPlanner
+from .predicates import CompiledPredicate, compile_predicates
+
+__all__ = [
+    "CompiledPredicate",
+    "ContextStatistics",
+    "ExecutionContext",
+    "PlanExecutor",
+    "PlanStep",
+    "PlannedJoin",
+    "QueryPlan",
+    "QueryPlanner",
+    "compile_predicates",
+    "default_column_compatibility",
+    "ranked_union",
+]

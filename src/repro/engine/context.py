@@ -1,0 +1,234 @@
+"""Shared execution state: cached scans, join indexes and statistics.
+
+An :class:`ExecutionContext` is the engine's memory between queries.  The k
+conjunctive queries of one view refresh (and, when the context is shared by
+the :class:`~repro.core.qsystem.QSystem`, all views over one catalog) hit the
+same relations with the same selections and join attributes over and over;
+the context builds each filtered scan and each per-attribute hash join index
+**once** and replays it from cache afterwards.
+
+Staleness is handled structurally rather than by callbacks: cached artifacts
+are grouped per relation and tagged with the owning
+:class:`~repro.datastore.table.Table`'s ``version`` counter; when a table
+mutates, its next access discards that relation's stale group wholesale and
+rebuilds (so mutations neither return stale rows nor strand dead entries).
+The explicit :meth:`ExecutionContext.invalidate` hook exists for
+*structural* events — source registration, graph rebuilds — where callers
+want to drop the whole working set at once (and is what the
+:class:`~repro.alignment.registration.SourceRegistrar` listener installed by
+the Q system calls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datastore.database import Catalog
+from ..datastore.table import Row, Table
+from ..datastore.types import canonicalize
+from .predicates import CompiledPredicate
+
+#: Identity of a filtered scan within one relation: sorted predicate keys.
+PredicatesKey = Tuple[object, ...]
+
+
+@dataclass
+class ContextStatistics:
+    """Operational counters, mostly for tests and benchmarks."""
+
+    scans: int = 0
+    scan_cache_hits: int = 0
+    index_scans: int = 0
+    join_indexes_built: int = 0
+    join_index_cache_hits: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "scans": self.scans,
+            "scan_cache_hits": self.scan_cache_hits,
+            "index_scans": self.index_scans,
+            "join_indexes_built": self.join_indexes_built,
+            "join_index_cache_hits": self.join_index_cache_hits,
+            "invalidations": self.invalidations,
+        }
+
+
+class _RelationCaches:
+    """Everything cached for one relation at one table (object + version)."""
+
+    __slots__ = ("table", "version", "scans", "join_indexes", "attribute_indexes")
+
+    def __init__(self, table: Table) -> None:
+        # Both the identity and the version are part of validity: a source
+        # re-registered under the same name yields a *different* Table whose
+        # version counter may coincide with the old one's.
+        self.table = table
+        self.version = table.version
+        self.scans: Dict[PredicatesKey, List[Row]] = {}
+        self.join_indexes: Dict[Tuple[PredicatesKey, Tuple[str, ...]], Dict[Tuple, List[Row]]] = {}
+        self.attribute_indexes: Dict[str, Dict[str, List[int]]] = {}
+
+
+class ExecutionContext:
+    """Caches shared across the queries executed against one catalog.
+
+    Selection pushdown: ``equals``-mode predicates are answered from
+    per-attribute inverted value indexes (value → row ids) built lazily per
+    relation — the engine-local analogue of the system-wide
+    :class:`~repro.datastore.indexes.ValueIndex`, rebuilt automatically when
+    the table's data version moves so it can never serve stale rows.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.statistics = ContextStatistics()
+        #: Generation counter; bumped by :meth:`invalidate` so borrowers
+        #: (e.g. a view's per-signature answer cache) can cheaply detect
+        #: that a structural invalidation happened.
+        self.generation = 0
+        self._relations: Dict[str, _RelationCaches] = {}
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached scan and join index and bump the generation.
+
+        Wired to structural events: new-source registration and query-graph
+        rebuilds.  Plain table mutations do *not* need this — each
+        relation's cache group is tagged with the table version and is
+        replaced wholesale on the first access after a mutation.
+        """
+        self._relations.clear()
+        self.generation += 1
+        self.statistics.invalidations += 1
+
+    def _relation_caches(self, relation: str, table: Table) -> _RelationCaches:
+        caches = self._relations.get(relation)
+        if caches is None or caches.table is not table or caches.version != table.version:
+            caches = _RelationCaches(table)
+            self._relations[relation] = caches
+        return caches
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _predicates_key(predicates: Sequence[CompiledPredicate]) -> PredicatesKey:
+        return tuple(sorted(p.key for p in predicates))
+
+    def scan(self, relation: str, predicates: Sequence[CompiledPredicate]) -> List[Row]:
+        """Rows of ``relation`` passing all ``predicates`` (cached).
+
+        The returned list is owned by the cache — callers must not mutate it.
+        """
+        table = self.catalog.relation(relation)
+        caches = self._relation_caches(relation, table)
+        key = self._predicates_key(predicates)
+        cached = caches.scans.get(key)
+        if cached is not None:
+            self.statistics.scan_cache_hits += 1
+            return cached
+        rows = self._execute_scan(caches, table, predicates)
+        caches.scans[key] = rows
+        return rows
+
+    def _execute_scan(
+        self, caches: _RelationCaches, table: Table, predicates: Sequence[CompiledPredicate]
+    ) -> List[Row]:
+        if not predicates:
+            self.statistics.scans += 1
+            return list(table.rows)
+        # Selection pushdown: seed the scan from a value index when an
+        # equals-mode predicate can enumerate candidate rows directly.
+        seed_rows = self._index_seed_rows(caches, table, predicates)
+        if seed_rows is not None:
+            self.statistics.index_scans += 1
+            candidates = seed_rows
+        else:
+            self.statistics.scans += 1
+            candidates = table.rows
+        return [
+            row
+            for row in candidates
+            if all(p.matches(row[p.attribute]) for p in predicates)
+        ]
+
+    def _index_seed_rows(
+        self, caches: _RelationCaches, table: Table, predicates: Sequence[CompiledPredicate]
+    ) -> Optional[Sequence[Row]]:
+        """Candidate rows from an index lookup, or ``None`` for a full scan."""
+        best: Optional[List[int]] = None
+        for predicate in predicates:
+            if predicate.mode != "equals" or predicate.canonical_value is None:
+                continue
+            index = self._attribute_index(caches, table, predicate.attribute)
+            row_ids = index.get(predicate.canonical_value, [])
+            if best is None or len(row_ids) < len(best):
+                best = row_ids
+        if best is None:
+            return None
+        rows = table.rows
+        return [rows[row_id] for row_id in best]
+
+    def _attribute_index(
+        self, caches: _RelationCaches, table: Table, attribute: str
+    ) -> Dict[str, List[int]]:
+        cached = caches.attribute_indexes.get(attribute)
+        if cached is not None:
+            return cached
+        index: Dict[str, List[int]] = {}
+        attr_idx = table.schema.attribute_index(attribute)
+        for row in table.rows:
+            canon = canonicalize(row.values[attr_idx])
+            if canon is None:
+                continue
+            index.setdefault(canon, []).append(row.row_id)
+        caches.attribute_indexes[attribute] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Cardinality estimation (used by the planner's greedy join ordering)
+    # ------------------------------------------------------------------
+    def estimated_cardinality(self, relation: str, predicates: Sequence[CompiledPredicate]) -> int:
+        """Exact filtered cardinality of a scan.
+
+        Every atom of a conjunctive query must be scanned during execution
+        anyway and scans are cached, so the planner "estimates" by
+        materializing the scan — exact numbers at no extra cost.
+        """
+        return len(self.scan(relation, predicates))
+
+    # ------------------------------------------------------------------
+    # Join indexes
+    # ------------------------------------------------------------------
+    def join_index(
+        self,
+        relation: str,
+        predicates: Sequence[CompiledPredicate],
+        key_attributes: Tuple[str, ...],
+    ) -> Dict[Tuple, List[Row]]:
+        """Hash index of the filtered scan keyed on canonicalized attributes.
+
+        Rows with a null canonical value in any key attribute are omitted
+        (null never joins), matching the seed executor's hash-join build.
+        The returned dict is owned by the cache — callers must not mutate it.
+        """
+        table = self.catalog.relation(relation)
+        caches = self._relation_caches(relation, table)
+        cache_key = (self._predicates_key(predicates), key_attributes)
+        cached = caches.join_indexes.get(cache_key)
+        if cached is not None:
+            self.statistics.join_index_cache_hits += 1
+            return cached
+        hashed: Dict[Tuple, List[Row]] = {}
+        for row in self.scan(relation, predicates):
+            key = tuple(canonicalize(row[attr]) for attr in key_attributes)
+            if any(part is None for part in key):
+                continue
+            hashed.setdefault(key, []).append(row)
+        caches.join_indexes[cache_key] = hashed
+        self.statistics.join_indexes_built += 1
+        return hashed

@@ -63,8 +63,22 @@ class SteinerError(QError):
     """Raised when a Steiner-tree computation cannot be carried out.
 
     The most common cause is a set of terminals that is not connected in the
-    underlying graph, in which case no Steiner tree exists.
+    underlying graph, in which case no Steiner tree exists — see
+    :class:`DisconnectedTerminalsError`.
     """
+
+
+class DisconnectedTerminalsError(SteinerError):
+    """Raised when no Steiner tree exists because terminals are disconnected.
+
+    Both the exact and the approximate solver raise this (rather than a bare
+    :class:`SteinerError`) so that callers like the top-k enumerator can
+    distinguish "no tree exists" from solver-capability failures without
+    inspecting the error message.
+    """
+
+    def __init__(self, message: str = "terminals are not connected in the graph") -> None:
+        super().__init__(message)
 
 
 class MatcherError(QError):

@@ -144,6 +144,11 @@ class WeightVector:
 
     def __init__(self, weights: Optional[Mapping[str, float]] = None) -> None:
         self._weights: Dict[str, float] = dict(weights or {})
+        #: Monotonically increasing mutation counter.  All edge costs are
+        #: functions of this vector, so callers (e.g. the incremental view
+        #: refresh) can use the version to detect that *no* cost changed
+        #: since their last computation and skip re-solving.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Access / mutation
@@ -155,11 +160,13 @@ class WeightVector:
     def set(self, feature: str, weight: float) -> None:
         """Set the weight of one feature."""
         self._weights[feature] = weight
+        self.version += 1
 
     def update(self, deltas: Mapping[str, float]) -> None:
         """Add ``deltas`` to the current weights (creating entries as needed)."""
         for feature, delta in deltas.items():
             self._weights[feature] = self._weights.get(feature, 0.0) + delta
+        self.version += 1
 
     def items(self) -> Iterable[Tuple[str, float]]:
         """Iterate over (feature, weight) pairs that have been set."""

@@ -77,6 +77,10 @@ class SearchGraph:
         self._nodes: Dict[str, Node] = {}
         self._edges: Dict[str, Edge] = {}
         self._adjacency: Dict[str, List[str]] = {}
+        #: Bumped on every node/edge addition or removal; used together with
+        #: ``weights.version`` to detect that Steiner-tree computations over
+        #: this graph are still valid.
+        self.structure_version = 0
 
     # ------------------------------------------------------------------
     # Node management
@@ -88,6 +92,7 @@ class SearchGraph:
             return existing
         self._nodes[node.node_id] = node
         self._adjacency[node.node_id] = []
+        self.structure_version += 1
         return node
 
     def node(self, node_id: str) -> Node:
@@ -137,6 +142,7 @@ class SearchGraph:
         self._adjacency[edge.u].append(edge.edge_id)
         if edge.v != edge.u:
             self._adjacency[edge.v].append(edge.edge_id)
+        self.structure_version += 1
         return edge
 
     def remove_edge(self, edge_id: str) -> Edge:
@@ -147,6 +153,7 @@ class SearchGraph:
             raise GraphError(f"unknown edge id {edge_id!r}") from None
         for endpoint in set(edge.endpoints()):
             self._adjacency[endpoint] = [e for e in self._adjacency[endpoint] if e != edge_id]
+        self.structure_version += 1
         return edge
 
     def edge(self, edge_id: str) -> Edge:
@@ -396,6 +403,7 @@ class SearchGraph:
         clone._nodes = dict(self._nodes)
         clone._edges = dict(self._edges)
         clone._adjacency = {node: list(edges) for node, edges in self._adjacency.items()}
+        clone.structure_version = self.structure_version
         return clone
 
     @property

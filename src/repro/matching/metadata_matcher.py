@@ -23,6 +23,7 @@ See DESIGN.md, "Substitutions", for the justification of this replacement.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..datastore.table import Table
@@ -75,37 +76,20 @@ class MetadataMatcher(BaseMatcher):
     # Scoring
     # ------------------------------------------------------------------
     def name_similarity(self, label_a: str, label_b: str) -> float:
-        """Combined name similarity of two attribute labels, in ``[0, 1]``."""
-        normalized_a = normalize_label(label_a)
-        normalized_b = normalize_label(label_b)
-        if not normalized_a or not normalized_b:
-            return 0.0
-        if normalized_a == normalized_b:
-            return 1.0
-        token_score = token_jaccard(label_a, label_b)
-        jaro_score = jaro_winkler_similarity(normalized_a, normalized_b)
-        trigram_score = ngram_similarity(normalized_a, normalized_b)
-        substring_score = self._substring_score(normalized_a, normalized_b)
-        config = self.config
-        return (
-            config.token_weight * token_score
-            + config.jaro_winkler_weight * jaro_score
-            + config.trigram_weight * trigram_score
-            + config.substring_weight * substring_score
-        )
+        """Combined name similarity of two attribute labels, in ``[0, 1]``.
 
-    @staticmethod
-    def _substring_score(a: str, b: str) -> float:
-        """Containment score: 1.0 if one normalized label contains the other."""
-        stripped_a = a.replace("_", "")
-        stripped_b = b.replace("_", "")
-        if not stripped_a or not stripped_b:
-            return 0.0
-        if stripped_a in stripped_b or stripped_b in stripped_a:
-            shorter = min(len(stripped_a), len(stripped_b))
-            longer = max(len(stripped_a), len(stripped_b))
-            return shorter / longer
-        return 0.0
+        Memoized per (weights, label pair): schema matching compares the
+        same label pairs across every strategy, trial and registration.
+        """
+        config = self.config
+        return _name_similarity_cached(
+            label_a,
+            label_b,
+            config.token_weight,
+            config.jaro_winkler_weight,
+            config.trigram_weight,
+            config.substring_weight,
+        )
 
     def _structural_similarity(self, table_a: Table, table_b: Table) -> float:
         """Fraction of sibling-attribute tokens the two relations share.
@@ -157,3 +141,43 @@ class MetadataMatcher(BaseMatcher):
                     )
                 )
         return correspondences
+
+
+def _substring_score(a: str, b: str) -> float:
+    stripped_a = a.replace("_", "")
+    stripped_b = b.replace("_", "")
+    if not stripped_a or not stripped_b:
+        return 0.0
+    if stripped_a in stripped_b or stripped_b in stripped_a:
+        shorter = min(len(stripped_a), len(stripped_b))
+        longer = max(len(stripped_a), len(stripped_b))
+        return shorter / longer
+    return 0.0
+
+
+@lru_cache(maxsize=65536)
+def _name_similarity_cached(
+    label_a: str,
+    label_b: str,
+    token_weight: float,
+    jaro_winkler_weight: float,
+    trigram_weight: float,
+    substring_weight: float,
+) -> float:
+    """Pure combined-similarity computation, shared across matcher instances."""
+    normalized_a = normalize_label(label_a)
+    normalized_b = normalize_label(label_b)
+    if not normalized_a or not normalized_b:
+        return 0.0
+    if normalized_a == normalized_b:
+        return 1.0
+    token_score = token_jaccard(label_a, label_b)
+    jaro_score = jaro_winkler_similarity(normalized_a, normalized_b)
+    trigram_score = ngram_similarity(normalized_a, normalized_b)
+    substring_score = _substring_score(normalized_a, normalized_b)
+    return (
+        token_weight * token_score
+        + jaro_winkler_weight * jaro_score
+        + trigram_weight * trigram_score
+        + substring_weight * substring_score
+    )

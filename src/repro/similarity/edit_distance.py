@@ -8,6 +8,8 @@ is widely used by metadata schema matchers for attribute-name comparison.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 
 def levenshtein_distance(a: str, b: str) -> int:
     """Return the Levenshtein (edit) distance between ``a`` and ``b``.
@@ -43,8 +45,9 @@ def levenshtein_similarity(a: str, b: str) -> float:
     return 1.0 - levenshtein_distance(a, b) / longest
 
 
+@lru_cache(maxsize=65536)
 def jaro_similarity(a: str, b: str) -> float:
-    """Jaro similarity between two strings, in ``[0, 1]``."""
+    """Jaro similarity between two strings, in ``[0, 1]`` (memoized)."""
     if a == b:
         return 1.0
     len_a, len_b = len(a), len(b)
@@ -83,6 +86,7 @@ def jaro_similarity(a: str, b: str) -> float:
     ) / 3.0
 
 
+@lru_cache(maxsize=65536)
 def jaro_winkler_similarity(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
     """Jaro–Winkler similarity, boosting strings that share a common prefix.
 

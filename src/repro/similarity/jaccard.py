@@ -48,7 +48,11 @@ def max_containment(a: Iterable, b: Iterable) -> float:
 
 
 def token_jaccard(label_a: str, label_b: str) -> float:
-    """Jaccard similarity between the token sets of two labels."""
+    """Jaccard similarity between the token sets of two labels.
+
+    ``token_set`` is memoized, so repeated label comparisons only pay for
+    the set algebra.
+    """
     return jaccard(token_set(label_a), token_set(label_b))
 
 

@@ -7,16 +7,19 @@ paper (Section 2.2), and a component of the metadata matcher.
 from __future__ import annotations
 
 from collections import Counter
+from functools import lru_cache
 
 from .tokenize import character_ngrams
 
 
+@lru_cache(maxsize=65536)
 def ngram_similarity(a: str, b: str, n: int = 3) -> float:
     """Dice coefficient over character n-gram multisets, in ``[0, 1]``.
 
     The Dice coefficient ``2 |A ∩ B| / (|A| + |B|)`` over n-gram *multisets*
     is robust to repeated substrings and is the classic "trigram similarity"
-    used by schema matchers.
+    used by schema matchers.  Memoized — the matchers compare the same label
+    pairs many times across strategies and trials.
     """
     grams_a = Counter(character_ngrams(a, n))
     grams_b = Counter(character_ngrams(b, n))

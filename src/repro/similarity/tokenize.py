@@ -10,6 +10,7 @@ label ``go`` of another attribute.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import List, Tuple
 
 _CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
@@ -38,11 +39,29 @@ STOPWORDS = frozenset(
 )
 
 
+@lru_cache(maxsize=65536)
+def _tokenize_cached(text: str, drop_stopwords: bool) -> Tuple[str, ...]:
+    """Tokenization core, memoized (tokenization is pure and heavily repeated)."""
+    pieces: List[str] = []
+    for chunk in _SPLIT_RE.split(text):
+        if not chunk:
+            continue
+        chunk = _CAMEL_RE.sub(" ", chunk)
+        chunk = _DIGIT_BOUNDARY_RE.sub(" ", chunk)
+        pieces.extend(p for p in chunk.split() if p)
+    tokens = tuple(p.lower() for p in pieces)
+    if drop_stopwords:
+        tokens = tuple(t for t in tokens if t not in STOPWORDS)
+    return tokens
+
+
 def tokenize(text: str, drop_stopwords: bool = False) -> List[str]:
     """Split ``text`` into lowercase tokens.
 
     Splitting happens on whitespace/punctuation, camel-case boundaries and
-    letter/digit boundaries.  Empty tokens are dropped.
+    letter/digit boundaries.  Empty tokens are dropped.  Results are
+    memoized internally — the same labels and values are tokenized over and
+    over by the matchers and the keyword predicates.
 
     Parameters
     ----------
@@ -53,31 +72,35 @@ def tokenize(text: str, drop_stopwords: bool = False) -> List[str]:
     """
     if not text:
         return []
-    pieces: List[str] = []
-    for chunk in _SPLIT_RE.split(str(text)):
-        if not chunk:
-            continue
-        chunk = _CAMEL_RE.sub(" ", chunk)
-        chunk = _DIGIT_BOUNDARY_RE.sub(" ", chunk)
-        pieces.extend(p for p in chunk.split() if p)
-    tokens = [p.lower() for p in pieces]
-    if drop_stopwords:
-        tokens = [t for t in tokens if t not in STOPWORDS]
-    return tokens
+    return list(_tokenize_cached(str(text), drop_stopwords))
+
+
+@lru_cache(maxsize=65536)
+def _token_set_cached(text: str, drop_stopwords: bool) -> frozenset:
+    return frozenset(_tokenize_cached(text, drop_stopwords))
 
 
 def token_set(text: str, drop_stopwords: bool = False) -> frozenset:
-    """Return the set of tokens of ``text``."""
-    return frozenset(tokenize(text, drop_stopwords=drop_stopwords))
+    """Return the set of tokens of ``text`` (memoized)."""
+    if not text:
+        return frozenset()
+    return _token_set_cached(str(text), drop_stopwords)
+
+
+@lru_cache(maxsize=65536)
+def _normalize_label_cached(text: str) -> str:
+    return "_".join(_tokenize_cached(text, False))
 
 
 def normalize_label(text: str) -> str:
     """Canonical single-string form of a schema label (tokens joined by ``_``)."""
-    return "_".join(tokenize(text))
+    if not text:
+        return ""
+    return _normalize_label_cached(str(text))
 
 
 def character_ngrams(text: str, n: int = 3, pad: bool = True) -> Tuple[str, ...]:
-    """Return the character n-grams of ``text`` (lowercased).
+    """Return the character n-grams of ``text`` (lowercased, memoized).
 
     Parameters
     ----------
@@ -92,7 +115,12 @@ def character_ngrams(text: str, n: int = 3, pad: bool = True) -> Tuple[str, ...]
     """
     if n < 1:
         raise ValueError("n-gram length must be >= 1")
-    normalized = str(text).lower()
+    return _character_ngrams_cached(str(text), n, pad)
+
+
+@lru_cache(maxsize=65536)
+def _character_ngrams_cached(text: str, n: int, pad: bool) -> Tuple[str, ...]:
+    normalized = text.lower()
     if pad and n > 1:
         padding = "#" * (n - 1)
         normalized = f"{padding}{normalized}{padding}"

@@ -8,15 +8,19 @@ Public API
 * :class:`KBestSteiner`, :func:`k_best_steiner_trees` — top-k enumeration
   (``KBESTSTEINER`` of Algorithm 4).
 * :func:`default_solver` — exact-or-approximate dispatch used by the system.
+* :class:`SteinerNetwork` — reusable integer-indexed graph snapshot the
+  solvers (and the top-k enumerator) run on.
 """
 
 from .approx import approximate_steiner_tree
 from .exact import exact_steiner_tree
+from .network import SteinerNetwork
 from .topk import KBestSteiner, default_solver, k_best_steiner_trees
 from .tree import SteinerTree, validate_terminals
 
 __all__ = [
     "KBestSteiner",
+    "SteinerNetwork",
     "SteinerTree",
     "approximate_steiner_tree",
     "default_solver",

@@ -6,92 +6,19 @@ take its minimum spanning tree, expand each MST edge back into the
 underlying shortest path, and prune the result to a tree.  The paper uses an
 approximation algorithm of this style at larger scales (Section 2.2,
 referencing STAR [21] as another possibility).
+
+The algorithm lives in :class:`~repro.steiner.network.SteinerNetwork` (see
+:mod:`repro.steiner.exact` for the rationale); this module keeps the stable
+one-shot functional entry point.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Sequence
 
-from ..exceptions import SteinerError
 from ..graph.search_graph import SearchGraph
-from .tree import SteinerTree, validate_terminals
-
-
-def _dijkstra(
-    graph: SearchGraph, source: str
-) -> Tuple[Dict[str, float], Dict[str, Tuple[str, str]]]:
-    distances: Dict[str, float] = {source: 0.0}
-    predecessors: Dict[str, Tuple[str, str]] = {}
-    heap: List[Tuple[float, str]] = [(0.0, source)]
-    while heap:
-        dist, node = heapq.heappop(heap)
-        if dist > distances.get(node, float("inf")):
-            continue
-        for edge in graph.edges_of(node):
-            neighbor = edge.other(node)
-            candidate = dist + graph.edge_cost(edge)
-            if candidate < distances.get(neighbor, float("inf")):
-                distances[neighbor] = candidate
-                predecessors[neighbor] = (node, edge.edge_id)
-                heapq.heappush(heap, (candidate, neighbor))
-    return distances, predecessors
-
-
-def _path_edges(predecessors: Dict[str, Tuple[str, str]], target: str) -> Set[str]:
-    edges: Set[str] = set()
-    node = target
-    while node in predecessors:
-        previous, edge_id = predecessors[node]
-        edges.add(edge_id)
-        node = previous
-    return edges
-
-
-def _prune_to_tree(graph: SearchGraph, edge_ids: Set[str], terminals: Sequence[str]) -> Set[str]:
-    """Extract a spanning tree of the edge set and prune non-terminal leaves."""
-    # Build adjacency of the sub-multigraph.
-    nodes: Set[str] = set(terminals)
-    for edge_id in edge_ids:
-        edge = graph.edge(edge_id)
-        nodes.add(edge.u)
-        nodes.add(edge.v)
-
-    # Minimum spanning forest over the selected edges (Kruskal).
-    parent: Dict[str, str] = {node: node for node in nodes}
-
-    def find(node: str) -> str:
-        while parent[node] != node:
-            parent[node] = parent[parent[node]]
-            node = parent[node]
-        return node
-
-    selected: Set[str] = set()
-    for edge_id in sorted(edge_ids, key=graph.edge_cost_by_id):
-        edge = graph.edge(edge_id)
-        root_u, root_v = find(edge.u), find(edge.v)
-        if root_u != root_v:
-            parent[root_u] = root_v
-            selected.add(edge_id)
-
-    # Iteratively remove non-terminal leaves.
-    terminal_set = set(terminals)
-    changed = True
-    while changed:
-        changed = False
-        degree: Dict[str, int] = {}
-        incident: Dict[str, List[str]] = {}
-        for edge_id in selected:
-            edge = graph.edge(edge_id)
-            for endpoint in edge.endpoints():
-                degree[endpoint] = degree.get(endpoint, 0) + 1
-                incident.setdefault(endpoint, []).append(edge_id)
-        for node, node_degree in degree.items():
-            if node_degree == 1 and node not in terminal_set:
-                selected.discard(incident[node][0])
-                changed = True
-                break
-    return selected
+from .network import SteinerNetwork
+from .tree import SteinerTree
 
 
 def approximate_steiner_tree(graph: SearchGraph, terminals: Sequence[str]) -> SteinerTree:
@@ -99,43 +26,7 @@ def approximate_steiner_tree(graph: SearchGraph, terminals: Sequence[str]) -> St
 
     Raises
     ------
-    SteinerError
+    DisconnectedTerminalsError
         If the terminals are not all connected to each other in ``graph``.
     """
-    terminals = validate_terminals(graph, terminals)
-    if len(terminals) == 1:
-        return SteinerTree(frozenset(), frozenset(terminals), 0.0)
-
-    shortest: Dict[str, Tuple[Dict[str, float], Dict[str, Tuple[str, str]]]] = {}
-    for terminal in terminals:
-        shortest[terminal] = _dijkstra(graph, terminal)
-
-    # Check connectivity and build the terminal distance network.
-    pairs: List[Tuple[float, str, str]] = []
-    for i, a in enumerate(terminals):
-        distances_a = shortest[a][0]
-        for b in terminals[i + 1 :]:
-            if b not in distances_a:
-                raise SteinerError(f"terminals {a!r} and {b!r} are not connected")
-            pairs.append((distances_a[b], a, b))
-
-    # Prim/Kruskal MST over the distance network.
-    pairs.sort()
-    parent: Dict[str, str] = {t: t for t in terminals}
-
-    def find(node: str) -> str:
-        while parent[node] != node:
-            parent[node] = parent[parent[node]]
-            node = parent[node]
-        return node
-
-    expanded_edges: Set[str] = set()
-    for cost, a, b in pairs:
-        root_a, root_b = find(a), find(b)
-        if root_a == root_b:
-            continue
-        parent[root_a] = root_b
-        expanded_edges |= _path_edges(shortest[a][1], b)
-
-    pruned = _prune_to_tree(graph, expanded_edges, terminals)
-    return SteinerTree.from_edges(graph, pruned, terminals)
+    return SteinerNetwork(graph).approximate_tree(terminals)

@@ -5,58 +5,20 @@ and an approximation algorithm at larger scales".  The Dreyfus–Wagner DP is
 exponential in the number of terminals (``O(3^t · n + 2^t · n^2)`` with
 Dijkstra inner loops) but the keyword queries of interest have 2–5 keywords,
 where it is perfectly practical.
+
+The algorithm itself lives in :class:`~repro.steiner.network.SteinerNetwork`
+so that the top-k enumerator can snapshot the graph (node/edge indexing and
+edge costs) once and re-solve under many edge-exclusion sets; this module
+keeps the stable one-shot functional entry point.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Sequence
 
-from ..exceptions import SteinerError
 from ..graph.search_graph import SearchGraph
-from .tree import SteinerTree, validate_terminals
-
-
-def _edge_lists(graph: SearchGraph) -> Dict[str, List[Tuple[str, str, float]]]:
-    """Adjacency as node -> [(neighbor, edge_id, cost)]."""
-    adjacency: Dict[str, List[Tuple[str, str, float]]] = {n.node_id: [] for n in graph.nodes()}
-    for edge in graph.edges():
-        cost = graph.edge_cost(edge)
-        adjacency[edge.u].append((edge.v, edge.edge_id, cost))
-        adjacency[edge.v].append((edge.u, edge.edge_id, cost))
-    return adjacency
-
-
-def _shortest_paths_from(
-    adjacency: Dict[str, List[Tuple[str, str, float]]], source: str
-) -> Tuple[Dict[str, float], Dict[str, Tuple[str, str]]]:
-    """Dijkstra returning distances and predecessor (node, edge) pairs."""
-    distances: Dict[str, float] = {source: 0.0}
-    predecessors: Dict[str, Tuple[str, str]] = {}
-    heap: List[Tuple[float, str]] = [(0.0, source)]
-    while heap:
-        dist, node = heapq.heappop(heap)
-        if dist > distances.get(node, float("inf")):
-            continue
-        for neighbor, edge_id, cost in adjacency[node]:
-            candidate = dist + cost
-            if candidate < distances.get(neighbor, float("inf")):
-                distances[neighbor] = candidate
-                predecessors[neighbor] = (node, edge_id)
-                heapq.heappush(heap, (candidate, neighbor))
-    return distances, predecessors
-
-
-def _path_edges(predecessors: Dict[str, Tuple[str, str]], target: str) -> Set[str]:
-    """Reconstruct the edge set of the shortest path ending at ``target``."""
-    edges: Set[str] = set()
-    node = target
-    while node in predecessors:
-        previous, edge_id = predecessors[node]
-        edges.add(edge_id)
-        node = previous
-    return edges
+from .network import SteinerNetwork
+from .tree import SteinerTree
 
 
 def exact_steiner_tree(
@@ -77,111 +39,9 @@ def exact_steiner_tree(
 
     Raises
     ------
+    DisconnectedTerminalsError
+        If the terminals cannot be connected.
     SteinerError
-        If the terminals cannot be connected, or there are too many of them.
+        If there are too many terminals for the exact DP.
     """
-    terminals = validate_terminals(graph, terminals)
-    if len(terminals) > max_terminals:
-        raise SteinerError(
-            f"exact Steiner tree limited to {max_terminals} terminals; got {len(terminals)}"
-        )
-    if len(terminals) == 1:
-        return SteinerTree(frozenset(), frozenset(terminals), 0.0)
-
-    adjacency = _edge_lists(graph)
-    all_nodes = list(adjacency.keys())
-
-    # Single-source shortest paths from every node would be wasteful; the DP
-    # only needs paths *to* arbitrary nodes *from* nodes already carrying
-    # partial trees, which we realize by running Dijkstra on a "virtual"
-    # graph during the merge step.  For clarity (graphs here are modest) we
-    # instead precompute shortest paths from every node that can appear as a
-    # DP state root: every node in the graph.
-    #
-    # dp[(subset, v)] = (cost, edge_set) of the cheapest tree spanning
-    # ``subset`` of terminals plus node ``v``.
-    terminal_list = list(terminals)
-    terminal_index = {t: i for i, t in enumerate(terminal_list)}
-    full_mask = (1 << len(terminal_list)) - 1
-
-    INF = float("inf")
-    dp_cost: Dict[Tuple[int, str], float] = {}
-    dp_edges: Dict[Tuple[int, str], FrozenSet[str]] = {}
-
-    # Base cases: singleton subsets = shortest path from the terminal to v.
-    sp_cache: Dict[str, Tuple[Dict[str, float], Dict[str, Tuple[str, str]]]] = {}
-
-    def shortest_from(node: str):
-        if node not in sp_cache:
-            sp_cache[node] = _shortest_paths_from(adjacency, node)
-        return sp_cache[node]
-
-    for terminal in terminal_list:
-        mask = 1 << terminal_index[terminal]
-        distances, predecessors = shortest_from(terminal)
-        for v in all_nodes:
-            if v in distances:
-                dp_cost[(mask, v)] = distances[v]
-                dp_edges[(mask, v)] = frozenset(_path_edges(predecessors, v))
-
-    # Iterate over subsets in increasing popcount order.
-    subsets = sorted(range(1, full_mask + 1), key=lambda m: bin(m).count("1"))
-    for subset in subsets:
-        if bin(subset).count("1") < 2:
-            continue
-        # Merge step: dp[subset][v] = min over proper sub-splits.
-        for v in all_nodes:
-            best_cost = dp_cost.get((subset, v), INF)
-            best_edges = dp_edges.get((subset, v))
-            sub = (subset - 1) & subset
-            while sub > 0:
-                other = subset ^ sub
-                if sub < other:  # consider each unordered split once
-                    cost_a = dp_cost.get((sub, v), INF)
-                    cost_b = dp_cost.get((other, v), INF)
-                    if cost_a + cost_b < best_cost:
-                        best_cost = cost_a + cost_b
-                        best_edges = dp_edges[(sub, v)] | dp_edges[(other, v)]
-                sub = (sub - 1) & subset
-            if best_edges is not None and best_cost < INF:
-                dp_cost[(subset, v)] = best_cost
-                dp_edges[(subset, v)] = frozenset(best_edges)
-
-        # Grow step: connect the merged tree to other nodes via shortest paths.
-        # dp[subset][u] = min_v dp[subset][v] + dist(v, u), realized with a
-        # Dijkstra seeded with the current dp values.
-        heap: List[Tuple[float, str]] = []
-        current: Dict[str, float] = {}
-        origin: Dict[str, str] = {}
-        for v in all_nodes:
-            cost = dp_cost.get((subset, v), INF)
-            if cost < INF:
-                current[v] = cost
-                origin[v] = v
-                heapq.heappush(heap, (cost, v))
-        predecessors: Dict[str, Tuple[str, str]] = {}
-        while heap:
-            dist, node = heapq.heappop(heap)
-            if dist > current.get(node, INF):
-                continue
-            for neighbor, edge_id, cost in adjacency[node]:
-                candidate = dist + cost
-                if candidate < current.get(neighbor, INF):
-                    current[neighbor] = candidate
-                    origin[neighbor] = origin[node]
-                    predecessors[neighbor] = (node, edge_id)
-                    heapq.heappush(heap, (candidate, neighbor))
-        for node, cost in current.items():
-            if cost < dp_cost.get((subset, node), INF):
-                root = origin[node]
-                path = _path_edges(predecessors, node)
-                dp_cost[(subset, node)] = cost
-                dp_edges[(subset, node)] = frozenset(dp_edges[(subset, root)] | path)
-
-    # The answer is the cheapest tree spanning all terminals rooted anywhere;
-    # rooting at the first terminal is sufficient because it is in the set.
-    root = terminal_list[0]
-    key = (full_mask, root)
-    if key not in dp_cost:
-        raise SteinerError("terminals are not connected in the graph")
-    return SteinerTree.from_edges(graph, dp_edges[key], terminals)
+    return SteinerNetwork(graph).exact_tree(terminals, max_terminals=max_terminals)

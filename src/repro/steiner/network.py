@@ -1,0 +1,403 @@
+"""A reusable, integer-indexed snapshot of a graph for Steiner solving.
+
+The k-best enumerator (:mod:`repro.steiner.topk`) re-solves the Steiner
+problem dozens of times per call on graphs that differ only by a handful of
+*excluded* edges.  The seed implementation copied the whole
+:class:`~repro.graph.search_graph.SearchGraph` for every exclusion set and
+re-derived every edge cost (a weight-vector dot product per edge) from
+scratch inside each solve.
+
+:class:`SteinerNetwork` lifts that work out of the solver loop: it snapshots
+the graph once — nodes and edges mapped to dense integer indexes, every edge
+cost evaluated once — and both solvers then run over plain lists, taking the
+exclusion set as an argument instead of requiring a mutated graph copy.
+
+Parity note: heap entries carry the node-id *string* as the tie-breaker so
+that Dijkstra pop order — and therefore every equal-cost tie-break — is
+bit-identical to the seed implementation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..exceptions import DisconnectedTerminalsError, SteinerError
+from ..graph.search_graph import SearchGraph
+from .tree import SteinerTree, validate_terminals
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+class SteinerNetwork:
+    """Immutable solving substrate built once from a :class:`SearchGraph`.
+
+    The snapshot reflects the graph's structure and edge costs at
+    construction time; callers must rebuild after the graph or its weight
+    vector changes (the k-best enumerator builds one per ``solve`` call).
+    """
+
+    __slots__ = ("graph", "node_ids", "node_index", "edge_ids", "edge_index", "edge_costs", "adjacency")
+
+    def __init__(self, graph: SearchGraph) -> None:
+        self.graph = graph
+        self.node_ids: List[str] = [node.node_id for node in graph.nodes()]
+        self.node_index: Dict[str, int] = {nid: i for i, nid in enumerate(self.node_ids)}
+        edges = graph.edges()
+        self.edge_ids: List[str] = [edge.edge_id for edge in edges]
+        self.edge_index: Dict[str, int] = {eid: i for i, eid in enumerate(self.edge_ids)}
+        self.edge_costs: List[float] = [graph.edge_cost(edge) for edge in edges]
+        # node index -> [(neighbor index, edge index, cost)]
+        self.adjacency: List[List[Tuple[int, int, float]]] = [[] for _ in self.node_ids]
+        for idx, edge in enumerate(edges):
+            u = self.node_index[edge.u]
+            v = self.node_index[edge.v]
+            cost = self.edge_costs[idx]
+            self.adjacency[u].append((v, idx, cost))
+            self.adjacency[v].append((u, idx, cost))
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def edge_indexes(self, edge_ids: Iterable[str]) -> FrozenSet[int]:
+        """Map edge-id strings to this snapshot's indexes (unknown ids skipped)."""
+        index = self.edge_index
+        return frozenset(index[eid] for eid in edge_ids if eid in index)
+
+    def _tree_from_indexes(self, edge_idxs: Iterable[int], terminals: Sequence[str]) -> SteinerTree:
+        # Recost through the graph (as the seed solvers did) so tree costs
+        # stay bit-identical with trees built elsewhere.
+        return SteinerTree.from_edges(
+            self.graph, (self.edge_ids[i] for i in edge_idxs), terminals
+        )
+
+    # ------------------------------------------------------------------
+    # Dijkstra over the snapshot
+    # ------------------------------------------------------------------
+    def _dijkstra(
+        self, source: int, excluded: AbstractSet[int]
+    ) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
+        """Distances and predecessor ``(node, edge)`` pairs from ``source``."""
+        INF = float("inf")
+        node_ids = self.node_ids
+        adjacency = self.adjacency
+        distances: Dict[int, float] = {source: 0.0}
+        predecessors: Dict[int, Tuple[int, int]] = {}
+        heap: List[Tuple[float, str, int]] = [(0.0, node_ids[source], source)]
+        while heap:
+            dist, _, node = heapq.heappop(heap)
+            if dist > distances.get(node, INF):
+                continue
+            for neighbor, edge_idx, cost in adjacency[node]:
+                if edge_idx in excluded:
+                    continue
+                candidate = dist + cost
+                if candidate < distances.get(neighbor, INF):
+                    distances[neighbor] = candidate
+                    predecessors[neighbor] = (node, edge_idx)
+                    heapq.heappush(heap, (candidate, node_ids[neighbor], neighbor))
+        return distances, predecessors
+
+    @staticmethod
+    def _path_edges(predecessors: Dict[int, Tuple[int, int]], target: int) -> Set[int]:
+        edges: Set[int] = set()
+        node = target
+        while node in predecessors:
+            previous, edge_idx = predecessors[node]
+            edges.add(edge_idx)
+            node = previous
+        return edges
+
+    @staticmethod
+    def _all_path_edge_sets(
+        predecessors: Dict[int, Tuple[int, int]]
+    ) -> Dict[int, FrozenSet[int]]:
+        """Path edge set for *every* node of a shortest-path tree.
+
+        Equivalent to calling :meth:`_path_edges` per node, but each node's
+        set is derived from its predecessor's set with a single union, so
+        shared path prefixes are never re-walked.
+        """
+        memo: Dict[int, FrozenSet[int]] = {}
+        for target in predecessors:
+            if target in memo:
+                continue
+            stack = [target]
+            node = predecessors[target][0]
+            while node in predecessors and node not in memo:
+                stack.append(node)
+                node = predecessors[node][0]
+            base = memo.get(node, _EMPTY)
+            for pending in reversed(stack):
+                base = base | frozenset((predecessors[pending][1],))
+                memo[pending] = base
+        return memo
+
+    def _shortest_path_tree(
+        self, terminals: Sequence[str], excluded: AbstractSet[int]
+    ) -> SteinerTree:
+        """Two-terminal special case: the tree is a minimum-cost path.
+
+        Runs one Dijkstra with early termination instead of the full
+        Dreyfus–Wagner DP (which would compute distances and path sets for
+        *every* node).  The search is rooted at the *second* terminal with
+        the first as target because that is the equal-cost witness the DP
+        produces (its two-terminal answer is read off the singleton-mask
+        entry of the second terminal's shortest-path tree at the first
+        terminal) — keeping tie-breaks bit-identical to the seed solver.
+        """
+        source = self.node_index[terminals[1]]
+        target = self.node_index[terminals[0]]
+        INF = float("inf")
+        node_ids = self.node_ids
+        adjacency = self.adjacency
+        distances: Dict[int, float] = {source: 0.0}
+        predecessors: Dict[int, Tuple[int, int]] = {}
+        heap: List[Tuple[float, str, int]] = [(0.0, node_ids[source], source)]
+        while heap:
+            dist, _, node = heapq.heappop(heap)
+            if dist > distances.get(node, INF):
+                continue
+            if node == target:
+                return self._tree_from_indexes(
+                    self._path_edges(predecessors, target), terminals
+                )
+            for neighbor, edge_idx, cost in adjacency[node]:
+                if edge_idx in excluded:
+                    continue
+                candidate = dist + cost
+                if candidate < distances.get(neighbor, INF):
+                    distances[neighbor] = candidate
+                    predecessors[neighbor] = (node, edge_idx)
+                    heapq.heappush(heap, (candidate, node_ids[neighbor], neighbor))
+        raise DisconnectedTerminalsError(
+            f"terminals {terminals[0]!r} and {terminals[1]!r} are not connected"
+        )
+
+    # ------------------------------------------------------------------
+    # Exact solver (Dreyfus–Wagner DP)
+    # ------------------------------------------------------------------
+    def exact_tree(
+        self,
+        terminals: Sequence[str],
+        excluded: AbstractSet[int] = _EMPTY,
+        max_terminals: int = 8,
+    ) -> SteinerTree:
+        """Minimum-cost Steiner tree over ``terminals``, skipping ``excluded`` edges.
+
+        Same algorithm (and the same tie-breaking) as the seed
+        ``exact_steiner_tree``, minus the per-call graph copies and cost
+        recomputation.  Two-terminal queries — the dominant case for keyword
+        pairs — short-circuit to a single early-exit shortest-path search.
+        """
+        terminals = validate_terminals(self.graph, terminals)
+        if len(terminals) > max_terminals:
+            raise SteinerError(
+                f"exact Steiner tree limited to {max_terminals} terminals; got {len(terminals)}"
+            )
+        if len(terminals) == 1:
+            return SteinerTree(frozenset(), frozenset(terminals), 0.0)
+        if len(terminals) == 2:
+            return self._shortest_path_tree(terminals, excluded)
+
+        node_ids = self.node_ids
+        node_count = len(node_ids)
+        adjacency = self.adjacency
+        INF = float("inf")
+
+        terminal_list = [self.node_index[t] for t in terminals]
+        full_mask = (1 << len(terminal_list)) - 1
+
+        # dp[mask] maps node -> (cost, edge index set) of the cheapest tree
+        # spanning the terminal subset ``mask`` plus that node.
+        dp_cost: List[Dict[int, float]] = [dict() for _ in range(full_mask + 1)]
+        dp_edges: List[Dict[int, FrozenSet[int]]] = [dict() for _ in range(full_mask + 1)]
+
+        # Base cases: singleton subsets = shortest path from the terminal.
+        for position, terminal in enumerate(terminal_list):
+            mask = 1 << position
+            distances, predecessors = self._dijkstra(terminal, excluded)
+            paths = self._all_path_edge_sets(predecessors)
+            costs = dp_cost[mask]
+            edges = dp_edges[mask]
+            for v, dist in distances.items():
+                costs[v] = dist
+                edges[v] = paths.get(v, _EMPTY)
+
+        subsets = sorted(range(1, full_mask + 1), key=lambda m: bin(m).count("1"))
+        for subset in subsets:
+            if bin(subset).count("1") < 2:
+                continue
+            costs = dp_cost[subset]
+            edges = dp_edges[subset]
+            # Merge step: combine two disjoint terminal subsets at a node.
+            for v in range(node_count):
+                best_cost = costs.get(v, INF)
+                best_edges = edges.get(v)
+                sub = (subset - 1) & subset
+                while sub > 0:
+                    other = subset ^ sub
+                    if sub < other:  # consider each unordered split once
+                        cost_a = dp_cost[sub].get(v, INF)
+                        cost_b = dp_cost[other].get(v, INF)
+                        if cost_a + cost_b < best_cost:
+                            best_cost = cost_a + cost_b
+                            best_edges = dp_edges[sub][v] | dp_edges[other][v]
+                    sub = (sub - 1) & subset
+                if best_edges is not None and best_cost < INF:
+                    costs[v] = best_cost
+                    edges[v] = frozenset(best_edges)
+
+            # Grow step: extend the merged trees along shortest paths, as a
+            # Dijkstra seeded with the current dp values.
+            heap: List[Tuple[float, str, int]] = []
+            current: Dict[int, float] = {}
+            origin: Dict[int, int] = {}
+            for v in range(node_count):
+                cost = costs.get(v, INF)
+                if cost < INF:
+                    current[v] = cost
+                    origin[v] = v
+                    heapq.heappush(heap, (cost, node_ids[v], v))
+            predecessors: Dict[int, Tuple[int, int]] = {}
+            while heap:
+                dist, _, node = heapq.heappop(heap)
+                if dist > current.get(node, INF):
+                    continue
+                for neighbor, edge_idx, cost in adjacency[node]:
+                    if edge_idx in excluded:
+                        continue
+                    candidate = dist + cost
+                    if candidate < current.get(neighbor, INF):
+                        current[neighbor] = candidate
+                        origin[neighbor] = origin[node]
+                        predecessors[neighbor] = (node, edge_idx)
+                        heapq.heappush(heap, (candidate, node_ids[neighbor], neighbor))
+            paths = self._all_path_edge_sets(predecessors)
+            for node, cost in current.items():
+                if cost < costs.get(node, INF):
+                    root = origin[node]
+                    costs[node] = cost
+                    edges[node] = edges[root] | paths.get(node, _EMPTY)
+
+        root = terminal_list[0]
+        if root not in dp_cost[full_mask]:
+            raise DisconnectedTerminalsError()
+        return self._tree_from_indexes(dp_edges[full_mask][root], terminals)
+
+    # ------------------------------------------------------------------
+    # Approximate solver (Kou–Markowsky–Berman distance network)
+    # ------------------------------------------------------------------
+    def approximate_tree(
+        self, terminals: Sequence[str], excluded: AbstractSet[int] = _EMPTY
+    ) -> SteinerTree:
+        """2-approximate Steiner tree, skipping ``excluded`` edges."""
+        terminals = validate_terminals(self.graph, terminals)
+        if len(terminals) == 1:
+            return SteinerTree(frozenset(), frozenset(terminals), 0.0)
+
+        shortest: Dict[str, Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]] = {}
+        for terminal in terminals:
+            shortest[terminal] = self._dijkstra(self.node_index[terminal], excluded)
+
+        # Terminal distance network (and the connectivity check).
+        pairs: List[Tuple[float, str, str]] = []
+        for i, a in enumerate(terminals):
+            distances_a = shortest[a][0]
+            for b in terminals[i + 1 :]:
+                b_idx = self.node_index[b]
+                if b_idx not in distances_a:
+                    raise DisconnectedTerminalsError(
+                        f"terminals {a!r} and {b!r} are not connected"
+                    )
+                pairs.append((distances_a[b_idx], a, b))
+
+        # Kruskal MST over the distance network.
+        pairs.sort()
+        parent: Dict[str, str] = {t: t for t in terminals}
+
+        def find(node: str) -> str:
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+
+        expanded_edges: Set[str] = set()
+        for _, a, b in pairs:
+            root_a, root_b = find(a), find(b)
+            if root_a == root_b:
+                continue
+            parent[root_a] = root_b
+            path = self._path_edges(shortest[a][1], self.node_index[b])
+            expanded_edges |= {self.edge_ids[i] for i in path}
+
+        pruned = prune_to_tree(self.graph, expanded_edges, terminals)
+        return SteinerTree.from_edges(self.graph, pruned, terminals)
+
+    # ------------------------------------------------------------------
+    # Default dispatch (exact at small terminal counts, else approximate)
+    # ------------------------------------------------------------------
+    def default_tree(
+        self,
+        terminals: Sequence[str],
+        excluded: AbstractSet[int] = _EMPTY,
+        exact_terminal_limit: int = 5,
+    ) -> SteinerTree:
+        """Exact DP for few terminals, distance-network approximation otherwise."""
+        if len(set(terminals)) <= exact_terminal_limit:
+            try:
+                return self.exact_tree(terminals, excluded, max_terminals=exact_terminal_limit)
+            except DisconnectedTerminalsError:
+                raise
+            except SteinerError:
+                pass  # solver-capability failure: fall back to the approximation
+        return self.approximate_tree(terminals, excluded)
+
+
+def prune_to_tree(graph: SearchGraph, edge_ids: Set[str], terminals: Sequence[str]) -> Set[str]:
+    """Extract a spanning tree of the edge set and prune non-terminal leaves.
+
+    (Unchanged seed logic; operates on edge-id strings so that equal-cost
+    tie-breaks in the Kruskal sort match the seed implementation exactly.)
+    """
+    nodes: Set[str] = set(terminals)
+    for edge_id in edge_ids:
+        edge = graph.edge(edge_id)
+        nodes.add(edge.u)
+        nodes.add(edge.v)
+
+    # Minimum spanning forest over the selected edges (Kruskal).
+    parent: Dict[str, str] = {node: node for node in nodes}
+
+    def find(node: str) -> str:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    selected: Set[str] = set()
+    for edge_id in sorted(edge_ids, key=graph.edge_cost_by_id):
+        edge = graph.edge(edge_id)
+        root_u, root_v = find(edge.u), find(edge.v)
+        if root_u != root_v:
+            parent[root_u] = root_v
+            selected.add(edge_id)
+
+    # Iteratively remove non-terminal leaves.
+    terminal_set = set(terminals)
+    changed = True
+    while changed:
+        changed = False
+        degree: Dict[str, int] = {}
+        incident: Dict[str, List[str]] = {}
+        for edge_id in selected:
+            edge = graph.edge(edge_id)
+            for endpoint in edge.endpoints():
+                degree[endpoint] = degree.get(endpoint, 0) + 1
+                incident.setdefault(endpoint, []).append(edge_id)
+        for node, node_degree in degree.items():
+            if node_degree == 1 and node not in terminal_set:
+                selected.discard(incident[node][0])
+                changed = True
+                break
+    return selected

@@ -10,7 +10,9 @@ order and deduplicated by edge set.
 The base solver is chosen automatically: the exact Dreyfus–Wagner DP for
 small terminal sets, the distance-network approximation otherwise — matching
 the paper's "exact algorithm at small scales, approximation at larger
-scales".
+scales".  All re-solves run over one shared
+:class:`~repro.steiner.network.SteinerNetwork` snapshot of the graph, so the
+branching loop never copies the graph or re-derives edge costs.
 
 Note: with exclusion-only branching the enumeration is exact for ``k = 1``
 and a high-quality heuristic for ``k > 1`` (it can, in adversarial graphs,
@@ -28,8 +30,7 @@ from typing import Callable, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import SteinerError
 from ..graph.search_graph import SearchGraph
-from .approx import approximate_steiner_tree
-from .exact import exact_steiner_tree
+from .network import SteinerNetwork
 from .tree import SteinerTree, validate_terminals
 
 SolverFn = Callable[[SearchGraph, Sequence[str]], SteinerTree]
@@ -37,14 +38,9 @@ SolverFn = Callable[[SearchGraph, Sequence[str]], SteinerTree]
 
 def default_solver(graph: SearchGraph, terminals: Sequence[str], exact_terminal_limit: int = 5) -> SteinerTree:
     """Pick the exact DP for few terminals, the approximation otherwise."""
-    if len(set(terminals)) <= exact_terminal_limit:
-        try:
-            return exact_steiner_tree(graph, terminals, max_terminals=exact_terminal_limit)
-        except SteinerError as error:
-            if "not connected" in str(error):
-                raise
-            # Too many terminals for the exact solver: fall through.
-    return approximate_steiner_tree(graph, terminals)
+    return SteinerNetwork(graph).default_tree(
+        terminals, exact_terminal_limit=exact_terminal_limit
+    )
 
 
 @dataclass
@@ -54,7 +50,9 @@ class KBestSteiner:
     Parameters
     ----------
     solver:
-        Base single-tree solver; defaults to :func:`default_solver`.
+        Base single-tree solver; when omitted, the default exact/approximate
+        dispatch runs directly on a shared graph snapshot (fast path).  A
+        custom solver is honoured through the legacy graph-copy protocol.
     max_expansions:
         Upper bound on branching expansions, guarding against blow-up on
         dense graphs.
@@ -68,11 +66,19 @@ class KBestSteiner:
         if k < 1:
             raise ValueError("k must be >= 1")
         terminals = validate_terminals(graph, terminals)
-        solver = self.solver or default_solver
+        network = SteinerNetwork(graph) if self.solver is None else None
+
+        def base_solve(excluded_edge_ids: FrozenSet[str]) -> SteinerTree:
+            if network is not None:
+                return network.default_tree(
+                    terminals, excluded=network.edge_indexes(excluded_edge_ids)
+                )
+            reduced = self._graph_without(graph, excluded_edge_ids)
+            return self.solver(reduced, terminals)  # type: ignore[misc]
 
         try:
-            best = solver(graph, terminals)
-        except SteinerError:
+            best = base_solve(frozenset())
+        except SteinerError:  # including DisconnectedTerminalsError
             return []
 
         results: List[SteinerTree] = []
@@ -100,9 +106,8 @@ class KBestSteiner:
                     break
                 expansions += 1
                 new_excluded = excluded | {edge_id}
-                reduced = self._graph_without(graph, new_excluded)
                 try:
-                    candidate = solver(reduced, terminals)
+                    candidate = base_solve(new_excluded)
                 except SteinerError:
                     continue
                 # Re-cost against the original graph (costs are identical,

@@ -86,6 +86,36 @@ class TestExactSteiner:
             validate_terminals(diamond_graph, [])
 
 
+class TestTwoTerminalTieBreak:
+    def test_equal_cost_witness_matches_dp_choice(self):
+        """The 2-terminal fast path must pick the same equal-cost path as
+        the Dreyfus–Wagner DP did in the seed implementation (whose witness
+        is the Dijkstra tree rooted at the *second* terminal)."""
+        edges = [
+            ("A", "x", 1.0),
+            ("x", "B", 3.0),
+            ("A", "y1", 3.0),
+            ("y1", "y2", 0.5),
+            ("y2", "B", 0.5),
+        ]
+        graph = SearchGraph()
+        nodes = {u for u, _, _ in edges} | {v for _, v, _ in edges}
+        for name in sorted(nodes):
+            graph.add_node(Node(node_id=name, kind=NodeKind.RELATION, label=name, relation=name))
+        by_pair = {}
+        for u, v, cost in edges:
+            edge = Edge.create(u, v, EdgeKind.ASSOCIATION)
+            edge.features = FeatureVector({edge_feature(edge.edge_id): 1.0})
+            graph.weights.set(edge_feature(edge.edge_id), cost)
+            graph.add_edge(edge)
+            by_pair[(u, v)] = edge.edge_id
+        tree = exact_steiner_tree(graph, ["A", "B"])
+        assert tree.cost == pytest.approx(4.0)
+        # Seed DP choice among the two cost-4 paths: the y-path.
+        expected = {by_pair[("A", "y1")], by_pair[("y1", "y2")], by_pair[("y2", "B")]}
+        assert tree.edge_ids == frozenset(expected)
+
+
 class TestApproximateSteiner:
     def test_matches_exact_on_small_graph(self, diamond_graph):
         exact = exact_steiner_tree(diamond_graph, ["a", "d"])
