@@ -35,10 +35,9 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.alignment import ExhaustiveAligner, PreferentialAligner, ViewBasedAligner
+from repro.api import QService, QueryRequest, ServiceConfig
 from repro.core import (
     GoldStandard,
-    QSystem,
-    QSystemConfig,
     RankedView,
     evaluate_top_y,
     gold_vs_nongold_costs,
@@ -56,7 +55,7 @@ from repro.datasets import (
 )
 from repro.datastore.database import Catalog, DataSource
 from repro.graph import QueryGraphBuilder, SearchGraph
-from repro.learning import FeedbackEvent, OnlineLearner
+from repro.learning import FeedbackEvent
 from repro.matching import (
     Correspondence,
     MadMatcher,
@@ -373,7 +372,7 @@ def run_table1_experiment(y_values: Sequence[int] = (1, 2, 5)) -> List[Dict[str,
 class FeedbackTrainingResult:
     """Artifacts of a feedback-training run over the InterPro–GO dataset."""
 
-    system: QSystem
+    system: QService
     dataset: object
     views: List[RankedView] = field(default_factory=list)
     events: List[FeedbackEvent] = field(default_factory=list)
@@ -392,18 +391,26 @@ def run_feedback_training(
 
     Bootstraps the combined matchers at top-Y, creates one view per keyword
     query, generates one simulated gold-consistent feedback event per view,
-    and applies the event stream ``repetitions`` times, recording the average
-    gold / non-gold edge costs and precision-at-recall after every step.
+    and applies the event stream ``repetitions`` times through the service's
+    persistent learner, recording the average gold / non-gold edge costs and
+    precision-at-recall after every step.  The lazy pull-based service never
+    refreshes a view during training — the metrics read the search graph
+    directly, so replay cost is pure learning, not view maintenance.
     """
     dataset = build_interpro_go()
-    system = QSystem(
-        sources=dataset.catalog.sources(), config=QSystemConfig(top_k=k, top_y=top_y)
+    service = QService(
+        sources=dataset.catalog.sources(), config=ServiceConfig(top_k=k, top_y=top_y)
     )
-    system.bootstrap_alignments(top_y=top_y)
+    service.bootstrap_alignments(top_y=top_y)
 
-    result = FeedbackTrainingResult(system=system, dataset=dataset)
+    result = FeedbackTrainingResult(system=service, dataset=dataset)
     for keywords in dataset.keyword_queries[:num_queries]:
-        view = system.create_view(list(keywords), k=k)
+        # Solve-only creation: the training loop never reads answers, so
+        # query execution is skipped entirely.
+        info = service.create_view(
+            QueryRequest(keywords=tuple(keywords), k=k), materialize=False
+        )
+        view = service.view(info.view_id)
         event = simulated_feedback_for_view(view, dataset.gold)
         if event is None:
             continue
@@ -413,11 +420,10 @@ def run_feedback_training(
     step = 0
     for _ in range(repetitions):
         for view, event in zip(result.views, result.events):
-            learner = OnlineLearner(view.query_graph.graph, k=k)
-            learner.process(event)
+            service.apply_feedback_events(view, [event], repetitions=1)
             step += 1
             if record_history:
-                gap = gold_vs_nongold_costs(system.graph, dataset.gold)
+                gap = gold_vs_nongold_costs(service.graph, dataset.gold)
                 result.cost_history.append(
                     {
                         "step": step,
@@ -425,7 +431,7 @@ def run_feedback_training(
                         "non_gold_avg_cost": gap.non_gold_average,
                     }
                 )
-                curve = precision_recall_curve(system.graph, dataset.gold)
+                curve = precision_recall_curve(service.graph, dataset.gold)
                 result.pr_history.append(
                     {
                         "step": step,

@@ -2,14 +2,17 @@
 
 The matchers inevitably propose some wrong alignments (e.g. ``go.term.name``
 aligned with ``interpro.entry.name`` just because both are called "name").
-This example shows how feedback on query answers repairs the search graph:
+This example shows how feedback on query answers repairs the search graph
+through the typed service API:
 
 1. bootstrap the matchers over the InterPro–GO dataset (no foreign keys —
    the system has to *discover* the joins);
 2. show the initial state: gold and non-gold alignment edges have similar
    costs, so the top-ranked query trees use bogus joins;
 3. apply simulated domain-expert feedback (one gold-consistent answer per
-   keyword query, replayed) through the MIRA learner;
+   keyword query, replayed) through the service's single persistent MIRA
+   learner — note that **no view is refreshed during the replay**: the
+   service prices mutations lazily, at read time;
 4. show that gold edges become much cheaper than non-gold edges and that
    the precision/recall of the surviving alignments improves.
 
@@ -25,18 +28,17 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import QSystem, QSystemConfig
+from repro.api import QService, QueryRequest, ServiceConfig
 from repro.core import gold_vs_nongold_costs, max_precision_at_recall, precision_recall_curve
 from repro.core.simulated_feedback import simulated_feedback_for_view
 from repro.datasets import build_interpro_go
-from repro.learning import OnlineLearner
 
 
-def describe_graph(system, gold, label: str) -> None:
-    gap = gold_vs_nongold_costs(system.graph, gold)
-    curve = precision_recall_curve(system.graph, gold)
+def describe_graph(service: QService, gold, label: str) -> None:
+    gap = gold_vs_nongold_costs(service.graph, gold)
+    curve = precision_recall_curve(service.graph, gold)
     print(f"\n--- {label} ---")
-    print(f"  association edges: {len(system.graph.association_edges())}")
+    print(f"  association edges: {len(service.graph.association_edges())}")
     print(f"  avg cost of gold edges:     {gap.gold_average:8.3f}")
     print(f"  avg cost of non-gold edges: {gap.non_gold_average:8.3f}")
     print(f"  best precision at recall >= 50%:  {max_precision_at_recall(curve, 0.5):.3f}")
@@ -45,39 +47,46 @@ def describe_graph(system, gold, label: str) -> None:
 
 def main() -> None:
     dataset = build_interpro_go()  # joins removed from the metadata on purpose
-    system = QSystem(
+    service = QService(
         sources=dataset.catalog.sources(),
-        config=QSystemConfig(top_k=5, top_y=2),
+        config=ServiceConfig(top_k=5, top_y=2),
     )
-    system.bootstrap_alignments(top_y=2)
-    describe_graph(system, dataset.gold, "Before feedback (matcher output only)")
+    service.bootstrap_alignments(top_y=2)
+    describe_graph(service, dataset.gold, "Before feedback (matcher output only)")
 
     # Create the ten documentation-derived keyword views and one simulated
     # gold-consistent feedback event per view.
     events = []
     for keywords in dataset.keyword_queries:
-        view = system.create_view(list(keywords), k=5)
+        info = service.create_view(QueryRequest(keywords=tuple(keywords), k=5))
+        view = service.view(info.view_id)
         event = simulated_feedback_for_view(view, dataset.gold)
         if event is not None:
             events.append((view, event))
     print(f"\nSimulated feedback prepared for {len(events)} keyword queries")
 
     # Apply the feedback, replaying the log four times (as in the paper).
+    # Every event flows through the session's one persistent learner; views
+    # are left stale on purpose — the next read pays for exactly one refresh.
     for repetition in range(4):
         for view, event in events:
-            learner = OnlineLearner(view.query_graph.graph, k=5)
-            learner.process(event)
-        gap = gold_vs_nongold_costs(system.graph, dataset.gold)
+            service.apply_feedback_events(view, [event], repetitions=1)
+        gap = gold_vs_nongold_costs(service.graph, dataset.gold)
         print(f"  after replay {repetition + 1}: gold avg cost {gap.gold_average:6.2f}  "
               f"non-gold avg cost {gap.non_gold_average:6.2f}")
 
-    describe_graph(system, dataset.gold, "After feedback (10 queries x 4 replays)")
+    describe_graph(service, dataset.gold, "After feedback (10 queries x 4 replays)")
+    stats = service.stats()
+    print(f"\nLazy consistency: {stats.learner_steps} learner steps, "
+          f"{stats.view_refreshes} view refreshes performed, "
+          f"{stats.view_refreshes_skipped} skipped")
 
     # The view over 'membrane'/'title' now produces answers through the
-    # correct GO -> InterPro -> publication join path.
-    view = system.create_view(["membrane", "title"], k=5)
-    answers = view.answers()
-    print(f"\nView {view.keywords}: {len(answers)} ranked answers after feedback")
+    # correct GO -> InterPro -> publication join path.  Streaming the
+    # answers is the read that finally pays for one refresh per view used.
+    request = QueryRequest(keywords=("membrane", "title"), k=5)
+    answers = list(service.stream_answers(request))
+    print(f"\nView {list(request.keywords)}: {len(answers)} ranked answers after feedback")
     for answer in answers[:5]:
         populated = {k: v for k, v in answer.values.items() if v is not None}
         print(f"  cost={answer.cost:.3f}  {populated}")

@@ -1,10 +1,12 @@
 """Automatically incorporating a newly registered source (paper Section 3).
 
 Starts from an InterPro-only system with a user view over it, then registers
-the GO database as a *new* source.  The three aligner strategies —
-EXHAUSTIVE, VIEWBASEDALIGNER and PREFERENTIALALIGNER — are compared on how
-many pairwise attribute comparisons they need to incorporate the source, and
-the view is refreshed with the newly discovered alignments.
+the GO database as a *new* source through the typed service API.  The three
+aligner strategies — EXHAUSTIVE, VIEWBASEDALIGNER and PREFERENTIALALIGNER,
+now members of the :class:`repro.api.AlignmentStrategy` enum — are compared
+on how many pairwise attribute comparisons they need to incorporate the
+source, and the view picks up the newly discovered alignments on its next
+read (lazy pull — registration itself refreshes nothing).
 
 Run with::
 
@@ -18,61 +20,78 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import QSystem, QSystemConfig
+from repro.api import (
+    AlignmentStrategy,
+    QService,
+    QueryRequest,
+    RegisterSourceRequest,
+    ServiceConfig,
+)
 from repro.datasets import build_interpro_go
 
 
-def build_system_without_go():
-    """A Q system that initially knows only the InterPro source."""
+def build_service_without_go():
+    """A Q service session that initially knows only the InterPro source."""
     dataset = build_interpro_go(include_foreign_keys=True)
-    system = QSystem(
+    service = QService(
         sources=[dataset.interpro],
-        config=QSystemConfig(top_k=5, top_y=2),
+        config=ServiceConfig(top_k=5, top_y=2),
     )
-    system.bootstrap_alignments(top_y=2)
-    return dataset, system
+    service.bootstrap_alignments(top_y=2)
+    return dataset, service
 
 
 def main() -> None:
     print("=== 1. Initial system: InterPro only ===")
-    dataset, system = build_system_without_go()
-    view = system.create_view(["kinase", "title"], k=5)
-    print(f"View over {view.keywords}: {len(view.trees())} trees, alpha={view.alpha:.3f}")
+    dataset, service = build_service_without_go()
+    info = service.create_view(QueryRequest(keywords=("kinase", "title"), k=5))
+    print(f"View over {list(info.keywords)}: {info.tree_count} trees, alpha={info.alpha:.3f}")
 
     print("\n=== 2. A new source (GO) is registered ===")
     go_source = dataset.go
     print(f"New source {go_source.name!r}: "
           f"{go_source.relation_count} relation(s), {go_source.attribute_count} attributes")
 
-    results = {}
-    for strategy in ("exhaustive", "view_based", "preferential"):
+    for strategy in AlignmentStrategy:
         # Re-create the pre-registration state for a fair comparison.
-        dataset_copy, system_copy = build_system_without_go()
-        view_copy = system_copy.create_view(["kinase", "title"], k=5)
-        result = system_copy.register_source(
-            dataset_copy.go, strategy=strategy, view=view_copy, max_relations=3
+        dataset_copy, service_copy = build_service_without_go()
+        view_info = service_copy.create_view(QueryRequest(keywords=("kinase", "title"), k=5))
+        response = service_copy.register_source(
+            RegisterSourceRequest(
+                source=dataset_copy.go,
+                strategy=strategy,
+                view=view_info.view_id,
+                max_relations=3,
+            )
         )
-        results[strategy] = result
-        print(f"  {strategy:<14} candidate relations={len(result.candidate_relations):>2}  "
-              f"attribute comparisons={result.attribute_comparisons:>4}  "
-              f"new association edges={len(result.edges_added):>2}  "
-              f"time={result.elapsed_seconds * 1000:.1f} ms")
+        print(f"  {strategy.value:<14} candidate relations={len(response.candidate_relations):>2}  "
+              f"attribute comparisons={response.attribute_comparisons:>4}  "
+              f"new association edges={response.edges_added:>2}  "
+              f"time={response.elapsed_seconds * 1000:.1f} ms")
 
     print("\n=== 3. The view sees the new source's alignments ===")
-    # Register GO into the original system using the view-based strategy.
-    result = system.register_source(go_source, strategy="view_based", view=view)
-    go_alignments = [
-        edge for edge in result.edges_added
-    ]
-    print(f"Association edges added for {go_source.name!r}: {len(go_alignments)}")
-    for edge in go_alignments:
-        node_u = system.graph.node(edge.u)
-        node_v = system.graph.node(edge.v)
+    # Register GO into the original session using the view-based strategy.
+    response = service.register_source(
+        RegisterSourceRequest(
+            source=go_source,
+            strategy=AlignmentStrategy.VIEW_BASED,
+            view=info.view_id,
+        )
+    )
+    print(f"Association edges added for {go_source.name!r}: {response.edges_added}")
+    for edge in response.alignment.edges_added:
+        node_u = service.graph.node(edge.u)
+        node_v = service.graph.node(edge.v)
         print(f"  {node_u.relation}.{node_u.attribute}  <->  "
               f"{node_v.relation}.{node_v.attribute}   "
               f"(matchers: {edge.metadata.get('matchers')})")
-    print(f"\nView refreshed: {len(view.trees())} trees, "
-          f"{len(view.answers())} ranked answers")
+
+    # The registration refreshed nothing; this read pulls the view up to
+    # date (one rebuild + refresh) and streams the re-ranked answers.
+    fresh = service.view_info(info.view_id)
+    answers = list(service.stream_answers(QueryRequest(view=info.view_id)))
+    print(f"\nView pulled fresh on read: {fresh.tree_count} trees, "
+          f"{len(answers)} ranked answers")
 
 
 if __name__ == "__main__":

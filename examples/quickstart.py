@@ -1,8 +1,9 @@
 """Quickstart: keyword search over two interlinked bioinformatics sources.
 
 Builds a small GO + InterPro catalog (with its foreign keys), lets the
-matchers propose cross-source alignments, and runs a keyword query as a
-ranked top-k view — the core loop of the Q system (paper Sections 2.1-2.2).
+matchers propose cross-source alignments, and streams the ranked answers of
+a keyword query page by page through the typed service API (``repro.api``)
+— the core loop of the Q system (paper Sections 2.1-2.2).
 
 Run with::
 
@@ -16,51 +17,63 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import QSystem, QSystemConfig
+from repro.api import QService, QueryRequest, ServiceConfig
 from repro.datasets import build_interpro_go
 from repro.datastore.sqlgen import query_to_sql
 
 
 def main() -> None:
     # ------------------------------------------------------------------
-    # 1. Register the initial sources (GO and InterPro, with foreign keys).
+    # 1. Open a service session over the initial sources (GO + InterPro).
     # ------------------------------------------------------------------
     dataset = build_interpro_go(include_foreign_keys=True)
-    system = QSystem(
+    service = QService(
         sources=dataset.catalog.sources(),
-        config=QSystemConfig(top_k=5, top_y=2),
+        config=ServiceConfig(top_k=5, top_y=2, default_page_size=5),
     )
-    print(f"Catalog: {system.catalog.source_count} sources, "
-          f"{system.catalog.relation_count} relations, "
-          f"{system.catalog.attribute_count} attributes")
+    stats = service.stats()
+    print(f"Catalog: {stats.sources} sources, "
+          f"{stats.relations} relations, {stats.attributes} attributes")
 
     # ------------------------------------------------------------------
     # 2. Let the matcher ensemble (metadata + MAD) propose alignments.
+    #    Lazy semantics: this only moves the graph's structure version —
+    #    no view exists yet, and none would be refreshed if it did.
     # ------------------------------------------------------------------
-    correspondences = system.bootstrap_alignments(top_y=2)
+    correspondences = service.bootstrap_alignments(top_y=2)
     print(f"Matchers proposed {len(correspondences)} correspondences; "
-          f"{len(system.graph.association_edges())} association edges installed")
+          f"{len(service.graph.association_edges())} association edges installed")
 
     # ------------------------------------------------------------------
-    # 3. Ask a keyword query; Q builds a ranked top-k view.
+    # 3. Ask a keyword query; Q builds a ranked top-k view and streams
+    #    its answers lazily: each page executes only the queries it needs.
     # ------------------------------------------------------------------
-    view = system.create_view(["membrane", "title"], k=5)
-    print(f"\nKeyword query: {view.keywords}")
-    print(f"Query trees retained: {len(view.trees())}   (alpha = {view.alpha:.3f})")
+    request = QueryRequest(keywords=("membrane", "title"), k=5)
+    # materialize=False: solve the ranking now, execute queries only as
+    # the answer stream is consumed.
+    info = service.create_view(request, materialize=False)
+    print(f"\nKeyword query: {list(info.keywords)}  (view id: {info.view_id})")
+    print(f"Query trees retained: {info.tree_count}   (alpha = {info.alpha:.3f})")
 
+    view = service.view(info.view_id)
     print("\nTop query interpretations (as SQL):")
     for generated in view.state.queries[:2]:
         print(f"\n-- cost {generated.query.cost:.3f} ({generated.signature})")
         print(query_to_sql(generated.query))
 
-    print("\nRanked answers:")
-    answers = view.answers()
-    if not answers:
+    print("\nRanked answers (streamed):")
+    # Pull pages one at a time and stop after the first: the queries behind
+    # the remaining pages are never executed.
+    page = next(iter(service.answers(request)), None)
+    if page is None:
         print("  (no answers under the current alignments — "
               "see feedback_correction.py for how feedback repairs this)")
-    for answer in answers[:5]:
-        populated = {k: v for k, v in answer.values.items() if v is not None}
-        print(f"  cost={answer.cost:.3f}  {populated}")
+    else:
+        for answer in page.answers:
+            populated = {k: v for k, v in answer.values.items() if v is not None}
+            print(f"  cost={answer.cost:.3f}  {populated}")
+        if page.has_more:
+            print("  ... more pages available (not executed)")
 
 
 if __name__ == "__main__":

@@ -16,36 +16,46 @@ The package implements the Q system end to end:
   the new-source registration service.
 * :mod:`repro.learning` — feedback generalization and MIRA-based learning of
   edge costs.
+* :mod:`repro.api` — **the supported public surface**: the
+  :class:`~repro.api.service.QService` session with typed request/response
+  objects, lazy pull-based views and streaming k-best answers.
 * :mod:`repro.core` — ranked views, query generation, evaluation metrics and
-  the :class:`~repro.core.qsystem.QSystem` facade.
+  the deprecated :class:`~repro.core.qsystem.QSystem` facade (a shim over
+  :class:`~repro.api.service.QService`).
 * :mod:`repro.datasets` — the InterPro–GO-like, GBCO-like and synthetic
   datasets used by the experiment harnesses in ``benchmarks/``.
 
 Quickstart
 ----------
->>> from repro import QSystem
+>>> from repro.api import QService, QueryRequest
 >>> from repro.datasets import build_interpro_go
 >>> dataset = build_interpro_go()
->>> system = QSystem(sources=dataset.catalog.sources())
->>> system.bootstrap_alignments(top_y=2)        # doctest: +SKIP
->>> view = system.create_view(["membrane", "publication"])   # doctest: +SKIP
->>> view.answers()[:3]                          # doctest: +SKIP
+>>> service = QService(sources=dataset.catalog.sources())
+>>> service.bootstrap_alignments(top_y=2)       # doctest: +SKIP
+>>> pages = service.answers(QueryRequest(keywords=("membrane", "publication")))
+>>> next(pages).answers[:3]                     # doctest: +SKIP
 """
 
+from . import api
+from .api.service import QService
+from .api.types import ServiceConfig
 from .core.qsystem import QSystem, QSystemConfig
 from .core.view import RankedView
 from .datastore.database import Catalog, DataSource
 from .graph.search_graph import GraphConfig, SearchGraph
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "Catalog",
     "DataSource",
     "GraphConfig",
+    "QService",
     "QSystem",
     "QSystemConfig",
     "RankedView",
     "SearchGraph",
+    "ServiceConfig",
+    "api",
     "__version__",
 ]

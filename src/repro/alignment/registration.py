@@ -48,6 +48,16 @@ class SourceRegistrar:
         self.history: List[RegistrationRecord] = []
         self._listeners: List[RegistrationListener] = []
 
+    @property
+    def epoch(self) -> int:
+        """How many registrations have succeeded (a reporting counter).
+
+        Staleness for the lazy pull-based views is *not* tracked here — it
+        rides on the search graph's ``structure_version``, which every
+        registration bumps by adding nodes/edges.
+        """
+        return len(self.history)
+
     def add_listener(self, listener: RegistrationListener) -> None:
         """Register a callback invoked after each successful registration."""
         self._listeners.append(listener)

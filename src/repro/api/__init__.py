@@ -1,0 +1,85 @@
+"""repro.api — the typed, supported public surface of the Q reproduction.
+
+Entry point for query / feedback / registration traffic:
+
+* :class:`QService` — the session object (sources, views, feedback,
+  registration) with **lazy pull-based view consistency**: mutations bump
+  version counters, reads refresh at most once when stale.
+* Frozen request/response dataclasses — :class:`QueryRequest`,
+  :class:`AnswerPage`, :class:`RegisterSourceRequest`,
+  :class:`FeedbackRequest`, :class:`SystemStats` and friends.
+* :class:`AlignmentStrategy` — typed strategy dispatch (plus the matcher
+  registry in :mod:`repro.matching`).
+* Typed errors in :mod:`repro.api.errors`, all deriving from
+  :class:`~repro.exceptions.QError`.
+
+Quickstart
+----------
+>>> from repro.api import QService, QueryRequest
+>>> from repro.datasets import build_interpro_go
+>>> service = QService(sources=build_interpro_go().catalog.sources())
+>>> service.bootstrap_alignments(top_y=2)             # doctest: +SKIP
+>>> for page in service.answers(QueryRequest(keywords=("membrane", "title"))):
+...     print(page.index, len(page.answers))          # doctest: +SKIP
+
+The legacy :class:`repro.QSystem` facade remains importable but delegates
+here and emits a :class:`DeprecationWarning`.
+"""
+
+from .errors import (
+    InvalidRequestError,
+    QError,
+    RegistrationError,
+    UnknownMatcherError,
+    UnknownStrategyError,
+    UnknownViewError,
+)
+from .service import QService
+from .strategies import (
+    AlignerSpec,
+    AlignmentStrategy,
+    available_strategies,
+    build_aligner,
+    register_aligner,
+)
+from .streaming import drain, paginate
+from .types import (
+    AnswerPage,
+    FeedbackRequest,
+    FeedbackResponse,
+    QueryRequest,
+    RegisterSourceRequest,
+    RegistrationResponse,
+    ServiceConfig,
+    SystemStats,
+    ViewInfo,
+)
+from .views import ViewRecord, ViewRegistry
+
+__all__ = [
+    "AlignerSpec",
+    "AlignmentStrategy",
+    "AnswerPage",
+    "FeedbackRequest",
+    "FeedbackResponse",
+    "InvalidRequestError",
+    "QError",
+    "QService",
+    "QueryRequest",
+    "RegisterSourceRequest",
+    "RegistrationError",
+    "RegistrationResponse",
+    "ServiceConfig",
+    "SystemStats",
+    "UnknownMatcherError",
+    "UnknownStrategyError",
+    "UnknownViewError",
+    "ViewInfo",
+    "ViewRecord",
+    "ViewRegistry",
+    "available_strategies",
+    "build_aligner",
+    "drain",
+    "paginate",
+    "register_aligner",
+]

@@ -1,0 +1,29 @@
+"""Typed error surface of the service API.
+
+All errors derive from :class:`~repro.exceptions.QError` (the library-wide
+base), so existing ``except QError`` handlers keep working; the classes
+re-exported here are the ones the typed API raises on bad requests.  They
+are *defined* in :mod:`repro.exceptions` to keep the hierarchy in one
+module (lower layers such as :mod:`repro.matching` raise them too, without
+importing ``repro.api``).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import (
+    InvalidRequestError,
+    QError,
+    RegistrationError,
+    UnknownMatcherError,
+    UnknownStrategyError,
+    UnknownViewError,
+)
+
+__all__ = [
+    "InvalidRequestError",
+    "QError",
+    "RegistrationError",
+    "UnknownMatcherError",
+    "UnknownStrategyError",
+    "UnknownViewError",
+]

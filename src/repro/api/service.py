@@ -1,0 +1,473 @@
+"""The Q service session: typed, pull-based facade over the whole pipeline.
+
+:class:`QService` is the supported public surface of the reproduction (the
+deprecated :class:`~repro.core.qsystem.QSystem` delegates here).  It differs
+from the seed facade in three structural ways:
+
+**Lazy pull-based view consistency.**  Mutations — feedback, source
+registration, bootstrap alignment — no longer refresh any view.  They only
+move version counters (the shared :class:`~repro.graph.features.WeightVector`
+version, the search graph's ``structure_version``) and perform cheap
+invalidations (answer-cache drops on registration).  A view is refreshed *at
+most once, on read*, when its recorded ``(weights.version,
+structure_version)`` snapshot is stale.  Replaying ``n`` feedback events
+against ``v`` views therefore costs ``O(n + reads)`` refreshes instead of
+the eager model's ``O(n · v)``.
+
+**One persistent learner.**  The session owns a single
+:class:`~repro.learning.mira.OnlineLearner`; each feedback call hands it the
+originating view's query graph (where the keyword terminals live) while the
+weight vector — shared across all graphs — accumulates every update.  The
+seed rebuilt a learner per feedback call.
+
+**Streaming reads.**  :meth:`QService.answers` returns an iterator of
+:class:`~repro.api.types.AnswerPage`\\ s backed by
+:meth:`~repro.core.view.RankedView.stream_answers`: the k-best Steiner solve
+runs eagerly (it determines the ranking) but conjunctive-query execution is
+deferred until the stream reaches each query's answers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..alignment.base import AlignmentResult, install_associations
+from ..alignment.registration import SourceRegistrar
+from ..core.view import RankedView
+from ..datastore.database import Catalog, DataSource
+from ..datastore.provenance import AnswerTuple
+from ..engine.context import ExecutionContext
+from ..exceptions import InvalidRequestError, RegistrationError
+from ..graph.query_graph import QueryGraphBuilder
+from ..graph.search_graph import SearchGraph
+from ..learning.feedback import FeedbackEvent, FeedbackLog
+from ..learning.mira import OnlineLearner
+from ..matching.base import BaseMatcher, Correspondence, resolve_matcher
+from ..matching.ensemble import MatcherEnsemble
+from ..matching.mad import MadMatcher
+from ..matching.metadata_matcher import MetadataMatcher
+from ..matching.value_overlap import ValueOverlapFilter
+from .strategies import AlignerSpec, AlignmentStrategy, build_aligner
+from .streaming import paginate
+from .types import (
+    AnswerPage,
+    FeedbackRequest,
+    FeedbackResponse,
+    QueryRequest,
+    RegisterSourceRequest,
+    RegistrationResponse,
+    ServiceConfig,
+    SystemStats,
+    ViewInfo,
+    ViewRef,
+)
+from .views import ViewRecord, ViewRegistry
+
+
+class QService:
+    """A Q session: sources, views, feedback and registration behind typed requests.
+
+    Parameters
+    ----------
+    sources:
+        Initial (already interlinked) data sources.
+    matchers:
+        Matcher stack for bootstrap alignment and registration; defaults to
+        the metadata matcher plus MAD.
+    config:
+        Session knobs; see :class:`~repro.api.types.ServiceConfig`.
+    """
+
+    def __init__(
+        self,
+        sources: Optional[Iterable[DataSource]] = None,
+        matchers: Optional[Sequence[BaseMatcher]] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.catalog = Catalog(sources)
+        self.graph = SearchGraph(config=self.config.graph)
+        self.graph.add_catalog(self.catalog)
+        self.matchers: List[BaseMatcher] = (
+            list(matchers) if matchers else [MetadataMatcher(), MadMatcher()]
+        )
+        self.ensemble = MatcherEnsemble(self.matchers, top_y=self.config.top_y)
+        self.registrar = SourceRegistrar(self.catalog, self.graph)
+        self.views = ViewRegistry()
+        self.feedback_log = FeedbackLog(window_size=self.config.feedback_window)
+        self._builder: Optional[QueryGraphBuilder] = None
+        # One execution context for the whole session: all views share its
+        # scan and join-index caches; registration events invalidate it.
+        self.engine_context = ExecutionContext(self.catalog)
+        self.registrar.add_listener(self._on_registration)
+        #: The session's single persistent learner.  Feedback calls pass the
+        #: originating view's query graph per event; the shared weight
+        #: vector makes every update visible to all views.
+        self.learner = OnlineLearner(self.graph, k=self.config.top_k)
+        self._refreshes = 0
+        self._refreshes_skipped = 0
+
+    # ------------------------------------------------------------------
+    # Sources and alignments
+    # ------------------------------------------------------------------
+    def add_source(self, source: DataSource) -> None:
+        """Add a source to the catalog and graph *without* running alignment.
+
+        Used when setting up the initial, already-interlinked databases
+        (their joins come from foreign keys and hand-coded associations).
+        """
+        self.catalog.add_source(source)
+        self.graph.add_source(source)
+        self._invalidate_builder()
+
+    def bootstrap_alignments(self, top_y: Optional[int] = None) -> List[Correspondence]:
+        """Run the matcher ensemble over all current tables and install edges.
+
+        Reproduces the Section 5.2 setup.  Lazy semantics: installing the
+        association edges bumps the graph's ``structure_version``; no view
+        is refreshed here — each one rebuilds on its next read.
+        """
+        y = top_y if top_y is not None else self.config.top_y
+        ensemble = MatcherEnsemble(self.matchers, top_y=y)
+        alignments = ensemble.match_tables(self.catalog.all_tables())
+        correspondences: List[Correspondence] = []
+        for alignment in alignments:
+            for matcher_name, confidence in alignment.confidences.items():
+                correspondences.append(
+                    Correspondence(
+                        source=alignment.source,
+                        target=alignment.target,
+                        confidence=confidence,
+                        matcher=matcher_name,
+                    )
+                )
+        install_associations(self.graph, correspondences)
+        return correspondences
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def create_view(
+        self, request: Union[QueryRequest, Sequence[str]], materialize: bool = True
+    ) -> ViewInfo:
+        """Create a ranked view for a keyword query; returns its description.
+
+        Creation performs the view's first solve (trees, queries, α) and
+        records the version snapshot it ran against.  With ``materialize``
+        (the default) the answers are executed and cached immediately — the
+        seed semantics; pass ``materialize=False`` to defer all query
+        execution to the first streamed read (pure pay-per-page).
+        """
+        if not isinstance(request, QueryRequest):
+            request = QueryRequest(keywords=tuple(request))
+        if not request.keywords:
+            raise InvalidRequestError("create_view requires at least one keyword")
+        k = request.k if request.k is not None else self.config.top_k
+        if k < 1:
+            raise InvalidRequestError(f"k must be >= 1, got {k}")
+        view = RankedView(
+            list(request.keywords),
+            self.catalog,
+            self.graph,
+            k=k,
+            builder=self._query_builder(),
+            answer_limit=self.config.answer_limit,
+            engine_context=self.engine_context,
+        )
+        if materialize:
+            view.refresh()
+        else:
+            view.prepare()
+        record = self.views.add(view, request.name or " ".join(request.keywords))
+        self._mark_synced(record)
+        self._refreshes += 1
+        return self._info(record)
+
+    def view(self, ref: Union[ViewRef, ViewRecord]) -> RankedView:
+        """The live :class:`RankedView` behind a view reference."""
+        return self.views.resolve(ref).view
+
+    def view_info(self, ref: Union[ViewRef, ViewRecord]) -> ViewInfo:
+        """Fresh description of a view (pulls it up to date first)."""
+        record = self.views.resolve(ref)
+        self._sync_view(record)
+        return self._info(record)
+
+    def latest_view(self) -> Optional[ViewInfo]:
+        """The most recently created view, by explicit creation order."""
+        record = self.views.latest()
+        return self._info(record) if record is not None else None
+
+    def _info(self, record: ViewRecord) -> ViewInfo:
+        view = record.view
+        return ViewInfo(
+            view_id=record.view_id,
+            name=record.name,
+            keywords=tuple(view.keywords),
+            k=view.k,
+            created_index=record.created_index,
+            tree_count=len(view.state.trees),
+            alpha=view.alpha,
+        )
+
+    def _query_builder(self) -> QueryGraphBuilder:
+        if self._builder is None:
+            self._builder = QueryGraphBuilder(self.catalog)
+        return self._builder
+
+    def _invalidate_builder(self) -> None:
+        self._builder = None
+
+    # ------------------------------------------------------------------
+    # Lazy consistency
+    # ------------------------------------------------------------------
+    def _versions(self) -> Tuple[int, int]:
+        return self.graph.weights.version, self.graph.structure_version
+
+    def _mark_synced(self, record: ViewRecord) -> None:
+        weights_version, structure_version = self._versions()
+        record.synced_weights_version = weights_version
+        record.synced_structure_version = structure_version
+
+    def _is_stale(self, record: ViewRecord) -> bool:
+        weights_version, structure_version = self._versions()
+        return (
+            record.synced_weights_version != weights_version
+            or record.synced_structure_version != structure_version
+        )
+
+    def _needs_rebuild(self, record: ViewRecord) -> bool:
+        return record.synced_structure_version != self.graph.structure_version
+
+    def _sync_view(self, record: ViewRecord, force: bool = False) -> bool:
+        """Refresh ``record``'s view iff its version snapshot is stale.
+
+        This is the *only* place a materializing refresh happens; mutations
+        never call it.  Returns whether a refresh ran.  ``force`` refreshes
+        even on a current snapshot (the eager-compat path used by the
+        deprecated ``QSystem`` shim — still cheap, since the view's own
+        incremental machinery skips the solver when nothing moved).
+        """
+        stale = self._is_stale(record)
+        if not stale and not force:
+            self._refreshes_skipped += 1
+            return False
+        record.view.refresh(rebuild_graph=self._needs_rebuild(record))
+        self._mark_synced(record)
+        self._refreshes += 1
+        return True
+
+    def refresh_all_views(self, force: bool = False) -> int:
+        """Pull every view up to date; returns how many actually refreshed.
+
+        Exists for the eager-compat shim and for administrative warm-up;
+        ordinary clients never need it — reads pull on demand.
+        """
+        refreshed = 0
+        for record in self.views.records():
+            if self._sync_view(record, force=force):
+                refreshed += 1
+        return refreshed
+
+    # ------------------------------------------------------------------
+    # Answers (streaming reads)
+    # ------------------------------------------------------------------
+    def answers(self, request: QueryRequest) -> Iterator[AnswerPage]:
+        """Ranked answers of a view as a lazy stream of pages.
+
+        The read pulls the view's consistency (refreshing at most once if
+        stale), then streams: query execution happens page by page.
+        """
+        record = self._record_for_query(request)
+        stream = self._synced_stream(record)
+        page_size = (
+            request.page_size
+            if request.page_size is not None
+            else self.config.default_page_size
+        )
+        return paginate(stream, record.view_id, page_size, limit=request.limit)
+
+    def stream_answers(self, request: QueryRequest) -> Iterator[AnswerTuple]:
+        """Like :meth:`answers` but yielding raw answers without paging."""
+        record = self._record_for_query(request)
+        stream = self._synced_stream(record)
+        if request.limit is not None:
+            return itertools.islice(stream, request.limit)
+        return stream
+
+    def _record_for_query(self, request: QueryRequest) -> ViewRecord:
+        if request.view is not None:
+            record = self.views.resolve(request.view)
+            self._check_k(record, request)
+            return record
+        if not request.keywords:
+            raise InvalidRequestError("QueryRequest needs keywords or a view reference")
+        name = request.name or " ".join(request.keywords)
+        record = self.views.find_by_name(name)
+        if record is not None:
+            self._check_k(record, request)
+            return record
+        # Auto-created views defer all query execution to the stream: the
+        # first read is genuinely pay-per-page.
+        info = self.create_view(request, materialize=False)
+        return self.views.resolve(info.view_id)
+
+    @staticmethod
+    def _check_k(record: ViewRecord, request: QueryRequest) -> None:
+        """A request must not silently get a ranking of a different width."""
+        if request.k is not None and record.view.k != request.k:
+            raise InvalidRequestError(
+                f"view {record.name!r} ({record.view_id}) has k={record.view.k}; "
+                f"the request asked for k={request.k} — omit k to read the "
+                "existing ranking, or create a view under another name"
+            )
+
+    def _synced_stream(self, record: ViewRecord) -> Iterator[AnswerTuple]:
+        """A ranked answer stream whose solve honors the lazy-sync contract."""
+        stale = self._is_stale(record)
+        stream = record.view.stream_answers(
+            rebuild_graph=stale and self._needs_rebuild(record)
+        )
+        if stale:
+            self._refreshes += 1
+        else:
+            self._refreshes_skipped += 1
+        self._mark_synced(record)
+        return stream
+
+    # ------------------------------------------------------------------
+    # Registration of new sources
+    # ------------------------------------------------------------------
+    def register_source(self, request: RegisterSourceRequest) -> RegistrationResponse:
+        """Register a new source and align it against the existing graph.
+
+        Lazy semantics: the registration invalidates the shared execution
+        context and every view's answer cache exactly once (they may hold
+        rows of mutated relations), and the graph's ``structure_version``
+        moves — but no view is refreshed; each rebuilds on its next read.
+        """
+        strategy = AlignmentStrategy.coerce(request.strategy)
+        matcher = (
+            resolve_matcher(request.matcher)
+            if request.matcher is not None
+            else self.matchers[0]
+        )
+        value_filter = None
+        if request.value_filter:
+            tables = self.catalog.all_tables() + list(request.source.tables())
+            value_filter = ValueOverlapFilter.from_tables(tables)
+
+        driving_view: Optional[RankedView] = None
+        if strategy is AlignmentStrategy.VIEW_BASED:
+            record = (
+                self.views.resolve(request.view)
+                if request.view is not None
+                else self.views.latest()
+            )
+            if record is None:
+                raise RegistrationError(
+                    "view_based registration requires an existing view; create one first"
+                )
+            # The driving view's α must reflect the current weights: pull it.
+            self._sync_view(record)
+            driving_view = record.view
+
+        aligner = build_aligner(
+            strategy,
+            AlignerSpec(
+                matcher=matcher,
+                top_y=self.config.top_y,
+                value_filter=value_filter,
+                max_relations=request.max_relations,
+                view=driving_view,
+            ),
+        )
+        result = self.registrar.register(request.source, aligner)
+        self._invalidate_builder()
+        return RegistrationResponse(
+            source=request.source.name,
+            strategy=strategy,
+            edges_added=len(result.edges_added),
+            attribute_comparisons=result.attribute_comparisons,
+            candidate_relations=tuple(result.candidate_relations),
+            elapsed_seconds=result.elapsed_seconds,
+            alignment=result,
+        )
+
+    def _on_registration(self, source: DataSource, result: AlignmentResult) -> None:
+        # A new source changes both the data and the graph structure: drop
+        # the engine's shared scan/join-index caches and every view's
+        # per-signature answer cache — once, at mutation time.  The refresh
+        # itself is deferred to each view's next read.
+        del source, result
+        self.engine_context.invalidate()
+        for record in self.views.records():
+            record.view.invalidate_cache()
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def feedback(self, request: FeedbackRequest) -> FeedbackResponse:
+        """Apply user feedback on one answer of a view.
+
+        The annotation is generalized to the producing query tree, logged,
+        and fed to the session's persistent MIRA learner on the view's query
+        graph (whose weight vector is shared with the search graph, so all
+        views see the adjusted costs on their next read — no view is
+        refreshed here).
+        """
+        record = self.views.resolve(request.view)
+        event = record.view.annotate(request.answer, request.kind, other=request.other)
+        self.feedback_log.add(event)
+        results = self.learner.replay(
+            [event], request.replay, graph=record.view.query_graph.graph
+        )
+        return FeedbackResponse(
+            view_id=record.view_id,
+            events=(event,),
+            steps_processed=len(results),
+            weight_change=sum(step.weight_change for step in results),
+            weights_version=self.graph.weights.version,
+        )
+
+    def apply_feedback_events(
+        self,
+        view: Union[ViewRef, ViewRecord],
+        events: Sequence[FeedbackEvent],
+        repetitions: int = 1,
+    ) -> FeedbackResponse:
+        """Apply pre-built feedback events (used by the experiment harnesses)."""
+        record = self.views.resolve(view)
+        for event in events:
+            self.feedback_log.add(event)
+        results = self.learner.replay(
+            list(events), repetitions, graph=record.view.query_graph.graph
+        )
+        return FeedbackResponse(
+            view_id=record.view_id,
+            events=tuple(events),
+            steps_processed=len(results),
+            weight_change=sum(step.weight_change for step in results),
+            weights_version=self.graph.weights.version,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> SystemStats:
+        """Aggregate session counters (a cheap read; refreshes nothing)."""
+        weights_version, structure_version = self._versions()
+        return SystemStats(
+            sources=self.catalog.source_count,
+            relations=self.catalog.relation_count,
+            attributes=self.catalog.attribute_count,
+            views=len(self.views),
+            feedback_events=len(self.feedback_log),
+            learner_steps=self.learner.steps_processed,
+            registrations=self.registrar.epoch,
+            weights_version=weights_version,
+            structure_version=structure_version,
+            view_refreshes=self._refreshes,
+            view_refreshes_skipped=self._refreshes_skipped,
+        )

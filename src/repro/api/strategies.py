@@ -1,0 +1,165 @@
+"""Typed alignment-strategy dispatch: enum + aligner factory registry.
+
+The seed :class:`~repro.core.qsystem.QSystem` dispatched aligner strategies
+on raw strings (``strategy="view_based"``), failing with an untyped message
+on typos.  The service API replaces that with :class:`AlignmentStrategy`
+— an enum whose values coincide with the historical strings, so persisted
+configuration keeps working — and a registry mapping each strategy to a
+factory that builds the concrete :class:`~repro.alignment.base.BaseAligner`
+from an :class:`AlignerSpec`.  Unknown names raise
+:class:`~repro.exceptions.UnknownStrategyError`, which lists the valid
+options.
+
+Third-party strategies can join the dispatch by calling
+:func:`register_aligner` with their own factory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Union
+
+from ..alignment.base import BaseAligner
+from ..alignment.exhaustive import ExhaustiveAligner
+from ..alignment.preferential import PreferentialAligner
+from ..alignment.view_based import ViewBasedAligner
+from ..exceptions import RegistrationError, UnknownStrategyError
+from ..matching.base import BaseMatcher
+from ..matching.value_overlap import ValueOverlapFilter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.view import RankedView
+
+
+class AlignmentStrategy(enum.Enum):
+    """The aligner strategies of paper Section 3.3.
+
+    Values equal the historical string names so that ``"view_based"`` (and
+    friends) from the deprecated ``QSystem`` API coerce losslessly.
+    """
+
+    EXHAUSTIVE = "exhaustive"
+    VIEW_BASED = "view_based"
+    PREFERENTIAL = "preferential"
+
+    @classmethod
+    def coerce(cls, value: Union[str, "AlignmentStrategy"]) -> "AlignmentStrategy":
+        """Resolve a strategy reference; raise a typed error listing options.
+
+        Accepts enum members (returned unchanged) and their string values
+        (case-insensitive).
+
+        Raises
+        ------
+        UnknownStrategyError
+            If ``value`` names no registered strategy.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                pass
+        raise UnknownStrategyError(value, available_strategies())
+
+
+@dataclass
+class AlignerSpec:
+    """Everything an aligner factory may need to build its aligner.
+
+    Attributes
+    ----------
+    matcher:
+        The base matcher the aligner will call (``BASEMATCHER``).
+    top_y:
+        Candidate alignments kept per attribute.
+    value_filter:
+        Optional value-overlap comparison filter.
+    max_relations:
+        Budget for the preferential strategy.
+    view:
+        The driving view for the view-based strategy (must be fresh — the
+        service pulls it before building the spec).
+    """
+
+    matcher: BaseMatcher
+    top_y: int = 2
+    value_filter: Optional[ValueOverlapFilter] = None
+    max_relations: Optional[int] = 5
+    view: Optional["RankedView"] = None
+
+
+AlignerFactory = Callable[[AlignerSpec], BaseAligner]
+
+_STRATEGY_REGISTRY: Dict[AlignmentStrategy, AlignerFactory] = {}
+
+
+def register_aligner(strategy: AlignmentStrategy, factory: AlignerFactory) -> None:
+    """Register (or replace) the factory building ``strategy``'s aligner."""
+    _STRATEGY_REGISTRY[strategy] = factory
+
+
+def available_strategies() -> Tuple[str, ...]:
+    """Values of every strategy the enum knows, sorted."""
+    return tuple(sorted(member.value for member in AlignmentStrategy))
+
+
+def build_aligner(
+    strategy: Union[str, AlignmentStrategy], spec: AlignerSpec
+) -> BaseAligner:
+    """Build the aligner for ``strategy`` from ``spec`` via the registry.
+
+    Raises
+    ------
+    UnknownStrategyError
+        If the strategy is unknown or has no registered factory.
+    RegistrationError
+        From the view-based factory when the spec carries no usable view.
+    """
+    member = AlignmentStrategy.coerce(strategy)
+    factory = _STRATEGY_REGISTRY.get(member)
+    if factory is None:
+        raise UnknownStrategyError(member.value, tuple(sorted(s.value for s in _STRATEGY_REGISTRY)))
+    return factory(spec)
+
+
+def _build_exhaustive(spec: AlignerSpec) -> BaseAligner:
+    return ExhaustiveAligner(spec.matcher, top_y=spec.top_y, value_filter=spec.value_filter)
+
+
+def _build_preferential(spec: AlignerSpec) -> BaseAligner:
+    return PreferentialAligner(
+        spec.matcher,
+        top_y=spec.top_y,
+        value_filter=spec.value_filter,
+        max_relations=spec.max_relations,
+    )
+
+
+def _build_view_based(spec: AlignerSpec) -> BaseAligner:
+    view = spec.view
+    if view is None:
+        raise RegistrationError(
+            "view_based registration requires an existing view; create one first"
+        )
+    alpha = view.alpha
+    if alpha is None:
+        raise RegistrationError("the driving view has no answers; refresh it first")
+    # The aligner operates on the persistent search graph, which has no
+    # keyword nodes; the α-neighborhood is therefore computed in the view's
+    # expanded query graph.
+    return ViewBasedAligner(
+        spec.matcher,
+        keyword_nodes=view.terminals,
+        alpha=alpha,
+        top_y=spec.top_y,
+        value_filter=spec.value_filter,
+        neighborhood_graph=view.query_graph.graph,
+    )
+
+
+register_aligner(AlignmentStrategy.EXHAUSTIVE, _build_exhaustive)
+register_aligner(AlignmentStrategy.PREFERENTIAL, _build_preferential)
+register_aligner(AlignmentStrategy.VIEW_BASED, _build_view_based)

@@ -1,0 +1,76 @@
+"""Pagination over lazily streamed ranked answers.
+
+:func:`paginate` wraps the answer iterator produced by
+:meth:`~repro.core.view.RankedView.stream_answers` into
+:class:`~repro.api.types.AnswerPage` objects.  It is itself a generator:
+pulling page ``n`` executes only the conjunctive queries needed to fill
+pages ``0..n`` (plus one answer of lookahead for ``has_more``), so a client
+that stops after the first page never pays for the rest of the k-best
+union.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Optional
+
+from ..datastore.provenance import AnswerTuple
+from ..exceptions import InvalidRequestError
+from .types import AnswerPage
+
+
+def paginate(
+    answers: Iterable[AnswerTuple],
+    view_id: str,
+    page_size: int,
+    limit: Optional[int] = None,
+) -> Iterator[AnswerPage]:
+    """Chunk an answer stream into :class:`AnswerPage`\\ s of ``page_size``.
+
+    ``has_more`` is exact: it is decided by one answer of lookahead, not by
+    page fullness (a final, exactly-full page reports ``has_more=False``).
+    An empty stream yields no pages.
+
+    Raises
+    ------
+    InvalidRequestError
+        If ``page_size`` is not positive or ``limit`` is negative — raised
+        eagerly at call time, not at the first ``next()``.
+    """
+    if page_size < 1:
+        raise InvalidRequestError(f"page_size must be >= 1, got {page_size}")
+    if limit is not None and limit < 0:
+        raise InvalidRequestError(f"limit must be >= 0, got {limit}")
+    return _pages(answers, view_id, page_size, limit)
+
+
+def _pages(
+    answers: Iterable[AnswerTuple],
+    view_id: str,
+    page_size: int,
+    limit: Optional[int],
+) -> Iterator[AnswerPage]:
+    iterator: Iterator[AnswerTuple] = iter(answers)
+    if limit is not None:
+        iterator = itertools.islice(iterator, limit)
+
+    index = 0
+    batch = list(itertools.islice(iterator, page_size))
+    while batch:
+        lookahead = list(itertools.islice(iterator, 1))
+        yield AnswerPage(
+            view_id=view_id,
+            index=index,
+            answers=tuple(batch),
+            has_more=bool(lookahead),
+        )
+        index += 1
+        batch = lookahead + list(itertools.islice(iterator, page_size - 1))
+
+
+def drain(pages: Iterable[AnswerPage]) -> list:
+    """Materialize every answer of a paged stream (testing/compat helper)."""
+    collected: list = []
+    for page in pages:
+        collected.extend(page.answers)
+    return collected

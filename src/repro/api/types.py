@@ -1,0 +1,218 @@
+"""Request/response dataclasses of the typed service API.
+
+Every interaction with :class:`~repro.api.service.QService` goes through a
+frozen request object and returns a frozen response object, so the public
+surface is serialization-friendly and stable: a request captures *what* the
+caller wants, the service decides *when* the work happens (mutations are
+priced lazily at read time).
+
+The one mutable dataclass here is :class:`ServiceConfig` — the session
+knobs, shared with the deprecated ``QSystemConfig`` alias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple, Union
+
+from ..datastore.provenance import AnswerTuple
+from ..graph.search_graph import GraphConfig
+from ..learning.feedback import AnnotationKind, FeedbackEvent
+from .strategies import AlignmentStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..alignment.base import AlignmentResult
+    from ..core.view import RankedView
+    from ..datastore.database import DataSource
+    from ..matching.base import BaseMatcher
+
+#: A view reference accepted by the service: stable view id, view name, or
+#: (for in-process callers such as the deprecated ``QSystem`` shim) the
+#: live :class:`~repro.core.view.RankedView` object itself.
+ViewRef = Union[str, "RankedView"]
+
+
+@dataclass
+class ServiceConfig:
+    """Top-level knobs of a Q service session.
+
+    The historical name ``QSystemConfig`` remains importable as an alias
+    from :mod:`repro.core.qsystem` and :mod:`repro`.
+    """
+
+    top_k: int = 5
+    top_y: int = 2
+    feedback_window: int = 50
+    graph: GraphConfig = field(default_factory=GraphConfig)
+    answer_limit: Optional[int] = 200
+    #: Answers per :class:`AnswerPage` when a request does not override it.
+    default_page_size: int = 25
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Ask for the ranked answers of a keyword query.
+
+    Either ``view`` names an existing view (by stable id or name), or
+    ``keywords`` are given — in which case the service reuses the view
+    registered under ``name`` (default: the joined keywords) or creates one.
+
+    Attributes
+    ----------
+    keywords:
+        The keyword query terms.
+    view:
+        Reference to an existing view; takes precedence over ``keywords``.
+    k:
+        Number of query trees retained (defaults to the session config).
+    name:
+        Explicit view name when creating a view from ``keywords``.
+    page_size:
+        Answers per page (defaults to the session config).
+    limit:
+        Cap on the total number of answers streamed.
+    """
+
+    keywords: Tuple[str, ...] = ()
+    view: Optional[ViewRef] = None
+    k: Optional[int] = None
+    name: Optional[str] = None
+    page_size: Optional[int] = None
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keywords", tuple(self.keywords))
+
+
+@dataclass(frozen=True)
+class ViewInfo:
+    """Snapshot description of one registered view."""
+
+    view_id: str
+    name: str
+    keywords: Tuple[str, ...]
+    k: int
+    created_index: int
+    tree_count: int
+    alpha: Optional[float]
+
+
+@dataclass(frozen=True)
+class AnswerPage:
+    """One page of a streamed ranked-answer read."""
+
+    view_id: str
+    index: int
+    answers: Tuple[AnswerTuple, ...]
+    has_more: bool
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+@dataclass(frozen=True)
+class RegisterSourceRequest:
+    """Register a new data source and align it against the existing graph.
+
+    Attributes
+    ----------
+    source:
+        The new data source.
+    strategy:
+        An :class:`AlignmentStrategy` member or its string value.
+    view:
+        For the view-based strategy, the view whose information need drives
+        the alignment; defaults to the most recently created view.
+    matcher:
+        Base matcher — an instance, or a registered matcher name resolved
+        through :func:`repro.matching.base.resolve_matcher`; defaults to the
+        session's first configured matcher.
+    value_filter:
+        If ``True``, restrict comparisons to attribute pairs with value
+        overlap (requires indexing all current tables plus the new one).
+    max_relations:
+        Budget for the preferential strategy.
+    """
+
+    source: "DataSource"
+    strategy: Union[str, AlignmentStrategy] = AlignmentStrategy.VIEW_BASED
+    view: Optional[ViewRef] = None
+    matcher: Optional[Union[str, "BaseMatcher"]] = None
+    value_filter: bool = False
+    max_relations: Optional[int] = 5
+
+
+@dataclass(frozen=True)
+class RegistrationResponse:
+    """Outcome of a :class:`RegisterSourceRequest`."""
+
+    source: str
+    strategy: AlignmentStrategy
+    edges_added: int
+    attribute_comparisons: int
+    candidate_relations: Tuple[str, ...]
+    elapsed_seconds: float
+    #: The full alignment artifact (correspondences, installed edges, ...).
+    alignment: "AlignmentResult"
+
+
+@dataclass(frozen=True)
+class FeedbackRequest:
+    """Annotate one answer of a view (paper Section 4).
+
+    Attributes
+    ----------
+    view:
+        The view whose answer is annotated.
+    answer:
+        The annotated answer (must carry provenance).
+    kind:
+        VALID / INVALID / PREFERRED_OVER.
+    other:
+        For PREFERRED_OVER, the answer that should rank lower.
+    replay:
+        How many times the generalized event is applied in a row.
+    """
+
+    view: ViewRef
+    answer: AnswerTuple
+    kind: AnnotationKind = AnnotationKind.VALID
+    other: Optional[AnswerTuple] = None
+    replay: int = 1
+
+
+@dataclass(frozen=True)
+class FeedbackResponse:
+    """Outcome of one feedback interaction.
+
+    No view is refreshed by feedback: the weight vector's version moved, and
+    each view re-solves lazily the next time it is read.
+    """
+
+    view_id: str
+    events: Tuple[FeedbackEvent, ...]
+    steps_processed: int
+    weight_change: float
+    weights_version: int
+
+
+@dataclass(frozen=True)
+class SystemStats:
+    """Aggregate counters of one service session.
+
+    ``view_refreshes`` / ``view_refreshes_skipped`` expose the payoff of the
+    pull-based consistency model: a skipped refresh is a read that found its
+    view's ``(weights.version, structure_version)`` snapshot still current.
+    """
+
+    sources: int
+    relations: int
+    attributes: int
+    views: int
+    feedback_events: int
+    learner_steps: int
+    registrations: int
+    weights_version: int
+    structure_version: int
+    view_refreshes: int
+    view_refreshes_skipped: int

@@ -1,0 +1,157 @@
+"""View registry: stable ids, explicit creation order, lazy-sync bookkeeping.
+
+The seed ``QSystem`` kept views in a plain name-keyed dict and recovered the
+"latest view" with ``next(reversed(dict.values()))`` — an insertion-order
+hack that silently changed meaning when a view name was reused.  The
+registry replaces that with:
+
+* a **stable id** per view (``view-0001``, ``view-0002``, ...): ids are
+  never reused and never change for as long as their view is registered —
+  re-registering a *name* replaces the shadowed view (seed dict semantics)
+  and retires its id, which then resolves to a typed
+  :class:`~repro.exceptions.UnknownViewError`;
+* an explicit **creation-order** list, making :meth:`ViewRegistry.latest` a
+  documented accessor: the most recently *created* view, regardless of any
+  name reuse;
+* per-view **sync state** — the ``(weights.version, structure_version)``
+  snapshot a view last refreshed against, which is what the pull-based
+  service compares to decide whether a read must refresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..core.view import RankedView
+from ..exceptions import UnknownViewError
+
+
+@dataclass
+class ViewRecord:
+    """One registered view plus its lazy-consistency bookkeeping.
+
+    ``synced_weights_version`` / ``synced_structure_version`` are the search
+    graph versions the view last synchronized with (``None`` before the
+    first sync).  A mutation never touches them — only a read does, after
+    refreshing — so staleness is always detectable by comparison.
+    """
+
+    view_id: str
+    name: str
+    view: RankedView
+    created_index: int
+    synced_weights_version: Optional[int] = None
+    synced_structure_version: Optional[int] = None
+
+
+class ViewRegistry:
+    """Orders and resolves the views of one service session."""
+
+    def __init__(self) -> None:
+        self._records: List[ViewRecord] = []
+        self._by_id: Dict[str, ViewRecord] = {}
+        self._by_name: Dict[str, ViewRecord] = {}
+        self._created = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add(self, view: RankedView, name: str) -> ViewRecord:
+        """Register ``view`` under ``name``; returns its record.
+
+        The stable id comes from a monotonically increasing creation
+        counter and is never reused.  Re-registering a name *replaces* the
+        shadowed view (the historical dict behavior): its record is evicted
+        from the registry, so long-running sessions that recreate views
+        under one name do not accrue unbounded records — and mutations do
+        not keep paying for views nothing can reach anymore.
+        """
+        shadowed = self._by_name.get(name)
+        if shadowed is not None:
+            self._records.remove(shadowed)
+            del self._by_id[shadowed.view_id]
+        self._created += 1
+        record = ViewRecord(
+            view_id=f"view-{self._created:04d}",
+            name=name,
+            view=view,
+            created_index=self._created - 1,
+        )
+        self._records.append(record)
+        self._by_id[record.view_id] = record
+        self._by_name[name] = record
+        return record
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def get(self, ref: str) -> ViewRecord:
+        """Resolve a view id or name.
+
+        Raises
+        ------
+        UnknownViewError
+            Listing the known ids and names.
+        """
+        record = self._by_id.get(ref) or self._by_name.get(ref)
+        if record is None:
+            raise UnknownViewError(ref, self.known_references())
+        return record
+
+    def find_by_name(self, name: str) -> Optional[ViewRecord]:
+        """The record currently registered under ``name``, if any."""
+        return self._by_name.get(name)
+
+    def resolve(self, ref: Union[str, RankedView, ViewRecord]) -> ViewRecord:
+        """Resolve any supported view reference to its record.
+
+        Strings resolve as ids or names; any other object is matched by
+        identity against the registered view instances.
+        """
+        if isinstance(ref, ViewRecord):
+            return ref
+        if isinstance(ref, str):
+            return self.get(ref)
+        for record in self._records:
+            if record.view is ref:
+                return record
+        raise UnknownViewError(
+            f"<unregistered view object {ref!r}>", self.known_references()
+        )
+
+    def known_references(self) -> Tuple[str, ...]:
+        """All resolvable ids and names (for error messages)."""
+        return tuple(self._by_id) + tuple(self._by_name)
+
+    # ------------------------------------------------------------------
+    # Order and iteration
+    # ------------------------------------------------------------------
+    def latest(self) -> Optional[ViewRecord]:
+        """The most recently *created* view, or ``None`` when empty.
+
+        This is the documented successor of the seed's
+        ``next(reversed(views.values()))`` hack: creation order is explicit
+        and survives name reuse (a re-registered name does not resurrect an
+        older creation slot).
+        """
+        if not self._records:
+            return None
+        return self._records[-1]
+
+    def records(self) -> Tuple[ViewRecord, ...]:
+        """All records in creation order."""
+        return tuple(self._records)
+
+    def by_name(self) -> Dict[str, RankedView]:
+        """Name → view mapping (the deprecated ``QSystem.views`` shape)."""
+        return {name: record.view for name, record in self._by_name.items()}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ViewRecord]:
+        return iter(self._records)
+
+    def __contains__(self, ref: object) -> bool:
+        return isinstance(ref, str) and (ref in self._by_id or ref in self._by_name)

@@ -1,56 +1,55 @@
-"""The Q system facade (paper Figure 1).
+"""Deprecated eager facade over :class:`repro.api.service.QService`.
 
-:class:`QSystem` wires together the whole pipeline:
+:class:`QSystem` was the original end-to-end entry point (paper Figure 1).
+The supported surface is now the typed, pull-based :mod:`repro.api`;
+``QSystem`` remains as a thin compatibility shim that
 
-* a catalog of registered data sources and a search graph built from their
-  metadata;
-* matcher(s) that propose association edges, either in a one-off bootstrap
-  pass (the Section 5.2 setup) or when a new source is registered;
-* keyword views with ranked answers;
-* the registration service with the EXHAUSTIVE / VIEWBASED / PREFERENTIAL
-  aligner strategies;
-* feedback-driven learning of edge costs through MIRA.
+* delegates every operation to an owned :class:`~repro.api.service.QService`;
+* preserves the historical **eager** consistency model by forcing a pull of
+  every view after each mutation (``give_feedback`` / ``register_source`` /
+  ``bootstrap_alignments``), so code written against the seed semantics —
+  "all views are fresh after any mutation" — keeps observing them;
+* emits a :class:`DeprecationWarning` on construction.
+
+Migration table (old → new) lives in the README's "Public API" section.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+import warnings
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
-from ..alignment.base import AlignmentResult, BaseAligner, install_associations
-from ..alignment.exhaustive import ExhaustiveAligner
-from ..alignment.preferential import PreferentialAligner
+from ..alignment.base import AlignmentResult
 from ..alignment.registration import SourceRegistrar
-from ..alignment.view_based import ViewBasedAligner
+from ..api.types import (
+    FeedbackRequest,
+    QueryRequest,
+    RegisterSourceRequest,
+    ServiceConfig,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.service import QService
 from ..datastore.database import Catalog, DataSource
 from ..datastore.provenance import AnswerTuple
 from ..engine.context import ExecutionContext
-from ..exceptions import QError, RegistrationError
-from ..graph.query_graph import QueryGraphBuilder
-from ..graph.search_graph import GraphConfig, SearchGraph
+from ..graph.search_graph import SearchGraph
 from ..learning.feedback import AnnotationKind, FeedbackEvent, FeedbackLog
-from ..learning.mira import OnlineLearner
 from ..matching.base import BaseMatcher, Correspondence
 from ..matching.ensemble import MatcherEnsemble
-from ..matching.mad import MadMatcher
-from ..matching.metadata_matcher import MetadataMatcher
-from ..matching.value_overlap import ValueOverlapFilter
 from .view import RankedView
 
-
-@dataclass
-class QSystemConfig:
-    """Top-level knobs of the Q system."""
-
-    top_k: int = 5
-    top_y: int = 2
-    feedback_window: int = 50
-    graph: GraphConfig = field(default_factory=GraphConfig)
-    answer_limit: Optional[int] = 200
+#: Historical name of the session configuration, kept as an alias so that
+#: ``QSystemConfig(top_k=..., top_y=...)`` call sites continue to work.
+QSystemConfig = ServiceConfig
 
 
 class QSystem:
-    """End-to-end keyword-search data integration with automatic source incorporation."""
+    """Deprecated: use :class:`repro.api.QService`.
+
+    End-to-end keyword-search data integration with automatic source
+    incorporation, in the seed's eager consistency model.
+    """
 
     def __init__(
         self,
@@ -58,89 +57,92 @@ class QSystem:
         matchers: Optional[Sequence[BaseMatcher]] = None,
         config: Optional[QSystemConfig] = None,
     ) -> None:
-        self.config = config or QSystemConfig()
-        self.catalog = Catalog(sources)
-        self.graph = SearchGraph(config=self.config.graph)
-        self.graph.add_catalog(self.catalog)
-        self.matchers: List[BaseMatcher] = list(matchers) if matchers else [MetadataMatcher(), MadMatcher()]
-        self.ensemble = MatcherEnsemble(self.matchers, top_y=self.config.top_y)
-        self.registrar = SourceRegistrar(self.catalog, self.graph)
-        self.views: Dict[str, RankedView] = {}
-        self.feedback_log = FeedbackLog(window_size=self.config.feedback_window)
-        self._builder: Optional[QueryGraphBuilder] = None
-        # One execution context for the whole system: all views share its
-        # scan and join-index caches; registration events invalidate it.
-        self.engine_context = ExecutionContext(self.catalog)
-        self.registrar.add_listener(self._on_registration)
+        warnings.warn(
+            "QSystem is deprecated; use repro.api.QService (typed requests, "
+            "lazy pull-based views) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Imported here rather than at module scope: the service package
+        # imports repro.core.view, so a module-level import would be cyclic.
+        from ..api.service import QService
+
+        self._service = QService(sources=sources, matchers=matchers, config=config)
+
+    # ------------------------------------------------------------------
+    # Delegated session state
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> QService:
+        """The underlying service session (the supported API)."""
+        return self._service
+
+    @property
+    def config(self) -> QSystemConfig:
+        return self._service.config
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._service.catalog
+
+    @property
+    def graph(self) -> SearchGraph:
+        return self._service.graph
+
+    @property
+    def matchers(self) -> List[BaseMatcher]:
+        return self._service.matchers
+
+    @property
+    def ensemble(self) -> MatcherEnsemble:
+        return self._service.ensemble
+
+    @property
+    def registrar(self) -> SourceRegistrar:
+        return self._service.registrar
+
+    @property
+    def feedback_log(self) -> FeedbackLog:
+        return self._service.feedback_log
+
+    @property
+    def engine_context(self) -> ExecutionContext:
+        return self._service.engine_context
+
+    @property
+    def views(self) -> Dict[str, RankedView]:
+        """Name → view mapping (seed shape; built from the view registry)."""
+        return self._service.views.by_name()
 
     # ------------------------------------------------------------------
     # Sources and alignments
     # ------------------------------------------------------------------
     def add_source(self, source: DataSource) -> None:
-        """Add a source to the catalog and graph *without* running alignment.
-
-        Used when setting up the initial, already-interlinked databases
-        (their joins come from foreign keys and hand-coded associations).
-        """
-        self.catalog.add_source(source)
-        self.graph.add_source(source)
-        self._invalidate_builder()
+        """Add a source to the catalog and graph *without* running alignment."""
+        self._service.add_source(source)
 
     def bootstrap_alignments(self, top_y: Optional[int] = None) -> List[Correspondence]:
-        """Run the matcher ensemble over all current tables and install edges.
-
-        This reproduces the Section 5.2 setup: start from a schema graph
-        with no association edges, run the matchers, and record the top-Y
-        most promising alignments per attribute as association edges.
-        """
-        y = top_y if top_y is not None else self.config.top_y
-        ensemble = MatcherEnsemble(self.matchers, top_y=y)
-        alignments = ensemble.match_tables(self.catalog.all_tables())
-        correspondences: List[Correspondence] = []
-        for alignment in alignments:
-            for matcher_name, confidence in alignment.confidences.items():
-                correspondences.append(
-                    Correspondence(
-                        source=alignment.source,
-                        target=alignment.target,
-                        confidence=confidence,
-                        matcher=matcher_name,
-                    )
-                )
-        install_associations(self.graph, correspondences)
-        self._refresh_all_views(rebuild_graph=True)
+        """Run the matcher ensemble and install edges, refreshing all views."""
+        correspondences = self._service.bootstrap_alignments(top_y=top_y)
+        self._service.refresh_all_views(force=True)
         return correspondences
 
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
-    def create_view(self, keywords: Sequence[str], k: Optional[int] = None, name: Optional[str] = None) -> RankedView:
+    def create_view(
+        self, keywords: Sequence[str], k: Optional[int] = None, name: Optional[str] = None
+    ) -> RankedView:
         """Create (and refresh) a ranked view for a keyword query."""
-        view = RankedView(
-            keywords,
-            self.catalog,
-            self.graph,
-            k=k or self.config.top_k,
-            builder=self._query_builder(),
-            answer_limit=self.config.answer_limit,
-            engine_context=self.engine_context,
+        info = self._service.create_view(
+            QueryRequest(keywords=tuple(keywords), k=k, name=name)
         )
-        view.refresh()
-        view_name = name or " ".join(keywords)
-        self.views[view_name] = view
-        return view
+        return self._service.view(info.view_id)
 
-    def _query_builder(self) -> QueryGraphBuilder:
-        if self._builder is None:
-            self._builder = QueryGraphBuilder(self.catalog)
-        return self._builder
-
-    def _invalidate_builder(self) -> None:
-        self._builder = None
-
-    def _refresh_all_views(self, rebuild_graph: bool = False) -> None:
-        for view in self.views.values():
-            view.refresh(rebuild_graph=rebuild_graph)
+    def _latest_view(self) -> Optional[RankedView]:
+        """Deprecated internal accessor; the registry's creation order rules."""
+        record = self._service.views.latest()
+        return record.view if record is not None else None
 
     # ------------------------------------------------------------------
     # Registration of new sources
@@ -154,99 +156,19 @@ class QSystem:
         value_filter: bool = False,
         max_relations: Optional[int] = 5,
     ) -> AlignmentResult:
-        """Register a new source and align it against the existing graph.
-
-        Parameters
-        ----------
-        source:
-            The new data source.
-        strategy:
-            ``"exhaustive"``, ``"view_based"`` or ``"preferential"``.
-        view:
-            For the view-based strategy, the existing view whose information
-            need drives the alignment; defaults to the most recently created
-            view.
-        matcher:
-            Base matcher; defaults to the system's first configured matcher.
-        value_filter:
-            If ``True``, restrict comparisons to attribute pairs with value
-            overlap (requires indexing all current tables plus the new one).
-        max_relations:
-            Budget for the preferential strategy.
-        """
-        matcher = matcher or self.matchers[0]
-        overlap_filter = None
-        if value_filter:
-            tables = self.catalog.all_tables() + list(source.tables())
-            overlap_filter = ValueOverlapFilter.from_tables(tables)
-
-        aligner = self._make_aligner(strategy, matcher, view, overlap_filter, max_relations)
-        result = self.registrar.register(source, aligner)
-        self._invalidate_builder()
-        self._refresh_all_views(rebuild_graph=True)
-        return result
-
-    def _make_aligner(
-        self,
-        strategy: str,
-        matcher: BaseMatcher,
-        view: Optional[RankedView],
-        value_filter: Optional[ValueOverlapFilter],
-        max_relations: Optional[int],
-    ) -> BaseAligner:
-        strategy = strategy.lower()
-        if strategy == "exhaustive":
-            return ExhaustiveAligner(matcher, top_y=self.config.top_y, value_filter=value_filter)
-        if strategy == "preferential":
-            return PreferentialAligner(
-                matcher,
-                top_y=self.config.top_y,
+        """Register a new source, align it, and eagerly refresh every view."""
+        response = self._service.register_source(
+            RegisterSourceRequest(
+                source=source,
+                strategy=strategy,
+                view=view,
+                matcher=matcher,
                 value_filter=value_filter,
                 max_relations=max_relations,
             )
-        if strategy == "view_based":
-            target_view = view or self._latest_view()
-            if target_view is None:
-                raise RegistrationError(
-                    "view_based registration requires an existing view; create one first"
-                )
-            alpha = target_view.alpha
-            if alpha is None:
-                raise RegistrationError("the driving view has no answers; refresh it first")
-            # The aligner operates on the persistent search graph, which has
-            # no keyword nodes; the α-neighborhood is therefore computed in
-            # the view's expanded query graph.
-            return ViewBasedAligner(
-                matcher,
-                keyword_nodes=target_view.terminals,
-                alpha=alpha,
-                top_y=self.config.top_y,
-                value_filter=value_filter,
-                neighborhood_graph=target_view.query_graph.graph,
-            )
-        raise QError(f"unknown alignment strategy {strategy!r}")
-
-    def _latest_view(self) -> Optional[RankedView]:
-        if not self.views:
-            return None
-        return next(reversed(self.views.values()))  # type: ignore[call-overload]
-
-    def _on_registration(self, source: DataSource, result: AlignmentResult) -> None:
-        # A new source changes both the data and the graph structure: drop
-        # the engine's shared scan/join-index caches and every view's
-        # per-signature answer cache.  The views themselves are refreshed by
-        # register_source after the registrar returns.
-        del source, result
-        self.engine_context.invalidate()
-        for view in self.views.values():
-            view.invalidate_cache()
-
-    def _on_learning_update(self, result) -> None:
-        # Edge costs moved: notify every view so its next refresh re-solves
-        # (cached query answers stay valid and are merely re-priced).
-        del result
-        for view in self.views.values():
-            view.on_weights_updated()
+        )
+        self._service.refresh_all_views(force=True)
+        return response.alignment
 
     # ------------------------------------------------------------------
     # Feedback
@@ -259,35 +181,16 @@ class QSystem:
         other: Optional[AnswerTuple] = None,
         replay: int = 1,
     ) -> List[FeedbackEvent]:
-        """Apply user feedback on one answer of a view.
-
-        The annotation is generalized to the producing query tree, logged,
-        and fed to the MIRA learner operating on the view's query graph
-        (whose weight vector is shared with the search graph, so all views
-        see the adjusted costs).  ``replay`` controls how many times the
-        event is applied in a row.
-        """
-        event = view.annotate(answer, kind, other=other)
-        self.feedback_log.add(event)
-        learner = OnlineLearner(
-            view.query_graph.graph,
-            k=self.config.top_k,
-            listeners=[self._on_learning_update],
+        """Apply user feedback on one answer, then eagerly refresh every view."""
+        response = self._service.feedback(
+            FeedbackRequest(view=view, answer=answer, kind=kind, other=other, replay=replay)
         )
-        learner.replay([event], replay)
-        self._refresh_all_views()
-        return [event]
+        self._service.refresh_all_views(force=True)
+        return list(response.events)
 
     def apply_feedback_events(
         self, view: RankedView, events: Sequence[FeedbackEvent], repetitions: int = 1
     ) -> None:
-        """Apply pre-built feedback events (used by the experiment harnesses)."""
-        learner = OnlineLearner(
-            view.query_graph.graph,
-            k=self.config.top_k,
-            listeners=[self._on_learning_update],
-        )
-        for event in events:
-            self.feedback_log.add(event)
-        learner.replay(list(events), repetitions)
-        self._refresh_all_views()
+        """Apply pre-built feedback events, then eagerly refresh every view."""
+        self._service.apply_feedback_events(view, events, repetitions)
+        self._service.refresh_all_views(force=True)

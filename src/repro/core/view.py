@@ -23,12 +23,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..datastore.database import Catalog
 from ..datastore.provenance import AnswerTuple
 from ..engine.context import ExecutionContext
-from ..engine.executor import PlanExecutor, ranked_union
+from ..engine.executor import PlanExecutor, project_answer, ranked_union, union_column_plan
 from ..exceptions import QueryError
 from ..graph.query_graph import QueryGraph, QueryGraphBuilder
 from ..graph.search_graph import SearchGraph
@@ -130,7 +130,18 @@ class RankedView:
         self.executor = PlanExecutor(catalog, self.engine_context)
         self.max_cached_queries = max_cached_queries
         self.last_refresh = RefreshStats()
+        #: How many times this view synchronized with the graph (full
+        #: refreshes plus streaming solves).  The lazy service layer uses
+        #: this to demonstrate that pull-based consistency performs strictly
+        #: fewer refreshes than the eager push model.
+        self.refresh_count = 0
+        #: How many times :meth:`invalidate_cache` ran (structural events).
+        self.cache_invalidations = 0
         self._trees_by_signature: Dict[str, SteinerTree] = {}
+        # Whether state.answers reflects the current solve.  A streaming
+        # read that re-solved leaves answers unmaterialized; the answers()
+        # accessor re-materializes on demand.
+        self._answers_materialized = False
         self._answer_cache: "OrderedDict[str, _CachedAnswers]" = OrderedDict()
         self._cache_generation = self.engine_context.generation
         # (weights version, structure version, terminals, k) of the last
@@ -158,6 +169,7 @@ class RankedView:
         """
         self._answer_cache.clear()
         self._solve_state = None
+        self.cache_invalidations += 1
 
     def on_weights_updated(self) -> None:
         """Learning hook: edge costs changed, so the next refresh must re-solve.
@@ -170,13 +182,15 @@ class RankedView:
         """
         self._solve_state = None
 
-    def refresh(self, rebuild_graph: bool = False) -> ViewState:
-        """Recompute trees, queries and answers under the current costs.
+    def _ensure_solved(
+        self, rebuild_graph: bool = False
+    ) -> Tuple[List[SteinerTree], List[GeneratedQuery], RefreshStats]:
+        """Bring trees and generated queries up to date without executing them.
 
-        Incrementality: the Steiner solve is skipped when edge weights and
-        graph structure are unchanged; per-query answers are reused whenever
-        a tree with the same signature was already executed against the same
-        table versions.
+        The Steiner solve is skipped when edge weights, graph structure,
+        terminals and ``k`` are all unchanged since the last solve.  Also
+        drops the per-signature answer cache when the shared engine context
+        was structurally invalidated (e.g. source registration).
         """
         if rebuild_graph:
             self.rebuild_query_graph()
@@ -205,13 +219,80 @@ class RankedView:
             self._answer_cache.clear()
             self._cache_generation = self.engine_context.generation
 
+        self._trees_by_signature = {g.signature: g.tree for g in queries}
+        return trees, queries, stats
+
+    def refresh(self, rebuild_graph: bool = False) -> ViewState:
+        """Recompute trees, queries and answers under the current costs.
+
+        Incrementality: the Steiner solve is skipped when edge weights and
+        graph structure are unchanged; per-query answers are reused whenever
+        a tree with the same signature was already executed against the same
+        table versions.
+        """
+        trees, queries, stats = self._ensure_solved(rebuild_graph)
         pairs = [(g.query, self._answers_for(g, stats)) for g in queries]
         answers = ranked_union(pairs, limit=self.answer_limit)
 
         self.state = ViewState(trees=trees, queries=queries, answers=answers)
+        self._answers_materialized = True
         self.last_refresh = stats
-        self._trees_by_signature = {g.signature: g.tree for g in queries}
+        self.refresh_count += 1
         return self.state
+
+    def prepare(self, rebuild_graph: bool = False) -> ViewState:
+        """Bring trees and queries up to date *without* executing queries.
+
+        The solve-only half of :meth:`refresh`: the ranking (Steiner trees,
+        generated queries, α) is current afterwards, but ``state.answers``
+        is left unmaterialized — the streaming read path executes queries
+        lazily, and :meth:`answers` re-materializes on demand.
+        """
+        trees, queries, stats = self._ensure_solved(rebuild_graph)
+        if stats.solver_runs:
+            # The ranking changed; previously materialized answers are no
+            # longer authoritative.
+            self.state = ViewState(trees=trees, queries=queries, answers=[])
+            self._answers_materialized = False
+        self.last_refresh = stats
+        self.refresh_count += 1
+        return self.state
+
+    def stream_answers(self, rebuild_graph: bool = False) -> Iterator[AnswerTuple]:
+        """Ranked answers as a lazy iterator (the pull-based read path).
+
+        The Steiner solve (which determines the ranking) happens eagerly at
+        call time, but query *execution* is deferred: each generated query
+        runs only when the iterator reaches its answers, so a consumer that
+        stops after the first page never pays for the remaining queries.
+        Yielded answers are identical — same values, costs, provenance and
+        order — to :meth:`refresh`'s :func:`~repro.engine.executor.ranked_union`
+        output: queries are streamed in ascending cost order (every answer
+        carries its query's cost, so the concatenation is globally sorted)
+        and each answer goes through the shared
+        :func:`~repro.engine.executor.project_answer` against the full
+        unified column set, which
+        :func:`~repro.engine.executor.union_column_plan` derives from the
+        queries' output labels without executing anything.
+        """
+        self.prepare(rebuild_graph)
+        stats = self.last_refresh
+        ordered = sorted(self.state.queries, key=lambda g: g.query.cost)
+        columns, mappings = union_column_plan([g.query for g in ordered])
+        limit = self.answer_limit
+
+        def _generate() -> Iterator[AnswerTuple]:
+            yielded = 0
+            for generated, mapping in zip(ordered, mappings):
+                if limit is not None and yielded >= limit:
+                    return
+                for answer in self._answers_for(generated, stats):
+                    yield project_answer(answer, generated.query, mapping, columns)
+                    yielded += 1
+                    if limit is not None and yielded >= limit:
+                        return
+
+        return _generate()
 
     def _answers_for(self, generated: GeneratedQuery, stats: RefreshStats) -> List[AnswerTuple]:
         """Execute one generated query, or replay its cached answers.
@@ -260,7 +341,15 @@ class RankedView:
         return self.state.alpha
 
     def answers(self) -> List[AnswerTuple]:
-        """The ranked answers of the last refresh."""
+        """The ranked answers under the current solve.
+
+        If a streaming read re-solved since the last materializing refresh,
+        ``state.answers`` is unmaterialized; this accessor re-materializes
+        (cheap — per-query answers replay from cache) rather than returning
+        an empty list that would be indistinguishable from "no answers".
+        """
+        if not self._answers_materialized:
+            self.refresh()
         return list(self.state.answers)
 
     def trees(self) -> List[SteinerTree]:

@@ -22,7 +22,13 @@ a reference for parity testing.
 """
 
 from .context import ContextStatistics, ExecutionContext
-from .executor import PlanExecutor, default_column_compatibility, ranked_union
+from .executor import (
+    PlanExecutor,
+    default_column_compatibility,
+    project_answer,
+    ranked_union,
+    union_column_plan,
+)
 from .plan import PlannedJoin, PlanStep, QueryPlan, QueryPlanner
 from .predicates import CompiledPredicate, compile_predicates
 
@@ -37,5 +43,7 @@ __all__ = [
     "QueryPlanner",
     "compile_predicates",
     "default_column_compatibility",
+    "project_answer",
     "ranked_union",
+    "union_column_plan",
 ]

@@ -157,6 +157,51 @@ class PlanExecutor:
         return ranked_union(pairs, compatible=compatible, limit=limit)
 
 
+def union_column_plan(
+    queries: Sequence[ConjunctiveQuery],
+    compatible: Optional[Callable[[str, str], bool]] = None,
+) -> Tuple[List[str], List[Dict[str, str]]]:
+    """The unified schema of a ranked union, computable *before* execution.
+
+    ``queries`` must be in the union's ranked (ascending-cost) order.
+    Returns ``(unified_columns, mappings)`` where ``mappings[i]`` remaps the
+    ``i``-th query's output labels onto the unified columns.  Only the
+    queries' output labels are consulted, so streaming consumers (the lazy
+    :meth:`~repro.core.view.RankedView.stream_answers` path) can pad every
+    answer with the full column set without executing later queries first.
+    """
+    if compatible is None:
+        compatible = default_column_compatibility
+    unified_columns: List[str] = []
+    mappings = [_align_columns(query, unified_columns, compatible) for query in queries]
+    return unified_columns, mappings
+
+
+def project_answer(
+    answer: AnswerTuple,
+    query: ConjunctiveQuery,
+    column_mapping: Dict[str, str],
+    unified_columns: Sequence[str],
+) -> AnswerTuple:
+    """One answer remapped onto the unified schema, padded and re-priced.
+
+    The single implementation of the union's per-answer projection, shared
+    by :func:`ranked_union` and the streaming read path
+    (:meth:`~repro.core.view.RankedView.stream_answers`) — their answer
+    parity depends on the remap / pad / re-price semantics staying
+    identical.  The input answer is never mutated.
+    """
+    values: Dict[str, Optional[object]] = {}
+    for label, value in answer.values.items():
+        values[column_mapping.get(label, label)] = value
+    for column in unified_columns:
+        values.setdefault(column, None)
+    provenance = answer.provenance
+    if provenance is not None and provenance.query_cost != query.cost:
+        provenance = replace(provenance, query_cost=query.cost)
+    return AnswerTuple(values=values, cost=query.cost, provenance=provenance)
+
+
 def ranked_union(
     pairs: Sequence[Tuple[ConjunctiveQuery, Sequence[AnswerTuple]]],
     compatible: Optional[Callable[[str, str], bool]] = None,
@@ -171,29 +216,13 @@ def ranked_union(
     been executed under an older tree cost; feedback moves costs without
     changing which tuples join, so only the price is re-stamped).
     """
-    if compatible is None:
-        compatible = default_column_compatibility
-
     ordered = sorted(pairs, key=lambda pair: pair[0].cost)
-    unified_columns: List[str] = []
-    all_answers: List[AnswerTuple] = []
-    for query, answers in ordered:
-        column_mapping = _align_columns(query, unified_columns, compatible)
-        for answer in answers:
-            remapped: Dict[str, Optional[object]] = {}
-            for label, value in answer.values.items():
-                remapped[column_mapping.get(label, label)] = value
-            provenance = answer.provenance
-            if provenance is not None and provenance.query_cost != query.cost:
-                provenance = replace(provenance, query_cost=query.cost)
-            all_answers.append(
-                AnswerTuple(values=remapped, cost=query.cost, provenance=provenance)
-            )
-
-    for answer in all_answers:
-        for column in unified_columns:
-            answer.values.setdefault(column, None)
-
+    unified_columns, mappings = union_column_plan([q for q, _ in ordered], compatible)
+    all_answers = [
+        project_answer(answer, query, column_mapping, unified_columns)
+        for (query, answers), column_mapping in zip(ordered, mappings)
+        for answer in answers
+    ]
     all_answers.sort(key=lambda a: a.cost)
     if limit is not None:
         all_answers = all_answers[:limit]

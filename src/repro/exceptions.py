@@ -85,6 +85,51 @@ class MatcherError(QError):
     """Raised when a schema matcher is misconfigured or fails."""
 
 
+class InvalidRequestError(QError):
+    """Raised when a ``repro.api`` request object is malformed.
+
+    Examples include a :class:`~repro.api.types.QueryRequest` naming neither
+    keywords nor an existing view, or a non-positive page size.
+    """
+
+
+class UnknownStrategyError(QError):
+    """Raised on dispatch over an unknown alignment-strategy name.
+
+    The message lists the valid options so callers of the typed API never
+    have to guess at the registry contents.
+    """
+
+    def __init__(self, value: object, valid: "tuple[str, ...]") -> None:
+        super().__init__(
+            f"unknown alignment strategy {value!r}; valid strategies: {', '.join(valid)}"
+        )
+        self.value = value
+        self.valid = tuple(valid)
+
+
+class UnknownMatcherError(MatcherError):
+    """Raised on dispatch over an unknown matcher name; lists valid options."""
+
+    def __init__(self, value: object, valid: "tuple[str, ...]") -> None:
+        super().__init__(
+            f"unknown matcher {value!r}; registered matchers: {', '.join(valid)}"
+        )
+        self.value = value
+        self.valid = tuple(valid)
+
+
+class UnknownViewError(QError):
+    """Raised when a view id / name cannot be resolved; lists known views."""
+
+    def __init__(self, value: object, known: "tuple[str, ...]") -> None:
+        known = tuple(known)
+        listing = ", ".join(known) if known else "(none registered)"
+        super().__init__(f"unknown view {value!r}; known views: {listing}")
+        self.value = value
+        self.known = known
+
+
 class AlignmentError(QError):
     """Raised by aligner strategies (exhaustive / view-based / preferential)."""
 

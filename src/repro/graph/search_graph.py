@@ -311,6 +311,11 @@ class SearchGraph:
             if metadata:
                 edge.metadata.update(metadata)
             edge.features = features
+            # Merging confidences changes the edge's cost without touching
+            # the weight vector; bump the structure version so version-based
+            # staleness checks (incremental refresh, lazy pull-based views)
+            # see that graph content moved.
+            self.structure_version += 1
             return edge
 
         edge = Edge.create(u, v, EdgeKind.ASSOCIATION, metadata=dict(metadata or {}))

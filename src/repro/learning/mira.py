@@ -161,27 +161,38 @@ class OnlineLearner:
     # ------------------------------------------------------------------
     # Single feedback step
     # ------------------------------------------------------------------
-    def process(self, event: FeedbackEvent) -> FeedbackStepResult:
-        """Apply one feedback event, updating the graph's weights in place."""
-        terminals = [t for t in event.terminals if self.graph.has_node(t)]
+    def process(
+        self, event: FeedbackEvent, graph: Optional[SearchGraph] = None
+    ) -> FeedbackStepResult:
+        """Apply one feedback event, updating the graph's weights in place.
+
+        ``graph`` optionally overrides the learner's default graph for this
+        event.  A persistent learner (one per :class:`~repro.api.service.QService`
+        session) is constructed once against the search graph and handed the
+        *query* graph of whichever view produced each event — the feedback
+        terminals are keyword nodes that exist only there, while the weight
+        vector is shared so every view observes the update.
+        """
+        graph = graph if graph is not None else self.graph
+        terminals = [t for t in event.terminals if graph.has_node(t)]
         if not terminals:
             raise LearningError("feedback event references no terminals present in the graph")
 
-        candidates = self.solver.solve(self.graph, terminals, self.k)
-        target = event.target_tree.recost(self.graph)
+        candidates = self.solver.solve(graph, terminals, self.k)
+        target = event.target_tree.recost(graph)
 
         constraints: List[LinearConstraint] = []
-        target_phi, target_fixed = tree_feature_vector(self.graph, target)
+        target_phi, target_fixed = tree_feature_vector(graph, target)
 
         comparison_trees = list(candidates)
         if event.demoted_tree is not None:
-            comparison_trees.append(event.demoted_tree.recost(self.graph))
+            comparison_trees.append(event.demoted_tree.recost(graph))
 
         for tree in comparison_trees:
             if tree.edge_ids == target.edge_ids:
                 continue  # L(Tr, Tr) = 0: trivially satisfied.
             margin = self.loss(target, tree)
-            phi, fixed = tree_feature_vector(self.graph, tree)
+            phi, fixed = tree_feature_vector(graph, tree)
             coefficients: Dict[str, float] = {}
             for name in set(phi) | set(target_phi):
                 coefficients[name] = phi.get(name, 0.0) - target_phi.get(name, 0.0)
@@ -191,25 +202,25 @@ class OnlineLearner:
             constraints.append(LinearConstraint(coefficients, bound))
 
         # Positivity constraints for every learnable edge of the graph.
-        for edge in self.graph.learnable_edges():
+        for edge in graph.learnable_edges():
             coefficients = dict(edge.features.items())
             if not coefficients:
                 continue
             constraints.append(LinearConstraint(coefficients, self.positive_margin))
 
-        before = self.graph.weights.copy()
+        before = graph.weights.copy()
         updated = hildreth_solve(
-            self.graph.weights, constraints, max_iterations=self.max_qp_iterations
+            graph.weights, constraints, max_iterations=self.max_qp_iterations
         )
         # Install the new weights in place so all sharers observe them.
         for name, value in updated.as_dict().items():
-            self.graph.weights.set(name, value)
+            graph.weights.set(name, value)
         self.steps_processed += 1
         result = FeedbackStepResult(
             candidate_trees=candidates,
             target_tree=target,
             constraints=len(constraints),
-            weight_change=before.distance_to(self.graph.weights),
+            weight_change=before.distance_to(graph.weights),
         )
         for listener in self.listeners:
             listener(result)
@@ -218,11 +229,18 @@ class OnlineLearner:
     # ------------------------------------------------------------------
     # Streams of feedback
     # ------------------------------------------------------------------
-    def process_stream(self, events: Iterable[FeedbackEvent]) -> List[FeedbackStepResult]:
+    def process_stream(
+        self, events: Iterable[FeedbackEvent], graph: Optional[SearchGraph] = None
+    ) -> List[FeedbackStepResult]:
         """Apply a sequence of feedback events in order."""
-        return [self.process(event) for event in events]
+        return [self.process(event, graph=graph) for event in events]
 
-    def replay(self, events: Sequence[FeedbackEvent], repetitions: int) -> List[FeedbackStepResult]:
+    def replay(
+        self,
+        events: Sequence[FeedbackEvent],
+        repetitions: int,
+        graph: Optional[SearchGraph] = None,
+    ) -> List[FeedbackStepResult]:
         """Apply ``events`` ``repetitions`` times in a row (feedback replay).
 
         The paper replays the feedback log several times to reinforce the
@@ -231,5 +249,5 @@ class OnlineLearner:
         """
         results: List[FeedbackStepResult] = []
         for _ in range(max(repetitions, 0)):
-            results.extend(self.process_stream(events))
+            results.extend(self.process_stream(events, graph=graph))
         return results

@@ -19,7 +19,10 @@ from .base import (
     BaseMatcher,
     ComparisonCounter,
     Correspondence,
+    available_matchers,
     merge_correspondences,
+    register_matcher,
+    resolve_matcher,
     top_y_per_attribute,
 )
 from .ensemble import EnsembleAlignment, MatcherEnsemble
@@ -41,6 +44,12 @@ from .mad_graph import (
 from .metadata_matcher import MetadataMatcher, MetadataMatcherConfig
 from .value_overlap import ValueOverlapFilter, ValueOverlapMatcher
 
+# The built-in matchers, dispatchable by their canonical names (the same
+# names that appear in Correspondence.matcher / edge feature names).
+register_matcher(MetadataMatcher.name, MetadataMatcher)
+register_matcher(MadMatcher.name, MadMatcher)
+register_matcher(ValueOverlapMatcher.name, ValueOverlapMatcher)
+
 __all__ = [
     "AttributeRef",
     "BaseMatcher",
@@ -58,6 +67,9 @@ __all__ = [
     "ValueOverlapFilter",
     "ValueOverlapMatcher",
     "attribute_graph_node",
+    "available_matchers",
+    "register_matcher",
+    "resolve_matcher",
     "build_column_value_graph",
     "compute_walk_probabilities",
     "merge_correspondences",

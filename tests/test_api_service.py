@@ -1,0 +1,393 @@
+"""Lazy pull-based consistency semantics of :class:`repro.api.QService`.
+
+Covers the satellite contract of the service API:
+
+* feedback followed by a read refreshes only the *read* view;
+* a registration invalidates every view's answer cache exactly once and
+  refreshes nothing until a read;
+* the lazy pull path returns top-k answers identical (values, costs,
+  order) to the eager seed path on a fig11-style feedback replay while
+  performing strictly fewer view refreshes;
+* streaming answers equal the materialized refresh and execute queries
+  lazily, page by page.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import QSystem
+from repro.api import (
+    AlignmentStrategy,
+    FeedbackRequest,
+    InvalidRequestError,
+    QService,
+    QueryRequest,
+    RegisterSourceRequest,
+    ServiceConfig,
+    UnknownViewError,
+)
+from repro.core import gold_vs_nongold_costs
+from repro.core.simulated_feedback import simulated_feedback_for_view
+from repro.datasets import build_interpro_go
+from repro.datastore import DataSource
+from repro.learning import AnnotationKind
+
+
+def _mini_sources():
+    go = DataSource.build(
+        "go",
+        {"term": ["acc", "name"]},
+        data={
+            "term": [
+                {"acc": "GO:0001", "name": "plasma membrane"},
+                {"acc": "GO:0002", "name": "nucleus"},
+            ]
+        },
+    )
+    interpro = DataSource.build(
+        "interpro",
+        {"interpro2go": ["go_id", "entry_ac"]},
+        data={
+            "interpro2go": [
+                {"go_id": "GO:0001", "entry_ac": "IPR001"},
+                {"go_id": "GO:0002", "entry_ac": "IPR002"},
+            ]
+        },
+    )
+    return [go, interpro]
+
+
+def _mini_service() -> QService:
+    service = QService(sources=_mini_sources())
+    service.graph.add_association(
+        "go.term", "acc", "interpro.interpro2go", "go_id", {"mad": 0.9}
+    )
+    return service
+
+
+def _drain(pages) -> list:
+    answers = []
+    for page in pages:
+        answers.extend(page.answers)
+    return answers
+
+
+class TestLazyConsistency:
+    def test_feedback_refreshes_only_the_read_view(self):
+        service = _mini_service()
+        info_a = service.create_view(QueryRequest(keywords=("membrane", "IPR001")))
+        info_b = service.create_view(QueryRequest(keywords=("nucleus", "IPR002")))
+        view_a = service.view(info_a.view_id)
+        view_b = service.view(info_b.view_id)
+        assert view_a.refresh_count == 1 and view_b.refresh_count == 1
+
+        answer = view_a.state.answers[0]
+        service.feedback(FeedbackRequest(view=info_a.view_id, answer=answer))
+        # The mutation itself refreshed nothing.
+        assert view_a.refresh_count == 1 and view_b.refresh_count == 1
+
+        _drain(service.answers(QueryRequest(view=info_a.view_id)))
+        # Only the read view synchronized; the other stays stale until read.
+        assert view_a.refresh_count == 2
+        assert view_b.refresh_count == 1
+        assert view_a.last_refresh.solver_runs == 1  # weights moved -> re-solve
+
+        stats = service.stats()
+        assert stats.view_refreshes == 3  # two creations + one stale read
+
+    def test_fresh_read_skips_the_refresh(self):
+        service = _mini_service()
+        info = service.create_view(QueryRequest(keywords=("membrane", "IPR001")))
+        first = _drain(service.answers(QueryRequest(view=info.view_id)))
+        second = _drain(service.answers(QueryRequest(view=info.view_id)))
+        stats = service.stats()
+        # Creation refreshed once; both reads found a current snapshot.
+        assert stats.view_refreshes == 1
+        assert stats.view_refreshes_skipped == 2
+        assert [a.values for a in first] == [a.values for a in second]
+        # A fresh read skips even the solver.
+        assert service.view(info.view_id).last_refresh.solver_runs == 0
+
+    def test_registration_invalidates_all_views_exactly_once(self):
+        service = _mini_service()
+        info_a = service.create_view(QueryRequest(keywords=("membrane", "IPR001")))
+        info_b = service.create_view(QueryRequest(keywords=("nucleus", "IPR002")))
+        view_a = service.view(info_a.view_id)
+        view_b = service.view(info_b.view_id)
+        invalidations_before = (view_a.cache_invalidations, view_b.cache_invalidations)
+        refreshes_before = (view_a.refresh_count, view_b.refresh_count)
+        generation = service.engine_context.generation
+
+        new_source = DataSource.build(
+            "extra",
+            {"facts": ["go_acc", "note"]},
+            data={"facts": [{"go_acc": "GO:0001", "note": "liver"}]},
+        )
+        service.register_source(
+            RegisterSourceRequest(source=new_source, strategy=AlignmentStrategy.EXHAUSTIVE)
+        )
+
+        # Mutation time: exactly one invalidation per view, zero refreshes.
+        assert view_a.cache_invalidations == invalidations_before[0] + 1
+        assert view_b.cache_invalidations == invalidations_before[1] + 1
+        assert (view_a.refresh_count, view_b.refresh_count) == refreshes_before
+        assert service.engine_context.generation > generation
+
+        # Read time: the read view rebuilds (structure moved) and re-executes.
+        _drain(service.answers(QueryRequest(view=info_a.view_id)))
+        assert view_a.refresh_count == refreshes_before[0] + 1
+        assert view_b.refresh_count == refreshes_before[1]
+        assert view_a.last_refresh.queries_executed == len(view_a.state.queries)
+
+    def test_multiple_mutations_cost_one_refresh_at_read(self):
+        service = _mini_service()
+        info = service.create_view(QueryRequest(keywords=("membrane", "IPR001")))
+        view = service.view(info.view_id)
+        answer = view.state.answers[0]
+        for _ in range(5):
+            service.feedback(FeedbackRequest(view=info.view_id, answer=answer))
+        assert view.refresh_count == 1
+        _drain(service.answers(QueryRequest(view=info.view_id)))
+        assert view.refresh_count == 2  # five mutations, one refresh
+
+    def test_association_merge_marks_views_stale(self):
+        # Re-running bootstrap merges matcher confidences into EXISTING
+        # association edges (no new nodes/edges, no weight change) — edge
+        # costs still move, so the structure version must move with them
+        # and the next read must re-solve.
+        service = _rich_service()
+        info = service.create_view(QueryRequest(keywords=("kinase", "title"), k=5))
+        view = service.view(info.view_id)
+        structure_before = service.graph.structure_version
+        service.bootstrap_alignments(top_y=2)  # pure merge: same pairs again
+        assert service.graph.structure_version > structure_before
+        _drain(service.answers(QueryRequest(view=info.view_id)))
+        assert view.last_refresh.solver_runs == 1
+
+    def test_query_request_by_keywords_reuses_existing_view(self):
+        service = _mini_service()
+        service.create_view(QueryRequest(keywords=("membrane", "IPR001")))
+        _drain(service.answers(QueryRequest(keywords=("membrane", "IPR001"))))
+        assert len(service.views) == 1  # reused, not recreated
+
+    def test_query_request_by_keywords_creates_view_on_demand(self):
+        service = _mini_service()
+        answers = _drain(service.answers(QueryRequest(keywords=("membrane", "IPR001"))))
+        assert answers
+        assert len(service.views) == 1
+
+    def test_errors_are_typed(self):
+        service = _mini_service()
+        with pytest.raises(UnknownViewError):
+            next(iter(service.answers(QueryRequest(view="view-9999"))))
+        with pytest.raises(InvalidRequestError):
+            next(iter(service.answers(QueryRequest())))
+        with pytest.raises(InvalidRequestError):
+            service.create_view(QueryRequest())
+        # Zero is invalid, not "use the default".
+        with pytest.raises(InvalidRequestError):
+            service.create_view(QueryRequest(keywords=("membrane",), k=0))
+        with pytest.raises(InvalidRequestError):
+            service.answers(QueryRequest(keywords=("membrane", "IPR001"), page_size=0))
+
+    def test_keyword_reuse_with_conflicting_k_is_rejected(self):
+        service = _mini_service()
+        info = service.create_view(QueryRequest(keywords=("membrane", "IPR001"), k=2))
+        # Same k (or unspecified) reuses; a different k must not silently
+        # serve the smaller-k ranking — on either reference form.
+        _drain(service.answers(QueryRequest(keywords=("membrane", "IPR001"))))
+        _drain(service.answers(QueryRequest(keywords=("membrane", "IPR001"), k=2)))
+        assert len(service.views) == 1
+        with pytest.raises(InvalidRequestError):
+            service.answers(QueryRequest(keywords=("membrane", "IPR001"), k=5))
+        with pytest.raises(InvalidRequestError):
+            service.answers(QueryRequest(view=info.view_id, k=5))
+
+
+def _rich_service(answer_limit=200) -> QService:
+    """An InterPro-only session whose k=5 view spans several queries."""
+    dataset = build_interpro_go(include_foreign_keys=True)
+    service = QService(
+        sources=[dataset.interpro],
+        config=ServiceConfig(top_k=5, top_y=2, answer_limit=answer_limit),
+    )
+    service.bootstrap_alignments(top_y=2)
+    return service
+
+
+class TestStreaming:
+    def test_stream_equals_materialized_refresh(self):
+        service = _rich_service()
+        info = service.create_view(QueryRequest(keywords=("kinase", "title"), k=5))
+        view = service.view(info.view_id)
+        expected = [(a.values, a.cost, a.provenance.query_id) for a in view.refresh().answers]
+        streamed = [
+            (a.values, a.cost, a.provenance.query_id)
+            for a in service.stream_answers(QueryRequest(view=info.view_id))
+        ]
+        assert len(streamed) > 1
+        assert streamed == expected
+
+    def test_first_page_defers_remaining_query_execution(self):
+        service = _rich_service()
+        info = service.create_view(QueryRequest(keywords=("kinase", "title"), k=5))
+        view = service.view(info.view_id)
+        total_queries = len(view.state.queries)
+        assert total_queries > 1, "test needs a multi-query view"
+
+        # Invalidate so the streamed read must re-execute from scratch.
+        view.invalidate_cache()
+        pages = service.answers(QueryRequest(view=info.view_id, page_size=1))
+        next(pages)
+        executed_after_first_page = view.last_refresh.queries_executed
+        assert executed_after_first_page < total_queries
+        # Draining the rest executes the remaining queries.
+        for _ in pages:
+            pass
+        assert view.last_refresh.queries_executed == total_queries
+
+    def test_unmaterialized_creation_executes_nothing_until_streamed(self):
+        service = _rich_service()
+        info = service.create_view(
+            QueryRequest(keywords=("kinase", "title"), k=5), materialize=False
+        )
+        view = service.view(info.view_id)
+        # The solve ran (ranking, alpha available) but no query executed.
+        assert info.tree_count > 0 and info.alpha is not None
+        assert view.last_refresh.queries_executed == 0
+        assert view.last_refresh.queries_reused == 0
+
+        pages = service.answers(QueryRequest(view=info.view_id, page_size=1))
+        next(pages)
+        assert 0 < view.last_refresh.queries_executed < len(view.state.queries)
+
+    def test_auto_created_view_streams_pay_per_page(self):
+        service = _rich_service()
+        # First-ever read by keywords: the view is created solve-only and
+        # the first page executes only the queries it needs.
+        pages = service.answers(QueryRequest(keywords=("kinase", "title"), k=5, page_size=1))
+        next(pages)
+        view = service.view("kinase title")
+        assert 0 < view.last_refresh.queries_executed < len(view.state.queries)
+
+    def test_answers_accessor_rematerializes_after_stream(self):
+        service = _rich_service()
+        info = service.create_view(QueryRequest(keywords=("kinase", "title"), k=5))
+        view = service.view(info.view_id)
+        baseline = [(a.values, a.cost) for a in view.answers()]
+        assert baseline
+        # Feedback re-solves on the next streamed read...
+        from repro.api import FeedbackRequest as FR
+
+        service.feedback(FR(view=info.view_id, answer=view.state.answers[0]))
+        streamed = [
+            (a.values, a.cost)
+            for a in service.stream_answers(QueryRequest(view=info.view_id))
+        ]
+        # ...and the legacy accessor must not report "no answers": it
+        # re-materializes and agrees with the stream.
+        assert view.answers(), "answers() must re-materialize, not return []"
+        assert [(a.values, a.cost) for a in view.answers()] == streamed
+
+    def test_stream_respects_answer_limit(self):
+        service = _rich_service(answer_limit=3)
+        info = service.create_view(QueryRequest(keywords=("kinase", "title"), k=5))
+        streamed = list(service.stream_answers(QueryRequest(view=info.view_id)))
+        materialized = service.view(info.view_id).refresh().answers
+        assert len(streamed) == len(materialized) == 3
+        assert [a.values for a in streamed] == [a.values for a in materialized]
+
+
+class TestEagerLazyParity:
+    """Fig11-style feedback replay: eager seed path vs lazy pull path.
+
+    Edge ids embed a process-global counter, and the id strings end up in
+    feature names whose set-iteration order affects floating-point summation
+    order.  To compare two *instances* bit-for-bit, the counter is reset
+    before each build so both systems allocate identical ids.
+    """
+
+    @staticmethod
+    def _reset_edge_ids(monkeypatch):
+        import itertools
+
+        from repro.graph import edges as edges_module
+
+        monkeypatch.setattr(edges_module, "_edge_counter", itertools.count())
+
+    @pytest.mark.parametrize("repetitions", [1, 2])
+    def test_identical_topk_with_strictly_fewer_refreshes(self, repetitions, monkeypatch):
+        num_queries = 4
+        dataset_eager = build_interpro_go()
+        dataset_lazy = build_interpro_go()
+        self._reset_edge_ids(monkeypatch)
+
+        # --- eager: the deprecated QSystem refreshes every view per event.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            eager = QSystem(
+                sources=dataset_eager.catalog.sources(),
+                config=ServiceConfig(top_k=5, top_y=2),
+            )
+        eager.bootstrap_alignments(top_y=2)
+        eager_views, eager_events = [], []
+        for keywords in dataset_eager.keyword_queries[:num_queries]:
+            view = eager.create_view(list(keywords), k=5)
+            event = simulated_feedback_for_view(view, dataset_eager.gold)
+            if event is not None:
+                eager_views.append(view)
+                eager_events.append(event)
+        for _ in range(repetitions):
+            for view, event in zip(eager_views, eager_events):
+                eager.apply_feedback_events(view, [event], repetitions=1)
+        eager_answers = {
+            " ".join(view.keywords): [(a.values, a.cost) for a in view.answers()]
+            for view in eager_views
+        }
+        eager_refreshes = sum(view.refresh_count for view in eager.views.values())
+
+        # --- lazy: the service invalidates on mutation, refreshes on read.
+        self._reset_edge_ids(monkeypatch)
+        lazy = QService(
+            sources=dataset_lazy.catalog.sources(),
+            config=ServiceConfig(top_k=5, top_y=2),
+        )
+        lazy.bootstrap_alignments(top_y=2)
+        lazy_views, lazy_events = [], []
+        for keywords in dataset_lazy.keyword_queries[:num_queries]:
+            info = lazy.create_view(QueryRequest(keywords=tuple(keywords), k=5))
+            view = lazy.view(info.view_id)
+            event = simulated_feedback_for_view(view, dataset_lazy.gold)
+            if event is not None:
+                lazy_views.append(view)
+                lazy_events.append(event)
+        for _ in range(repetitions):
+            for view, event in zip(lazy_views, lazy_events):
+                lazy.apply_feedback_events(view, [event], repetitions=1)
+        lazy_answers = {
+            " ".join(view.keywords): [
+                (a.values, a.cost)
+                for a in lazy.stream_answers(QueryRequest(view=view))
+            ]
+            for view in lazy_views
+        }
+        lazy_refreshes = sum(record.view.refresh_count for record in lazy.views)
+
+        # Identical learning outcome: with aligned edge ids the two weight
+        # vectors must agree exactly (one persistent learner, same math)...
+        assert lazy.graph.weights.as_dict() == eager.graph.weights.as_dict()
+        eager_gap = gold_vs_nongold_costs(eager.graph, dataset_eager.gold)
+        lazy_gap = gold_vs_nongold_costs(lazy.graph, dataset_lazy.gold)
+        assert lazy_gap.gold_average == pytest.approx(eager_gap.gold_average)
+        assert lazy_gap.non_gold_average == pytest.approx(eager_gap.non_gold_average)
+        # ...identical top-k answers: values, costs and order...
+        assert set(lazy_answers) == set(eager_answers)
+        for name in eager_answers:
+            assert lazy_answers[name] == eager_answers[name], name
+        # ...at strictly fewer view refreshes.
+        assert lazy_refreshes < eager_refreshes
+        # Exact lazy accounting: one refresh at creation + one read per view.
+        assert lazy_refreshes == 2 * len(lazy_views) + (len(lazy.views) - len(lazy_views))

@@ -1,0 +1,106 @@
+"""The deprecated ``QSystem`` facade: warning, delegation, eager semantics."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import QSystem, QSystemConfig
+from repro.api import QService, ServiceConfig
+from repro.datastore import DataSource
+from repro.exceptions import QError
+
+
+def _sources():
+    go = DataSource.build(
+        "go",
+        {"term": ["acc", "name"]},
+        data={
+            "term": [
+                {"acc": "GO:0001", "name": "plasma membrane"},
+                {"acc": "GO:0002", "name": "nucleus"},
+            ]
+        },
+    )
+    interpro = DataSource.build(
+        "interpro",
+        {"interpro2go": ["go_id", "entry_ac"]},
+        data={
+            "interpro2go": [
+                {"go_id": "GO:0001", "entry_ac": "IPR001"},
+                {"go_id": "GO:0002", "entry_ac": "IPR002"},
+            ]
+        },
+    )
+    return [go, interpro]
+
+
+def _system() -> QSystem:
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        system = QSystem(sources=_sources())
+    system.graph.add_association(
+        "go.term", "acc", "interpro.interpro2go", "go_id", {"mad": 0.9}
+    )
+    return system
+
+
+class TestDeprecationShim:
+    def test_construction_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="QService"):
+            QSystem(sources=_sources())
+
+    def test_config_alias_is_service_config(self):
+        assert QSystemConfig is ServiceConfig
+        config = QSystemConfig(top_k=3, top_y=2)
+        assert config.top_k == 3
+
+    def test_delegates_to_a_service_session(self):
+        system = _system()
+        assert isinstance(system.service, QService)
+        # The shim exposes the service's state, not copies of it.
+        assert system.catalog is system.service.catalog
+        assert system.graph is system.service.graph
+        assert system.registrar is system.service.registrar
+        assert system.feedback_log is system.service.feedback_log
+        assert system.engine_context is system.service.engine_context
+
+    def test_feedback_accumulates_in_one_persistent_learner(self):
+        system = _system()
+        view = system.create_view(["membrane", "IPR001"])
+        learner = system.service.learner
+        system.give_feedback(view, view.state.answers[0])
+        system.give_feedback(view, view.state.answers[0], replay=2)
+        # Same learner object throughout, steps accumulated across calls
+        # (the seed rebuilt a fresh learner per call).
+        assert system.service.learner is learner
+        assert learner.steps_processed == 3
+
+    def test_views_mapping_has_seed_shape(self):
+        system = _system()
+        view = system.create_view(["membrane", "IPR001"])
+        assert "membrane IPR001" in system.views
+        assert system.views["membrane IPR001"] is view
+
+    def test_latest_view_uses_creation_order(self):
+        system = _system()
+        system.create_view(["membrane", "IPR001"], name="shared")
+        newest = system.create_view(["nucleus", "IPR002"])
+        assert system._latest_view() is newest
+
+    def test_mutations_stay_eager(self):
+        # Seed contract: after give_feedback every view is fresh again.
+        system = _system()
+        view_a = system.create_view(["membrane", "IPR001"])
+        view_b = system.create_view(["nucleus", "IPR002"])
+        counts = (view_a.refresh_count, view_b.refresh_count)
+        system.give_feedback(view_a, view_a.state.answers[0])
+        assert view_a.refresh_count == counts[0] + 1
+        assert view_b.refresh_count == counts[1] + 1
+
+    def test_unknown_strategy_still_raises_qerror(self):
+        system = _system()
+        source = DataSource.build("y", {"r": ["a"]})
+        with pytest.raises(QError):
+            system.register_source(source, strategy="nope")
