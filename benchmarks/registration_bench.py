@@ -1,0 +1,235 @@
+"""Registration benchmark: seed all-pairs pipeline vs profile-indexed pipeline.
+
+Replays the Figure 6/7 new-source registration workload (the GBCO query log)
+under both registration pipelines of
+:func:`experiments.run_gbco_alignment_experiment`:
+
+* ``seed`` — the pre-profile-index machinery of the original codebase:
+  per-strategy catalog clones, a full value-index rebuild per introduction
+  and strategy, matchers re-deriving every profile;
+* ``indexed`` — the :mod:`repro.profiling` fast path: one persistent
+  :class:`~repro.profiling.CatalogProfileIndex`, posting-list blocking and
+  shared pair memos.
+
+It asserts correspondence-level parity (identical accepted matches and
+identical comparison counts) between the two pipelines, then emits
+``BENCH_registration.json`` with the before/after numbers.  The ``indexed``
+pipeline runs *first*, so the seed baseline inherits every warm similarity
+cache — the reported speedup is conservative.
+
+With ``--check BASELINE`` the run additionally compares itself against a
+checked-in baseline file and exits non-zero on a >20% regression of the
+registration speedup or *any* drift in the (deterministic) comparison
+counts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/registration_bench.py \
+        --config large --out BENCH_registration.json
+    PYTHONPATH=src python benchmarks/registration_bench.py \
+        --config small --check benchmarks/BENCH_registration_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_HERE), str(_SRC)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from experiments import run_gbco_alignment_experiment  # noqa: E402
+
+from repro.datasets import QUERY_LOG  # noqa: E402
+
+#: Named configurations.  ``large`` is the full Figure 6/7 replay (the
+#: acceptance configuration); ``small`` is the CI smoke configuration.
+CONFIGS = {
+    "small": dict(rows_per_relation=15, trial_count=8),
+    "large": dict(rows_per_relation=30, trial_count=None),
+}
+
+#: Allowed relative slack when checking against a baseline.
+REGRESSION_TOLERANCE = 0.20
+
+
+def _run_pipeline(pipeline: str, rows: int, trials) -> Dict[str, object]:
+    timings: Dict[str, float] = {}
+    start = time.perf_counter()
+    measurements = run_gbco_alignment_experiment(
+        rows_per_relation=rows, trials=trials, pipeline=pipeline, timings=timings
+    )
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": round(wall, 4),
+        "setup_seconds": round(timings["setup_seconds"], 4),
+        "registration_seconds": round(timings["registration_seconds"], 4),
+        "index_build_seconds": round(timings["index_build_seconds"], 4),
+        "strategies": {
+            name: {
+                "avg_time_ms": round(m.avg_time_ms, 3),
+                "comparisons_no_filter": m.total_comparisons_no_filter,
+                "comparisons_value_filter": m.total_comparisons_value_filter,
+                "introductions": m.introductions,
+            }
+            for name, m in measurements.items()
+        },
+        "_measurements": measurements,
+    }
+
+
+def _assert_parity(seed: Dict[str, object], indexed: Dict[str, object]) -> None:
+    """Byte-identical accepted correspondences + identical comparison counts."""
+    seed_m = seed["_measurements"]
+    indexed_m = indexed["_measurements"]
+    for name in seed_m:
+        s, i = seed_m[name], indexed_m[name]
+        if s.correspondence_log != i.correspondence_log:
+            raise AssertionError(
+                f"correspondence parity violated for strategy {name!r}: the "
+                "indexed pipeline accepted different matches than the seed pipeline"
+            )
+        if (
+            s.total_comparisons_no_filter != i.total_comparisons_no_filter
+            or s.total_comparisons_value_filter != i.total_comparisons_value_filter
+        ):
+            raise AssertionError(
+                f"comparison-count parity violated for strategy {name!r}"
+            )
+
+
+def run_benchmark(config: str, rows: Optional[int] = None, trial_count: Optional[int] = None) -> Dict[str, object]:
+    """Run both pipelines, assert parity, and return the report dict."""
+    spec = dict(CONFIGS[config])
+    if rows is not None:
+        spec["rows_per_relation"] = rows
+    if trial_count is not None:
+        spec["trial_count"] = trial_count
+    trials = (
+        list(QUERY_LOG)[: spec["trial_count"]]
+        if spec["trial_count"] is not None
+        else None
+    )
+
+    # Indexed first: the seed baseline then runs with every shared
+    # similarity cache warm, so the measured speedup is a lower bound.
+    indexed = _run_pipeline("indexed", spec["rows_per_relation"], trials)
+    seed = _run_pipeline("seed", spec["rows_per_relation"], trials)
+    _assert_parity(seed, indexed)
+
+    def _ratio(a: float, b: float) -> float:
+        return round(a / b, 2) if b > 0 else float("inf")
+
+    report = {
+        "benchmark": "registration_replay",
+        "workload": "gbco fig6/fig7 new-source introductions",
+        "config": {
+            "name": config,
+            "rows_per_relation": spec["rows_per_relation"],
+            "trials": spec["trial_count"] if spec["trial_count"] is not None else len(QUERY_LOG),
+            "introductions": seed["strategies"]["exhaustive"]["introductions"],
+        },
+        "parity": "identical accepted correspondences and comparison counts",
+        "before_seed_pipeline": {k: v for k, v in seed.items() if k != "_measurements"},
+        "after_indexed_pipeline": {k: v for k, v in indexed.items() if k != "_measurements"},
+        "speedup": {
+            "registration": _ratio(
+                seed["registration_seconds"], indexed["registration_seconds"]
+            ),
+            "registration_vs_index_build_amortized": _ratio(
+                seed["registration_seconds"],
+                indexed["registration_seconds"] + indexed["index_build_seconds"],
+            ),
+            "wall": _ratio(seed["wall_seconds"], indexed["wall_seconds"]),
+            "aligner_avg_time": {
+                name: _ratio(
+                    seed["strategies"][name]["avg_time_ms"],
+                    indexed["strategies"][name]["avg_time_ms"],
+                )
+                for name in seed["strategies"]
+            },
+        },
+    }
+    return report
+
+
+def check_against_baseline(report: Dict[str, object], baseline_path: Path) -> int:
+    """Compare ``report`` to a checked-in baseline; return a process exit code."""
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+
+    # Comparison counts are deterministic for a given config: any drift at
+    # all means the blocking/counting logic changed behaviour, so they are
+    # held to exact equality (tolerance applies only to the timing ratio).
+    base_strategies = baseline["after_indexed_pipeline"]["strategies"]
+    new_strategies = report["after_indexed_pipeline"]["strategies"]
+    for name, base in base_strategies.items():
+        new = new_strategies.get(name)
+        if new is None:
+            failures.append(f"strategy {name!r} missing from the new run")
+            continue
+        for metric in ("comparisons_no_filter", "comparisons_value_filter"):
+            old_value, new_value = base[metric], new[metric]
+            if new_value != old_value:
+                failures.append(
+                    f"{name}.{metric} drifted: baseline {old_value}, got {new_value}"
+                )
+
+    # The registration speedup is machine-normalized (both pipelines run on
+    # the same machine in the same process); allow 20% noise.
+    base_speedup = baseline["speedup"]["registration"]
+    new_speedup = report["speedup"]["registration"]
+    if new_speedup < base_speedup * (1.0 - REGRESSION_TOLERANCE):
+        failures.append(
+            f"registration speedup regressed >20%: baseline {base_speedup}x, got {new_speedup}x"
+        )
+
+    if failures:
+        print("BASELINE CHECK FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 2
+    print(
+        f"baseline check ok: speedup {new_speedup}x (baseline {base_speedup}x), "
+        "comparison counts exactly match"
+    )
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="large")
+    parser.add_argument("--rows", type=int, default=None, help="rows per relation override")
+    parser.add_argument("--trials", type=int, default=None, help="trial count override")
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_registration.json"), help="report path"
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None, help="baseline JSON to compare against"
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.config, rows=args.rows, trial_count=args.trials)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    speedup = report["speedup"]
+    print(
+        f"registration replay ({report['config']['name']}): "
+        f"seed {report['before_seed_pipeline']['registration_seconds']}s -> "
+        f"indexed {report['after_indexed_pipeline']['registration_seconds']}s "
+        f"({speedup['registration']}x registration, {speedup['wall']}x wall); "
+        f"report written to {args.out}"
+    )
+    if args.check is not None:
+        return check_against_baseline(report, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,9 @@ The package implements the Q system end to end:
 * :mod:`repro.steiner` — exact and approximate top-k Steiner trees.
 * :mod:`repro.matching` — schema matchers: metadata (COMA++ stand-in), MAD
   label propagation, value overlap, and ensembles.
+* :mod:`repro.profiling` — the registration-side fast path: persistent
+  per-attribute profiles, posting-list candidate generation (blocking) and
+  shared pair memos behind the :class:`~repro.profiling.CatalogProfileIndex`.
 * :mod:`repro.alignment` — EXHAUSTIVE / VIEWBASED / PREFERENTIAL aligners and
   the new-source registration service.
 * :mod:`repro.learning` — feedback generalization and MIRA-based learning of

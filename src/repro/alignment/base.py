@@ -21,6 +21,7 @@ from ..graph.edges import Edge
 from ..graph.search_graph import SearchGraph
 from ..matching.base import BaseMatcher, Correspondence, merge_correspondences, top_y_per_attribute
 from ..matching.value_overlap import ValueOverlapFilter
+from ..profiling.index import CatalogProfileIndex
 
 
 @dataclass
@@ -77,6 +78,12 @@ class BaseAligner(abc.ABC):
         If ``True``, the aligner only *counts* comparisons without invoking
         the matcher — used by the Figure 8 scaling experiment, whose
         synthetic relations have no realistic labels to match on.
+    profile_index:
+        Optional shared :class:`~repro.profiling.index.CatalogProfileIndex`
+        (the one the registration service maintains).  It is injected into
+        the matcher when the matcher supports one and has none attached, so
+        every strategy pulls candidate pairs and table profiles from the
+        same incrementally maintained index.
     """
 
     #: Strategy name, overridden by subclasses.
@@ -88,11 +95,15 @@ class BaseAligner(abc.ABC):
         top_y: int = 2,
         value_filter: Optional[ValueOverlapFilter] = None,
         count_only: bool = False,
+        profile_index: Optional[CatalogProfileIndex] = None,
     ) -> None:
         self.matcher = matcher
         self.top_y = top_y
         self.value_filter = value_filter
         self.count_only = count_only
+        self.profile_index = profile_index
+        if profile_index is not None and getattr(matcher, "profile_index", "unsupported") is None:
+            matcher.profile_index = profile_index
 
     # ------------------------------------------------------------------
     # Strategy-specific candidate selection

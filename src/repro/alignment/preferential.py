@@ -70,8 +70,15 @@ class PreferentialAligner(BaseAligner):
         top_y: int = 2,
         value_filter: Optional[ValueOverlapFilter] = None,
         count_only: bool = False,
+        profile_index=None,
     ) -> None:
-        super().__init__(matcher, top_y=top_y, value_filter=value_filter, count_only=count_only)
+        super().__init__(
+            matcher,
+            top_y=top_y,
+            value_filter=value_filter,
+            count_only=count_only,
+            profile_index=profile_index,
+        )
         if max_relations is not None and max_relations < 1:
             raise AlignmentError("max_relations must be >= 1 (or None)")
         self.prior = prior

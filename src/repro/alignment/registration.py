@@ -2,15 +2,21 @@
 
 The registration service is the entry point triggered when a user (or a
 crawler) registers a new database: the source's relations and attributes are
-added to the catalog and the search graph, an aligner strategy proposes
-association edges against the existing graph, and any registered callbacks
-(e.g. view refresh) are invoked with the alignment result.
+added to the catalog and the search graph, the maintained indexes (the
+shared :class:`~repro.profiling.index.CatalogProfileIndex`, value/token
+indexes) are updated incrementally, an aligner strategy proposes association
+edges against the existing graph, and any registered callbacks (e.g. view
+refresh) are invoked with the alignment result.
+
+Failure atomicity: if the aligner (or index maintenance) raises, the
+catalog, the search graph *and* every maintained index are rolled back to
+their pre-registration state, so a failed registration is a no-op.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Union
 
 from ..datastore.database import Catalog, DataSource
 from ..exceptions import RegistrationError
@@ -19,6 +25,12 @@ from .base import AlignmentResult, BaseAligner
 
 #: Callback signature invoked after each successful registration.
 RegistrationListener = Callable[[DataSource, AlignmentResult], None]
+
+#: A batch entry: a ready aligner, or a zero-argument factory resolved only
+#: after the whole batch is admitted (so strategies that snapshot state at
+#: construction time — e.g. a view's α-neighborhood graph — see the other
+#: batch members).
+AlignerOrFactory = Union[BaseAligner, Callable[[], BaseAligner]]
 
 
 @dataclass
@@ -40,11 +52,25 @@ class SourceRegistrar:
     graph:
         The search graph; the new source's schema nodes and the proposed
         association edges are added to it.
+    indexes:
+        Maintained index objects — anything exposing ``index_source`` and
+        ``remove_source`` (e.g. a
+        :class:`~repro.profiling.index.CatalogProfileIndex`, a
+        :class:`~repro.datastore.indexes.ValueIndex`).  They are updated
+        incrementally on every registration, *before* the aligner runs (so
+        value filters and blocking see the new source), and retracted on
+        failure.
     """
 
-    def __init__(self, catalog: Catalog, graph: SearchGraph) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        graph: SearchGraph,
+        indexes: Iterable[object] = (),
+    ) -> None:
         self.catalog = catalog
         self.graph = graph
+        self.indexes: List[object] = list(indexes)
         self.history: List[RegistrationRecord] = []
         self._listeners: List[RegistrationListener] = []
 
@@ -62,8 +88,34 @@ class SourceRegistrar:
         """Register a callback invoked after each successful registration."""
         self._listeners.append(listener)
 
+    def add_index(self, index: object) -> None:
+        """Attach another maintained index (``index_source``/``remove_source``)."""
+        self.indexes.append(index)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _admit(self, source: DataSource) -> None:
+        """Add ``source`` to catalog, graph and maintained indexes."""
+        self.catalog.add_source(source)
+        try:
+            self.graph.add_source(source)
+            for index in self.indexes:
+                index.index_source(source)  # type: ignore[attr-defined]
+        except Exception:
+            self._evict(source.name)
+            raise
+
+    def _evict(self, source_name: str) -> None:
+        """Best-effort inverse of :meth:`_admit` (used on failure paths)."""
+        for index in self.indexes:
+            index.remove_source(source_name)  # type: ignore[attr-defined]
+        self.graph.remove_source(source_name)
+        if self.catalog.has_source(source_name):
+            self.catalog.remove_source(source_name)
+
     def register(self, source: DataSource, aligner: BaseAligner) -> AlignmentResult:
-        """Register ``source``: add it to the catalog/graph, then align it.
+        """Register ``source``: add it to catalog/graph/indexes, then align it.
 
         Raises
         ------
@@ -72,13 +124,12 @@ class SourceRegistrar:
         """
         if self.catalog.has_source(source.name):
             raise RegistrationError(f"source {source.name!r} is already registered")
-        self.catalog.add_source(source)
+        self._admit(source)
         try:
-            self.graph.add_source(source)
             alignment = aligner.align(self.graph, self.catalog, source)
         except Exception:
-            # Keep catalog and graph consistent on failure.
-            self.catalog.remove_source(source.name)
+            # Keep catalog, graph and indexes consistent on failure.
+            self._evict(source.name)
             raise
         record = RegistrationRecord(
             source_name=source.name, strategy=aligner.strategy_name, alignment=alignment
@@ -87,6 +138,67 @@ class SourceRegistrar:
         for listener in self._listeners:
             listener(source, alignment)
         return alignment
+
+    def register_batch(
+        self,
+        sources: Sequence[DataSource],
+        aligners: Sequence[AlignerOrFactory],
+    ) -> List[AlignmentResult]:
+        """Batch ingest: admit (and profile) every source, then align each.
+
+        All sources are added to the catalog, graph and maintained indexes
+        in **one pass** before any alignment runs — so the profile index is
+        built once for the whole batch, and each source's alignment can also
+        discover correspondences against the other batch members.  Entries
+        in ``aligners`` may be zero-argument factories; they are invoked
+        only after the whole batch is admitted, so aligners that snapshot
+        state at construction time (the view-based strategy captures its
+        view's query graph and α) are built against the post-admission
+        state.  The batch is atomic: if any admission or alignment fails,
+        every batch source is rolled back.
+        """
+        if len(aligners) != len(sources):
+            raise RegistrationError(
+                f"register_batch got {len(sources)} sources but {len(aligners)} aligners"
+            )
+        seen = set()
+        for source in sources:
+            if self.catalog.has_source(source.name):
+                raise RegistrationError(f"source {source.name!r} is already registered")
+            if source.name in seen:
+                raise RegistrationError(f"source {source.name!r} appears twice in the batch")
+            seen.add(source.name)
+
+        admitted: List[str] = []
+        resolved: List[BaseAligner] = []
+        results: List[AlignmentResult] = []
+        try:
+            # Phase 1: one profiling pass over the whole batch.
+            for source in sources:
+                self._admit(source)
+                admitted.append(source.name)
+            # Phase 2: build each aligner (factories see the grown graph)
+            # and align its source against it.
+            for source, entry in zip(sources, aligners):
+                aligner = entry if isinstance(entry, BaseAligner) else entry()
+                resolved.append(aligner)
+                results.append(aligner.align(self.graph, self.catalog, source))
+        except Exception:
+            for name in reversed(admitted):
+                self._evict(name)
+            raise
+
+        for source, aligner, alignment in zip(sources, resolved, results):
+            self.history.append(
+                RegistrationRecord(
+                    source_name=source.name,
+                    strategy=aligner.strategy_name,
+                    alignment=alignment,
+                )
+            )
+            for listener in self._listeners:
+                listener(source, alignment)
+        return results
 
     def registered_sources(self) -> List[str]:
         """Names of the sources registered through this service, in order."""

@@ -51,8 +51,15 @@ class ViewBasedAligner(BaseAligner):
         value_filter: Optional[ValueOverlapFilter] = None,
         count_only: bool = False,
         neighborhood_graph: Optional[SearchGraph] = None,
+        profile_index=None,
     ) -> None:
-        super().__init__(matcher, top_y=top_y, value_filter=value_filter, count_only=count_only)
+        super().__init__(
+            matcher,
+            top_y=top_y,
+            value_filter=value_filter,
+            count_only=count_only,
+            profile_index=profile_index,
+        )
         if alpha < 0:
             raise AlignmentError("alpha must be non-negative")
         self.keyword_nodes = list(keyword_nodes)

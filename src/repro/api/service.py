@@ -48,6 +48,7 @@ from ..matching.ensemble import MatcherEnsemble
 from ..matching.mad import MadMatcher
 from ..matching.metadata_matcher import MetadataMatcher
 from ..matching.value_overlap import ValueOverlapFilter
+from ..profiling.index import CatalogProfileIndex
 from .strategies import AlignerSpec, AlignmentStrategy, build_aligner
 from .streaming import paginate
 from .types import (
@@ -89,11 +90,20 @@ class QService:
         self.catalog = Catalog(sources)
         self.graph = SearchGraph(config=self.config.graph)
         self.graph.add_catalog(self.catalog)
+        #: Shared per-attribute profiles + posting lists over the catalog,
+        #: profiled once per source and updated incrementally by the
+        #: registrar (see :mod:`repro.profiling`).  Every matcher and value
+        #: filter of this session reads it instead of re-deriving state.
+        self.profile_index = CatalogProfileIndex.from_catalog(self.catalog)
         self.matchers: List[BaseMatcher] = (
             list(matchers) if matchers else [MetadataMatcher(), MadMatcher()]
         )
-        self.ensemble = MatcherEnsemble(self.matchers, top_y=self.config.top_y)
-        self.registrar = SourceRegistrar(self.catalog, self.graph)
+        self.ensemble = MatcherEnsemble(
+            self.matchers, top_y=self.config.top_y, profile_index=self.profile_index
+        )
+        self.registrar = SourceRegistrar(
+            self.catalog, self.graph, indexes=(self.profile_index,)
+        )
         self.views = ViewRegistry()
         self.feedback_log = FeedbackLog(window_size=self.config.feedback_window)
         self._builder: Optional[QueryGraphBuilder] = None
@@ -119,7 +129,8 @@ class QService:
         """
         self.catalog.add_source(source)
         self.graph.add_source(source)
-        self._invalidate_builder()
+        self.profile_index.index_source(source)
+        self._sync_builder(source)
 
     def bootstrap_alignments(self, top_y: Optional[int] = None) -> List[Correspondence]:
         """Run the matcher ensemble over all current tables and install edges.
@@ -216,8 +227,18 @@ class QService:
             self._builder = QueryGraphBuilder(self.catalog)
         return self._builder
 
-    def _invalidate_builder(self) -> None:
-        self._builder = None
+    def _sync_builder(self, source: DataSource) -> None:
+        """Fold a newly admitted source into the shared query-graph builder.
+
+        Incremental replacement for the seed's builder invalidation: the
+        builder's value index and tf-idf corpus gain exactly the new
+        source's entries (ending in the same state a from-scratch rebuild
+        over the grown catalog would produce), and every existing view —
+        which holds this builder — sees the new source's values on its next
+        rebuild instead of expanding against a stale index.
+        """
+        if self._builder is not None:
+            self._builder.add_source(source)
 
     # ------------------------------------------------------------------
     # Lazy consistency
@@ -339,13 +360,12 @@ class QService:
     # ------------------------------------------------------------------
     # Registration of new sources
     # ------------------------------------------------------------------
-    def register_source(self, request: RegisterSourceRequest) -> RegistrationResponse:
-        """Register a new source and align it against the existing graph.
+    def _aligner_for(self, request: RegisterSourceRequest):
+        """Build the aligner for one registration request.
 
-        Lazy semantics: the registration invalidates the shared execution
-        context and every view's answer cache exactly once (they may hold
-        rows of mutated relations), and the graph's ``structure_version``
-        moves — but no view is refreshed; each rebuilds on its next read.
+        The value filter wraps the session's shared profile index (the
+        registrar indexes the new source before aligning, so the filter sees
+        it) — no per-registration index rebuild.
         """
         strategy = AlignmentStrategy.coerce(request.strategy)
         matcher = (
@@ -355,8 +375,7 @@ class QService:
         )
         value_filter = None
         if request.value_filter:
-            tables = self.catalog.all_tables() + list(request.source.tables())
-            value_filter = ValueOverlapFilter.from_tables(tables)
+            value_filter = ValueOverlapFilter.from_index(self.profile_index)
 
         driving_view: Optional[RankedView] = None
         if strategy is AlignmentStrategy.VIEW_BASED:
@@ -381,10 +400,14 @@ class QService:
                 value_filter=value_filter,
                 max_relations=request.max_relations,
                 view=driving_view,
+                profile_index=self.profile_index,
             ),
         )
-        result = self.registrar.register(request.source, aligner)
-        self._invalidate_builder()
+        return strategy, aligner
+
+    def _registration_response(
+        self, request: RegisterSourceRequest, strategy: AlignmentStrategy, result: AlignmentResult
+    ) -> RegistrationResponse:
         return RegistrationResponse(
             source=request.source.name,
             strategy=strategy,
@@ -393,6 +416,57 @@ class QService:
             candidate_relations=tuple(result.candidate_relations),
             elapsed_seconds=result.elapsed_seconds,
             alignment=result,
+        )
+
+    def register_source(self, request: RegisterSourceRequest) -> RegistrationResponse:
+        """Register a new source and align it against the existing graph.
+
+        Lazy semantics: the registration invalidates the shared execution
+        context and every view's answer cache exactly once (they may hold
+        rows of mutated relations), and the graph's ``structure_version``
+        moves — but no view is refreshed; each rebuilds on its next read.
+        """
+        strategy, aligner = self._aligner_for(request)
+        result = self.registrar.register(request.source, aligner)
+        self._sync_builder(request.source)
+        return self._registration_response(request, strategy, result)
+
+    def register_sources(
+        self, requests: Sequence[RegisterSourceRequest]
+    ) -> Tuple[RegistrationResponse, ...]:
+        """Batch ingest: profile every new source in one pass, then align each.
+
+        All sources are admitted to the catalog, graph and shared profile
+        index **before** any alignment runs, so (a) profiling happens once
+        per source rather than once per alignment, and (b) each source's
+        alignment can also propose correspondences against the other batch
+        members — registering interlinked sources in one batch wires them to
+        each other as well as to the existing catalog.  Aligner construction
+        is deferred into the batch (factories resolved after admission), so
+        even the view-based strategy — which snapshots its driving view's
+        query graph and α at build time — sees the whole batch: the view
+        pull inside the factory rebuilds against the grown graph.  The
+        batch is atomic: any failure rolls every batch source back.
+        """
+        requests = list(requests)
+        if not requests:
+            return ()
+        strategies: List[AlignmentStrategy] = [
+            AlignmentStrategy.coerce(request.strategy) for request in requests
+        ]
+
+        def factory(request: RegisterSourceRequest):
+            return lambda: self._aligner_for(request)[1]
+
+        results = self.registrar.register_batch(
+            [request.source for request in requests],
+            [factory(request) for request in requests],
+        )
+        for request in requests:
+            self._sync_builder(request.source)
+        return tuple(
+            self._registration_response(request, strategy, result)
+            for request, strategy, result in zip(requests, strategies, results)
         )
 
     def _on_registration(self, source: DataSource, result: AlignmentResult) -> None:

@@ -82,6 +82,11 @@ class AlignerSpec:
     view:
         The driving view for the view-based strategy (must be fresh — the
         service pulls it before building the spec).
+    profile_index:
+        The service's shared
+        :class:`~repro.profiling.index.CatalogProfileIndex`; injected into
+        the aligner (and from there into the matcher) so candidate
+        generation reads the incrementally maintained profiles.
     """
 
     matcher: BaseMatcher
@@ -89,6 +94,7 @@ class AlignerSpec:
     value_filter: Optional[ValueOverlapFilter] = None
     max_relations: Optional[int] = 5
     view: Optional["RankedView"] = None
+    profile_index: Optional[object] = None
 
 
 AlignerFactory = Callable[[AlignerSpec], BaseAligner]
@@ -126,7 +132,12 @@ def build_aligner(
 
 
 def _build_exhaustive(spec: AlignerSpec) -> BaseAligner:
-    return ExhaustiveAligner(spec.matcher, top_y=spec.top_y, value_filter=spec.value_filter)
+    return ExhaustiveAligner(
+        spec.matcher,
+        top_y=spec.top_y,
+        value_filter=spec.value_filter,
+        profile_index=spec.profile_index,
+    )
 
 
 def _build_preferential(spec: AlignerSpec) -> BaseAligner:
@@ -135,6 +146,7 @@ def _build_preferential(spec: AlignerSpec) -> BaseAligner:
         top_y=spec.top_y,
         value_filter=spec.value_filter,
         max_relations=spec.max_relations,
+        profile_index=spec.profile_index,
     )
 
 
@@ -157,6 +169,7 @@ def _build_view_based(spec: AlignerSpec) -> BaseAligner:
         top_y=spec.top_y,
         value_filter=spec.value_filter,
         neighborhood_graph=view.query_graph.graph,
+        profile_index=spec.profile_index,
     )
 
 

@@ -123,10 +123,12 @@ class RankedView:
         self.k = k
         self.answer_limit = answer_limit
         self.builder = builder or QueryGraphBuilder(catalog)
-        self.solver = KBestSteiner()
         self.query_graph: QueryGraph = self.builder.expand(graph, self.keywords)
         self.state = ViewState()
         self.engine_context = engine_context if engine_context is not None else ExecutionContext(catalog)
+        # The solver shares the context's Steiner snapshot cache so repeated
+        # solves over an unchanged query graph reuse one network.
+        self.solver = KBestSteiner(network_cache=self.engine_context.steiner_cache)
         self.executor = PlanExecutor(catalog, self.engine_context)
         self.max_cached_queries = max_cached_queries
         self.last_refresh = RefreshStats()

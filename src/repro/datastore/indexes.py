@@ -34,11 +34,22 @@ class ValueOccurrence:
 
 
 class ValueIndex:
-    """Inverted index from canonical values to their occurrences."""
+    """Inverted index from canonical values to their occurrences.
+
+    Maintenance is incremental in both directions: :meth:`index_source`
+    appends a new source's cells without touching existing entries, and
+    :meth:`remove_source` / :meth:`remove_table` retract a source's
+    contribution exactly (per-relation value bookkeeping keeps retraction
+    proportional to the removed relation's footprint, not the index size).
+    The registration service relies on this to roll back a failed
+    registration without a full rebuild.
+    """
 
     def __init__(self) -> None:
         self._occurrences: Dict[str, List[ValueOccurrence]] = defaultdict(list)
         self._attribute_values: Dict[Tuple[str, str], Set[str]] = defaultdict(set)
+        #: relation -> canonical values it contributed (for exact retraction).
+        self._relation_values: Dict[str, Set[str]] = defaultdict(set)
 
     # ------------------------------------------------------------------
     # Construction
@@ -46,6 +57,7 @@ class ValueIndex:
     def index_table(self, table: Table) -> None:
         """Add every cell of ``table`` to the index."""
         relation = table.schema.qualified_name
+        relation_values = self._relation_values[relation]
         for row in table:
             for attr_name, value in zip(table.schema.attribute_names, row.values):
                 canon = canonicalize(value)
@@ -54,11 +66,36 @@ class ValueIndex:
                 occurrence = ValueOccurrence(relation, attr_name, row.row_id, canon)
                 self._occurrences[canon].append(occurrence)
                 self._attribute_values[(relation, attr_name)].add(canon)
+                relation_values.add(canon)
 
     def index_source(self, source: DataSource) -> None:
-        """Index every table of ``source``."""
+        """Index every table of ``source`` (purely additive)."""
         for table in source:
             self.index_table(table)
+
+    # ------------------------------------------------------------------
+    # Retraction
+    # ------------------------------------------------------------------
+    def remove_table(self, relation: str) -> None:
+        """Drop every entry contributed by ``relation``."""
+        values = self._relation_values.pop(relation, set())
+        for value in values:
+            occurrences = self._occurrences.get(value)
+            if occurrences is None:
+                continue
+            kept = [o for o in occurrences if o.relation != relation]
+            if kept:
+                self._occurrences[value] = kept
+            else:
+                del self._occurrences[value]
+        for key in [k for k in self._attribute_values if k[0] == relation]:
+            del self._attribute_values[key]
+
+    def remove_source(self, source_name: str) -> None:
+        """Drop every entry contributed by any relation of ``source_name``."""
+        prefix = f"{source_name}."
+        for relation in [r for r in self._relation_values if r.startswith(prefix)]:
+            self.remove_table(relation)
 
     @classmethod
     def from_catalog(cls, catalog: Catalog) -> "ValueIndex":
@@ -134,12 +171,20 @@ class TokenIndex:
     Every attribute value and every schema label (relation and attribute
     name) is treated as a "document".  The index exposes document
     frequencies used by the tf-idf keyword similarity metric.
+
+    Like :class:`ValueIndex`, the index supports exact incremental
+    maintenance: :meth:`index_table` / :meth:`index_source` add a
+    relation's documents (tracking their ids per relation), and
+    :meth:`remove_table` / :meth:`remove_source` retract them without a
+    full rebuild.
     """
 
     def __init__(self) -> None:
         self.document_count = 0
         self._document_frequency: Dict[str, int] = defaultdict(int)
         self._documents: Dict[str, Set[str]] = {}
+        #: relation -> ids of the documents it contributed.
+        self._relation_documents: Dict[str, Set[str]] = defaultdict(set)
 
     def add_document(self, doc_id: str, text: str) -> None:
         """Add (or replace) a document's token set."""
@@ -154,6 +199,19 @@ class TokenIndex:
         for token in tokens:
             self._document_frequency[token] += 1
 
+    def remove_document(self, doc_id: str) -> None:
+        """Drop one document (no-op when unknown)."""
+        tokens = self._documents.pop(doc_id, None)
+        if tokens is None:
+            return
+        self.document_count -= 1
+        for token in tokens:
+            remaining = self._document_frequency[token] - 1
+            if remaining > 0:
+                self._document_frequency[token] = remaining
+            else:
+                del self._document_frequency[token]
+
     def document_frequency(self, token: str) -> int:
         """Number of documents containing ``token``."""
         return self._document_frequency.get(token.lower(), 0)
@@ -162,25 +220,49 @@ class TokenIndex:
         """The token set of document ``doc_id`` (empty if unknown)."""
         return set(self._documents.get(doc_id, set()))
 
+    # ------------------------------------------------------------------
+    # Relation-level maintenance
+    # ------------------------------------------------------------------
+    def index_table(self, table: Table, include_values: bool = True) -> None:
+        """Add one relation's schema labels (and optionally values)."""
+        relation = table.schema.qualified_name
+        tracked = self._relation_documents[relation]
+
+        def add(doc_id: str, text: str) -> None:
+            self.add_document(doc_id, text)
+            tracked.add(doc_id)
+
+        add(f"relation:{relation}", table.schema.name)
+        for attr in table.schema:
+            add(f"attribute:{relation}.{attr.name}", attr.name)
+        if include_values:
+            for row in table:
+                for attr_name, value in zip(table.schema.attribute_names, row.values):
+                    canon = canonicalize(value)
+                    if canon is None:
+                        continue
+                    add(f"value:{relation}.{attr_name}:{row.row_id}", canon)
+
+    def index_source(self, source: DataSource, include_values: bool = True) -> None:
+        """Add every relation of ``source``."""
+        for table in source:
+            self.index_table(table, include_values=include_values)
+
+    def remove_table(self, relation: str) -> None:
+        """Drop every document contributed by ``relation``."""
+        for doc_id in self._relation_documents.pop(relation, set()):
+            self.remove_document(doc_id)
+
+    def remove_source(self, source_name: str) -> None:
+        """Drop every document contributed by any relation of ``source_name``."""
+        prefix = f"{source_name}."
+        for relation in [r for r in self._relation_documents if r.startswith(prefix)]:
+            self.remove_table(relation)
+
     @classmethod
     def from_catalog(cls, catalog: Catalog, include_values: bool = True) -> "TokenIndex":
         """Index all schema labels (and optionally values) in ``catalog``."""
         index = cls()
         for source in catalog:
-            for table in source:
-                relation = table.schema.qualified_name
-                index.add_document(f"relation:{relation}", table.schema.name)
-                for attr in table.schema:
-                    index.add_document(f"attribute:{relation}.{attr.name}", attr.name)
-                if include_values:
-                    for row in table:
-                        for attr_name, value in zip(
-                            table.schema.attribute_names, row.values
-                        ):
-                            canon = canonicalize(value)
-                            if canon is None:
-                                continue
-                            index.add_document(
-                                f"value:{relation}.{attr_name}:{row.row_id}", canon
-                            )
+            index.index_source(source, include_values=include_values)
         return index

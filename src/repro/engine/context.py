@@ -21,12 +21,15 @@ the Q system calls).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..datastore.database import Catalog
 from ..datastore.table import Row, Table
 from ..datastore.types import canonicalize
+from ..graph.search_graph import SearchGraph
+from ..steiner.network import SteinerNetwork
 from .predicates import CompiledPredicate
 
 #: Identity of a filtered scan within one relation: sorted predicate keys.
@@ -53,6 +56,54 @@ class ContextStatistics:
             "join_index_cache_hits": self.join_index_cache_hits,
             "invalidations": self.invalidations,
         }
+
+
+class SteinerNetworkCache:
+    """Per-graph cache of :class:`~repro.steiner.network.SteinerNetwork` snapshots.
+
+    A snapshot reflects a graph's structure and edge costs at build time, so
+    it is valid exactly while ``(weights.version, structure_version)`` is
+    unchanged — the same staleness key the lazy view layer uses.  The cache
+    holds at most one snapshot per graph, LRU-bounded to ``maxsize`` graphs.
+    (A weak-keyed mapping would not work here: the snapshot itself holds a
+    strong reference to its graph, so entries could never be collected —
+    the explicit bound is what keeps a long-lived session from pinning one
+    graph + snapshot per view ever created.)  It lets
+    :class:`~repro.steiner.topk.KBestSteiner` and
+    :meth:`~repro.core.view.RankedView.refresh` stop rebuilding the network
+    on every solve when nothing moved.
+    """
+
+    def __init__(self, maxsize: int = 16) -> None:
+        self.maxsize = maxsize
+        # id(graph) -> (graph, (weights version, structure version), network).
+        # The graph object is stored in the entry and compared by identity,
+        # so a recycled id() can never alias a dead graph's snapshot.
+        self._entries: "OrderedDict[int, Tuple[SearchGraph, Tuple[int, int], SteinerNetwork]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.builds = 0
+
+    def network(self, graph: SearchGraph) -> SteinerNetwork:
+        """The cached snapshot of ``graph``, rebuilt iff its versions moved."""
+        versions = (graph.weights.version, graph.structure_version)
+        key = id(graph)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is graph and entry[1] == versions:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[2]
+        network = SteinerNetwork(graph)
+        self._entries[key] = (graph, versions, network)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        self.builds += 1
+        return network
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class _RelationCaches:
@@ -89,6 +140,9 @@ class ExecutionContext:
         #: that a structural invalidation happened.
         self.generation = 0
         self._relations: Dict[str, _RelationCaches] = {}
+        #: Shared Steiner-network snapshot cache (version-keyed, so it needs
+        #: no explicit invalidation — see :class:`SteinerNetworkCache`).
+        self.steiner_cache = SteinerNetworkCache()
 
     # ------------------------------------------------------------------
     # Invalidation

@@ -130,6 +130,34 @@ class QueryGraphBuilder:
                     scorer.add_document(attr.name)
         return scorer
 
+    def add_source(self, source) -> None:
+        """Fold a newly registered source into the builder's shared state.
+
+        Incremental counterpart of rebuilding the builder from the grown
+        catalog: the value index gains the source's cells and the tf-idf
+        scorer gains its schema-label documents, ending in exactly the state
+        a from-scratch build over the grown catalog would produce.  Views
+        holding this builder see the new source on their next rebuild.
+        """
+        self.value_index.index_source(source)
+        for table in source:
+            self.scorer.add_document(table.schema.name)
+            for attr in table.schema:
+                self.scorer.add_document(attr.name)
+
+    def remove_source(self, source) -> None:
+        """Retract a source admitted via :meth:`add_source` (rollback path).
+
+        The value index retracts exactly; the tf-idf scorer's document
+        frequencies are decremented per label so corpus statistics return to
+        their pre-registration values.
+        """
+        self.value_index.remove_source(source.name)
+        for table in source:
+            self.scorer.remove_document(table.schema.name)
+            for attr in table.schema:
+                self.scorer.remove_document(attr.name)
+
     # ------------------------------------------------------------------
     # Expansion
     # ------------------------------------------------------------------

@@ -102,6 +102,19 @@ class SearchGraph:
         except KeyError:
             raise UnknownNodeError(node_id) from None
 
+    def remove_node(self, node_id: str) -> Node:
+        """Remove a node together with every incident edge."""
+        try:
+            node = self._nodes.pop(node_id)
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+        for edge_id in list(self._adjacency.get(node_id, ())):
+            if edge_id in self._edges:
+                self.remove_edge(edge_id)
+        self._adjacency.pop(node_id, None)
+        self.structure_version += 1
+        return node
+
     def has_node(self, node_id: str) -> bool:
         """Whether ``node_id`` is present."""
         return node_id in self._nodes
@@ -248,6 +261,25 @@ class SearchGraph:
         """Add every source of ``catalog`` to the graph."""
         for source in catalog:
             self.add_source(source)
+
+    def remove_source(self, source_name: str) -> List[Node]:
+        """Remove every node (and incident edge) belonging to ``source_name``.
+
+        The inverse of :meth:`add_source`, used by the registration
+        service's failure-rollback path so an aborted registration leaves
+        the graph exactly as it was.  Returns the removed nodes.
+        """
+        prefix = f"{source_name}."
+        doomed = [
+            node_id
+            for node_id, node in self._nodes.items()
+            if node.relation is not None and node.relation.startswith(prefix)
+        ]
+        removed: List[Node] = []
+        for node_id in doomed:
+            if node_id in self._nodes:
+                removed.append(self.remove_node(node_id))
+        return removed
 
     def add_foreign_key(self, source_name: str, fk: ForeignKey) -> Edge:
         """Add a foreign-key edge between the two relation nodes of ``fk``.

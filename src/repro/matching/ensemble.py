@@ -55,13 +55,36 @@ class EnsembleAlignment:
 
 
 class MatcherEnsemble:
-    """Runs several matchers and merges their outputs per attribute pair."""
+    """Runs several matchers and merges their outputs per attribute pair.
 
-    def __init__(self, matchers: Sequence[BaseMatcher], top_y: int = 2) -> None:
+    Parameters
+    ----------
+    matchers:
+        Member matchers.
+    top_y:
+        How many candidate pairs to keep per attribute after merging.
+    profile_index:
+        Optional shared :class:`~repro.profiling.index.CatalogProfileIndex`.
+        It is injected into every member matcher that supports one (and has
+        none attached yet), so the whole ensemble reads one set of table
+        profiles and posting lists instead of re-deriving per-matcher state.
+    """
+
+    def __init__(
+        self,
+        matchers: Sequence[BaseMatcher],
+        top_y: int = 2,
+        profile_index=None,
+    ) -> None:
         if not matchers:
             raise ValueError("the ensemble needs at least one matcher")
         self.matchers = list(matchers)
         self.top_y = top_y
+        self.profile_index = profile_index
+        if profile_index is not None:
+            for matcher in self.matchers:
+                if getattr(matcher, "profile_index", "unsupported") is None:
+                    matcher.profile_index = profile_index
 
     # ------------------------------------------------------------------
     # Pairwise interface

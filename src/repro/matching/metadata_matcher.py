@@ -27,6 +27,8 @@ from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..datastore.table import Table
+from ..profiling.index import CatalogProfileIndex
+from ..profiling.profiles import schema_fingerprint
 from ..similarity.edit_distance import jaro_winkler_similarity
 from ..similarity.jaccard import token_jaccard
 from ..similarity.ngram import ngram_similarity
@@ -61,16 +63,47 @@ class MetadataMatcherConfig:
         if abs(total - 1.0) > 1e-9:
             raise ValueError(f"component weights must sum to 1.0, got {total}")
 
+    def key(self) -> Tuple[float, ...]:
+        """Hashable identity of the configuration (for shared pair memos)."""
+        return (
+            self.token_weight,
+            self.jaro_winkler_weight,
+            self.trigram_weight,
+            self.substring_weight,
+            self.structural_bonus,
+            self.min_confidence,
+        )
+
 
 class MetadataMatcher(BaseMatcher):
-    """Pairwise schema matcher over attribute names and light structure."""
+    """Pairwise schema matcher over attribute names and light structure.
+
+    Parameters
+    ----------
+    config:
+        Component weights and thresholds.
+    profile_index:
+        Optional shared :class:`CatalogProfileIndex`.  Metadata evidence is
+        schema-only, so the matcher's output for a relation pair depends
+        solely on the two schemas (and the config): with an index attached,
+        each pair's correspondences are memoized under the schema
+        fingerprints and replayed — across aligner strategies, registration
+        replays and catalog clones — instead of being re-scored.  The
+        precomputed sibling-name token unions also replace the per-call
+        structural-similarity scan.
+    """
 
     name = "metadata"
 
-    def __init__(self, config: Optional[MetadataMatcherConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[MetadataMatcherConfig] = None,
+        profile_index: Optional[CatalogProfileIndex] = None,
+    ) -> None:
         super().__init__()
         self.config = config or MetadataMatcherConfig()
         self.config.validate()
+        self.profile_index = profile_index
 
     # ------------------------------------------------------------------
     # Scoring
@@ -80,7 +113,13 @@ class MetadataMatcher(BaseMatcher):
 
         Memoized per (weights, label pair): schema matching compares the
         same label pairs across every strategy, trial and registration.
+        Every component measure is symmetric (Jaccard, Jaro–Winkler, Dice,
+        substring containment — covered by the property tests), so the pair
+        is canonicalized before the cache and each unordered pair is scored
+        exactly once.
         """
+        if label_b < label_a:
+            label_a, label_b = label_b, label_a
         config = self.config
         return _name_similarity_cached(
             label_a,
@@ -97,16 +136,27 @@ class MetadataMatcher(BaseMatcher):
         A weak structural signal in the spirit of COMA++'s structural
         matcher: two attributes embedded in relations whose remaining
         attributes look alike are slightly more likely to correspond.
+        Reads the precomputed sibling-name token unions off the shared
+        profile index when available (identical value — same unions).
         """
-        tokens_a = set()
-        for attr in table_a.schema.attribute_names:
-            tokens_a |= token_set(attr)
-        tokens_b = set()
-        for attr in table_b.schema.attribute_names:
-            tokens_b |= token_set(attr)
+        tokens_a = self._sibling_tokens(table_a)
+        tokens_b = self._sibling_tokens(table_b)
         if not tokens_a or not tokens_b:
             return 0.0
         return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+
+    def _sibling_tokens(self, table: Table) -> frozenset:
+        index = self.profile_index
+        if index is not None:
+            profile = index.relation_profile(table.schema.qualified_name)
+            if profile is not None and profile.attribute_names == tuple(
+                table.schema.attribute_names
+            ):
+                return profile.name_token_union
+        tokens = set()
+        for attr in table.schema.attribute_names:
+            tokens |= token_set(attr)
+        return frozenset(tokens)
 
     # ------------------------------------------------------------------
     # Matching
@@ -115,17 +165,34 @@ class MetadataMatcher(BaseMatcher):
         """Align all attribute pairs of two relations.
 
         Every attribute pair is compared (and counted); pairs whose combined
-        confidence clears ``min_confidence`` are returned.
+        confidence clears ``min_confidence`` are returned.  Metadata
+        evidence is a pure function of the two schemas, so with a profile
+        index attached the pair's output is memoized under the schema
+        fingerprints; the comparison counter still records the full arity
+        product either way (the Figure 7/8 instrumentation measures the
+        *logical* comparisons a strategy requests).
         """
         relation_a = table_a.schema.qualified_name
         relation_b = table_b.schema.qualified_name
         if relation_a == relation_b:
             return []
-        structural = self._structural_similarity(table_a, table_b)
-        correspondences: List[Correspondence] = []
         self.counter.record_relation_pair(
             len(table_a.schema.attribute_names), len(table_b.schema.attribute_names)
         )
+        index = self.profile_index
+        memo_key = None
+        if index is not None:
+            memo_key = (
+                self.name,
+                self.config.key(),
+                schema_fingerprint(table_a),
+                schema_fingerprint(table_b),
+            )
+            cached = index.pair_memo_get(memo_key)
+            if cached is not None:
+                return list(cached)
+        structural = self._structural_similarity(table_a, table_b)
+        correspondences: List[Correspondence] = []
         for attr_a in table_a.schema.attribute_names:
             for attr_b in table_b.schema.attribute_names:
                 score = self.name_similarity(attr_a, attr_b)
@@ -140,6 +207,8 @@ class MetadataMatcher(BaseMatcher):
                         matcher=self.name,
                     )
                 )
+        if index is not None and memo_key is not None:
+            index.pair_memo_put(memo_key, tuple(correspondences))
         return correspondences
 
 

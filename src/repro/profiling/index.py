@@ -1,0 +1,361 @@
+"""The persistent, incrementally maintained catalog profile index.
+
+:class:`CatalogProfileIndex` is the registration-side counterpart of the
+query engine's :class:`~repro.engine.context.ExecutionContext`: a shared,
+long-lived structure that every matcher and aligner strategy reads instead
+of re-deriving per-table state inside nested loops.  It holds
+
+* one :class:`~repro.profiling.profiles.AttributeProfile` per attribute
+  (distinct values, value tokens, normalized names, cardinality stats),
+* a **distinct-value posting list** (value → attributes containing it) used
+  for posting-list-intersection candidate generation (blocking),
+* a **token posting list** with document frequencies (token → attributes
+  whose values contain it), backing precomputed tf-idf name/content vectors,
+* a bounded **pair-correspondence memo** where schema-only matchers park
+  their per-relation-pair outputs keyed by schema fingerprint.
+
+The index is updated once per registered (or removed) source; the ``epoch``
+counter lets dependent caches (candidate maps, tf-idf vectors) validate
+themselves cheaply.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datastore.database import Catalog, DataSource
+from ..datastore.table import Table
+from .profiles import AttrId, AttributeProfile, RelationProfile, profile_table
+
+#: Cap on memoized per-relation-pair matcher outputs (LRU-evicted).
+_PAIR_CACHE_LIMIT = 4096
+
+
+class CatalogProfileIndex:
+    """Shared per-attribute profiles + posting lists over a catalog.
+
+    The index is *incrementally* maintained: :meth:`index_source` profiles a
+    new source in one pass over its rows, :meth:`remove_source` retracts a
+    source's contribution exactly (used by the registration failure-rollback
+    path), and neither ever rebuilds the rest of the catalog's state.
+    """
+
+    def __init__(self) -> None:
+        #: Bumped on every structural change (source/table added or removed);
+        #: dependent caches key on it.
+        self.epoch = 0
+        self._attribute_profiles: Dict[AttrId, AttributeProfile] = {}
+        self._relation_profiles: Dict[str, RelationProfile] = {}
+        #: Table identity + data version at profiling time, so consumers can
+        #: detect that a profile is stale relative to a mutated table.
+        self._table_versions: Dict[str, Tuple[object, int]] = {}
+        #: source name -> qualified relation names it contributed.
+        self._source_relations: Dict[str, List[str]] = {}
+        #: canonical value -> attributes containing it (the blocking index).
+        self._value_postings: Dict[str, Set[AttrId]] = {}
+        #: value token -> attributes whose values contain it.
+        self._token_postings: Dict[str, Set[AttrId]] = {}
+        #: per-attribute candidate maps memo: attr -> (epoch, candidates).
+        self._candidate_cache: Dict[AttrId, Tuple[int, Dict[AttrId, int]]] = {}
+        #: per-attribute tf-idf content vectors memo, keyed on epoch.
+        self._tfidf_cache: Dict[AttrId, Tuple[int, Dict[str, float]]] = {}
+        #: schema-fingerprint-keyed matcher output memo (see pair_memo_*).
+        self._pair_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self.pair_cache_hits = 0
+        self.pair_cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Construction / maintenance
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_catalog(cls, catalog: Catalog) -> "CatalogProfileIndex":
+        """Profile every source of ``catalog``."""
+        index = cls()
+        for source in catalog:
+            index.index_source(source)
+        return index
+
+    @classmethod
+    def from_tables(cls, tables: Iterable[Table]) -> "CatalogProfileIndex":
+        """Profile a bare iterable of tables (no source bookkeeping)."""
+        index = cls()
+        for table in tables:
+            index.index_table(table)
+        return index
+
+    def index_source(self, source: DataSource) -> None:
+        """Profile every table of ``source`` (one pass per table)."""
+        relations = self._source_relations.setdefault(source.name, [])
+        for table in source:
+            self.index_table(table)
+            qualified = table.schema.qualified_name
+            if qualified not in relations:
+                relations.append(qualified)
+
+    def index_table(self, table: Table) -> None:
+        """Profile ``table``, replacing any existing profile of the relation."""
+        relation = table.schema.qualified_name
+        if relation in self._relation_profiles:
+            self.remove_table(relation)
+        relation_profile, attribute_profiles = profile_table(table)
+        self._relation_profiles[relation] = relation_profile
+        self._table_versions[relation] = (table, table.version)
+        for profile in attribute_profiles.values():
+            attr_id = profile.attr_id
+            self._attribute_profiles[attr_id] = profile
+            for value in profile.distinct_values:
+                self._value_postings.setdefault(value, set()).add(attr_id)
+            for token in profile.value_tokens:
+                self._token_postings.setdefault(token, set()).add(attr_id)
+        self.epoch += 1
+
+    def remove_source(self, name: str) -> None:
+        """Retract every relation ``name`` contributed (no full rebuild)."""
+        for relation in self._source_relations.pop(name, []):
+            self.remove_table(relation)
+
+    def remove_table(self, relation: str) -> None:
+        """Retract one relation's profiles and posting-list entries."""
+        profile = self._relation_profiles.pop(relation, None)
+        if profile is None:
+            return
+        self._table_versions.pop(relation, None)
+        for attribute in profile.attribute_names:
+            attr_id = (relation, attribute)
+            attr_profile = self._attribute_profiles.pop(attr_id, None)
+            if attr_profile is None:
+                continue
+            for value in attr_profile.distinct_values:
+                postings = self._value_postings.get(value)
+                if postings is not None:
+                    postings.discard(attr_id)
+                    if not postings:
+                        del self._value_postings[value]
+            for token in attr_profile.value_tokens:
+                postings = self._token_postings.get(token)
+                if postings is not None:
+                    postings.discard(attr_id)
+                    if not postings:
+                        del self._token_postings[token]
+            self._candidate_cache.pop(attr_id, None)
+            self._tfidf_cache.pop(attr_id, None)
+        self.epoch += 1
+
+    # ------------------------------------------------------------------
+    # Profile lookup
+    # ------------------------------------------------------------------
+    def has_relation(self, relation: str) -> bool:
+        """Whether the relation has been profiled."""
+        return relation in self._relation_profiles
+
+    def relation_profile(self, relation: str) -> Optional[RelationProfile]:
+        """The relation's profile, or ``None`` if not indexed."""
+        return self._relation_profiles.get(relation)
+
+    def profile(self, relation: str, attribute: str) -> Optional[AttributeProfile]:
+        """The attribute's profile, or ``None`` if not indexed."""
+        return self._attribute_profiles.get((relation, attribute))
+
+    def profiles_of(self, relation: str) -> Tuple[AttributeProfile, ...]:
+        """All attribute profiles of ``relation`` in schema order."""
+        rel = self._relation_profiles.get(relation)
+        if rel is None:
+            return ()
+        return tuple(
+            self._attribute_profiles[(relation, name)] for name in rel.attribute_names
+        )
+
+    def is_current(self, table: Table) -> bool:
+        """Whether ``table``'s profile reflects its current identity + data version."""
+        entry = self._table_versions.get(table.schema.qualified_name)
+        return entry is not None and entry[0] is table and entry[1] == table.version
+
+    @property
+    def relation_count(self) -> int:
+        """Number of profiled relations."""
+        return len(self._relation_profiles)
+
+    @property
+    def attribute_count(self) -> int:
+        """Number of profiled attributes."""
+        return len(self._attribute_profiles)
+
+    @property
+    def distinct_value_count(self) -> int:
+        """Number of distinct canonical values across all posting lists."""
+        return len(self._value_postings)
+
+    # ------------------------------------------------------------------
+    # Value overlap (read off the stored distinct sets)
+    # ------------------------------------------------------------------
+    def overlap(
+        self, relation_a: str, attribute_a: str, relation_b: str, attribute_b: str
+    ) -> int:
+        """Number of shared distinct values between two indexed attributes."""
+        profile_a = self._attribute_profiles.get((relation_a, attribute_a))
+        profile_b = self._attribute_profiles.get((relation_b, attribute_b))
+        if profile_a is None or profile_b is None:
+            return 0
+        values_a, values_b = profile_a.distinct_values, profile_b.distinct_values
+        if len(values_b) < len(values_a):
+            values_a, values_b = values_b, values_a
+        return len(values_a & values_b)
+
+    # ------------------------------------------------------------------
+    # Posting-list candidate generation (blocking)
+    # ------------------------------------------------------------------
+    def value_candidates(self, relation: str, attribute: str) -> Dict[AttrId, int]:
+        """Attributes sharing at least one value, with shared-value counts.
+
+        Computed by walking the posting list of each of the attribute's
+        distinct values — cost proportional to the number of actual
+        co-occurrences instead of the number of attribute pairs.  Memoized
+        per attribute and validated against the index epoch.
+        """
+        attr_id = (relation, attribute)
+        cached = self._candidate_cache.get(attr_id)
+        if cached is not None and cached[0] == self.epoch:
+            return cached[1]
+        profile = self._attribute_profiles.get(attr_id)
+        candidates: Dict[AttrId, int] = {}
+        if profile is not None:
+            postings = self._value_postings
+            for value in profile.distinct_values:
+                for other in postings.get(value, ()):
+                    if other != attr_id:
+                        candidates[other] = candidates.get(other, 0) + 1
+        self._candidate_cache[attr_id] = (self.epoch, candidates)
+        return candidates
+
+    def candidate_pairs(
+        self,
+        relation: str,
+        other_relation: Optional[str] = None,
+        min_shared_values: int = 1,
+    ) -> List[Tuple[AttrId, AttrId, int]]:
+        """Attribute pairs of ``relation`` that could join, by posting lists.
+
+        Returns ``(attr_of_relation, candidate_attr, shared_count)`` triples
+        with ``shared_count >= min_shared_values``, restricted to
+        ``other_relation`` when given.  Deterministic order: schema order on
+        the left side, ``(relation, attribute)`` order on the right.
+        """
+        rel_profile = self._relation_profiles.get(relation)
+        if rel_profile is None:
+            return []
+        pairs: List[Tuple[AttrId, AttrId, int]] = []
+        for name in rel_profile.attribute_names:
+            attr_id = (relation, name)
+            for other, shared in sorted(self.value_candidates(relation, name).items()):
+                if shared < min_shared_values:
+                    continue
+                if other_relation is not None and other[0] != other_relation:
+                    continue
+                pairs.append((attr_id, other, shared))
+        return pairs
+
+    def comparable_pair_count(
+        self, relation_a: str, relation_b: str, min_shared_values: int = 1
+    ) -> int:
+        """Number of attribute pairs of the two relations sharing enough values.
+
+        The Figure 7 "value overlap filter" count, computed from posting
+        lists (the per-attribute candidate maps are memoized) instead of the
+        seed's nested loop over every attribute pair.
+        """
+        profile_a = self._relation_profiles.get(relation_a)
+        profile_b = self._relation_profiles.get(relation_b)
+        if profile_a is None or profile_b is None:
+            return 0
+        # Walk candidates from the lower-arity side; the count is symmetric.
+        if profile_b.arity < profile_a.arity:
+            profile_a, profile_b = profile_b, profile_a
+        other_relation = profile_b.relation
+        count = 0
+        for name in profile_a.attribute_names:
+            for other, shared in self.value_candidates(profile_a.relation, name).items():
+                if other[0] == other_relation and shared >= min_shared_values:
+                    count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Token statistics and tf-idf vectors
+    # ------------------------------------------------------------------
+    def token_postings(self, token: str) -> Tuple[AttrId, ...]:
+        """The attributes whose values contain ``token`` (a posting list)."""
+        postings = self._token_postings.get(token.lower())
+        return tuple(postings) if postings is not None else ()
+
+    def token_document_frequency(self, token: str) -> int:
+        """Number of attributes whose values contain ``token``."""
+        postings = self._token_postings.get(token.lower())
+        return len(postings) if postings is not None else 0
+
+    def inverse_token_frequency(self, token: str, smoothing: float = 1.0) -> float:
+        """Smoothed idf of ``token`` over attribute "documents" (always > 0)."""
+        df = self.token_document_frequency(token)
+        return math.log(
+            (self.attribute_count + smoothing) / (df + smoothing)
+        ) + 1.0
+
+    def content_tfidf(self, relation: str, attribute: str) -> Dict[str, float]:
+        """Precomputed, L2-normalized tf-idf vector of the attribute's value tokens.
+
+        Each attribute is one "document" whose terms are its distinct value
+        tokens; document frequencies come from the token posting lists.
+        Memoized per attribute, validated against the index epoch.
+        """
+        attr_id = (relation, attribute)
+        cached = self._tfidf_cache.get(attr_id)
+        if cached is not None and cached[0] == self.epoch:
+            return cached[1]
+        profile = self._attribute_profiles.get(attr_id)
+        vector: Dict[str, float] = {}
+        if profile is not None and profile.value_tokens:
+            for token in profile.value_tokens:
+                vector[token] = self.inverse_token_frequency(token)
+            norm = math.sqrt(sum(w * w for w in vector.values()))
+            if norm > 0.0:
+                vector = {token: w / norm for token, w in vector.items()}
+        self._tfidf_cache[attr_id] = (self.epoch, vector)
+        return vector
+
+    def content_similarity(
+        self, relation_a: str, attribute_a: str, relation_b: str, attribute_b: str
+    ) -> float:
+        """Cosine similarity of the two attributes' content tf-idf vectors."""
+        vec_a = self.content_tfidf(relation_a, attribute_a)
+        vec_b = self.content_tfidf(relation_b, attribute_b)
+        if not vec_a or not vec_b:
+            return 0.0
+        if len(vec_b) < len(vec_a):
+            vec_a, vec_b = vec_b, vec_a
+        return sum(weight * vec_b.get(token, 0.0) for token, weight in vec_a.items())
+
+    # ------------------------------------------------------------------
+    # Shared pair-correspondence memo (schema-only matchers)
+    # ------------------------------------------------------------------
+    def pair_memo_get(self, key: Tuple) -> Optional[Tuple]:
+        """Look up a memoized per-relation-pair matcher output."""
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            self._pair_cache.move_to_end(key)
+            self.pair_cache_hits += 1
+        else:
+            self.pair_cache_misses += 1
+        return cached
+
+    def pair_memo_put(self, key: Tuple, value: Tuple) -> None:
+        """Store a memoized per-relation-pair matcher output (LRU-bounded)."""
+        self._pair_cache[key] = value
+        self._pair_cache.move_to_end(key)
+        while len(self._pair_cache) > _PAIR_CACHE_LIMIT:
+            self._pair_cache.popitem(last=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CatalogProfileIndex(relations={self.relation_count}, "
+            f"attributes={self.attribute_count}, values={self.distinct_value_count})"
+        )

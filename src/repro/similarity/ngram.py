@@ -12,24 +12,38 @@ from functools import lru_cache
 from .tokenize import character_ngrams
 
 
+@lru_cache(maxsize=16384)
+def _ngram_profile(text: str, n: int) -> tuple:
+    """Per-label n-gram multiset, precomputed once: ``(Counter, total)``."""
+    grams = Counter(character_ngrams(text, n))
+    return grams, sum(grams.values())
+
+
 @lru_cache(maxsize=65536)
 def ngram_similarity(a: str, b: str, n: int = 3) -> float:
     """Dice coefficient over character n-gram multisets, in ``[0, 1]``.
 
     The Dice coefficient ``2 |A ∩ B| / (|A| + |B|)`` over n-gram *multisets*
     is robust to repeated substrings and is the classic "trigram similarity"
-    used by schema matchers.  Memoized — the matchers compare the same label
-    pairs many times across strategies and trials.
+    used by schema matchers.  Memoized at two levels — per label pair, and
+    per label for the n-gram counters themselves (the matchers compare the
+    same labels against many partners across strategies and trials) — with
+    the multiset intersection summed in place rather than materialized.
     """
-    grams_a = Counter(character_ngrams(a, n))
-    grams_b = Counter(character_ngrams(b, n))
+    grams_a, total_a = _ngram_profile(a, n)
+    grams_b, total_b = _ngram_profile(b, n)
     if not grams_a and not grams_b:
         return 1.0
     if not grams_a or not grams_b:
         return 0.0
-    shared = sum((grams_a & grams_b).values())
-    total = sum(grams_a.values()) + sum(grams_b.values())
-    return 2.0 * shared / total
+    if len(grams_b) < len(grams_a):
+        grams_a, grams_b = grams_b, grams_a
+    get = grams_b.get
+    shared = sum(
+        count if count <= (other := get(gram, 0)) else other
+        for gram, count in grams_a.items()
+    )
+    return 2.0 * shared / (total_a + total_b)
 
 
 def ngram_jaccard(a: str, b: str, n: int = 3) -> float:

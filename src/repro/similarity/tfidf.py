@@ -50,6 +50,22 @@ class TfIdfScorer:
         for token in set(tokenize(document)):
             self._document_frequency[token] += 1
 
+    def remove_document(self, document: str) -> None:
+        """Retract one previously added document from the corpus statistics.
+
+        The scorer keeps only aggregate counts, so retraction re-tokenizes
+        the document text; removing a document that was never added leaves
+        frequencies clamped at zero rather than going negative.
+        """
+        if self.document_count > 0:
+            self.document_count -= 1
+        for token in set(tokenize(document)):
+            count = self._document_frequency.get(token, 0)
+            if count <= 1:
+                self._document_frequency.pop(token, None)
+            else:
+                self._document_frequency[token] = count - 1
+
     def document_frequency(self, token: str) -> int:
         """Number of corpus documents containing ``token``."""
         return self._document_frequency.get(token.lower(), 0)

@@ -56,17 +56,30 @@ class KBestSteiner:
     max_expansions:
         Upper bound on branching expansions, guarding against blow-up on
         dense graphs.
+    network_cache:
+        Optional snapshot cache (duck-typed: anything exposing
+        ``network(graph) -> SteinerNetwork``, e.g. the engine's
+        :class:`~repro.engine.context.SteinerNetworkCache`).  With a cache,
+        repeated solves over an unchanged graph reuse one snapshot instead
+        of rebuilding it per call; staleness rides on the graph's
+        ``(weights.version, structure_version)`` key inside the cache.
     """
 
     solver: Optional[SolverFn] = None
     max_expansions: int = 200
+    network_cache: Optional[object] = None
 
     def solve(self, graph: SearchGraph, terminals: Sequence[str], k: int) -> List[SteinerTree]:
         """Return up to ``k`` distinct Steiner trees in nondecreasing cost order."""
         if k < 1:
             raise ValueError("k must be >= 1")
         terminals = validate_terminals(graph, terminals)
-        network = SteinerNetwork(graph) if self.solver is None else None
+        network: Optional[SteinerNetwork] = None
+        if self.solver is None:
+            if self.network_cache is not None:
+                network = self.network_cache.network(graph)  # type: ignore[attr-defined]
+            else:
+                network = SteinerNetwork(graph)
 
         def base_solve(excluded_edge_ids: FrozenSet[str]) -> SteinerTree:
             if network is not None:

@@ -1,0 +1,273 @@
+"""Parity: posting-list (blocked) candidate generation vs the seed all-pairs loop.
+
+The profile-indexed matcher layer must be a pure optimization: on any input,
+the blocked paths return the *same* correspondences — same pairs, same
+confidences, same order — as the exhaustive loops, and the filter's pair
+counts are identical.  Checked on the fig7 fixtures (the GBCO catalog that
+the Figure 6/7 registration replay introduces sources into) and on random
+tables via hypothesis.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastore.database import Catalog, DataSource
+from repro.datastore.indexes import ValueIndex
+from repro.matching import (
+    ContentTfIdfMatcher,
+    MatcherEnsemble,
+    MetadataMatcher,
+    ValueOverlapFilter,
+    ValueOverlapMatcher,
+)
+from repro.matching.metadata_matcher import _name_similarity_cached
+from repro.profiling import CatalogProfileIndex
+
+
+def _correspondence_tuples(correspondences):
+    return [
+        (c.source.qualified, c.target.qualified, c.confidence, c.matcher)
+        for c in correspondences
+    ]
+
+
+# ----------------------------------------------------------------------
+# fig7 fixtures (GBCO)
+# ----------------------------------------------------------------------
+class TestGbcoParity:
+    @pytest.fixture(scope="class")
+    def gbco_tables(self, gbco_dataset):
+        return gbco_dataset.catalog.all_tables()
+
+    @pytest.fixture(scope="class")
+    def gbco_index(self, gbco_dataset):
+        return CatalogProfileIndex.from_catalog(gbco_dataset.catalog)
+
+    def test_value_overlap_matcher_blocked_equals_seed_loop(self, gbco_tables, gbco_index):
+        blocked = ValueOverlapMatcher(profile_index=gbco_index)
+        exhaustive = ValueOverlapMatcher()
+        for i, table_a in enumerate(gbco_tables):
+            for table_b in gbco_tables[i + 1 :]:
+                left = blocked.match_relations(table_a, table_b)
+                right = exhaustive.match_relations(table_a, table_b)
+                assert _correspondence_tuples(left) == _correspondence_tuples(right)
+
+    def test_value_overlap_matcher_thresholds_preserved(self, gbco_tables, gbco_index):
+        blocked = ValueOverlapMatcher(
+            min_confidence=0.5, min_shared_values=3, profile_index=gbco_index
+        )
+        exhaustive = ValueOverlapMatcher(min_confidence=0.5, min_shared_values=3)
+        for i, table_a in enumerate(gbco_tables):
+            for table_b in gbco_tables[i + 1 :]:
+                assert _correspondence_tuples(
+                    blocked.match_relations(table_a, table_b)
+                ) == _correspondence_tuples(exhaustive.match_relations(table_a, table_b))
+
+    def test_metadata_matcher_indexed_equals_plain(self, gbco_tables, gbco_index):
+        indexed = MetadataMatcher(profile_index=gbco_index)
+        plain = MetadataMatcher()
+        for i, table_a in enumerate(gbco_tables):
+            for table_b in gbco_tables[i + 1 :]:
+                assert _correspondence_tuples(
+                    indexed.match_relations(table_a, table_b)
+                ) == _correspondence_tuples(plain.match_relations(table_a, table_b))
+
+    def test_metadata_memo_replay_is_identical(self, gbco_tables, gbco_index):
+        # Second pass over the same pairs must replay memoized output untouched.
+        indexed = MetadataMatcher(profile_index=gbco_index)
+        table_a, table_b = gbco_tables[0], gbco_tables[1]
+        first = indexed.match_relations(table_a, table_b)
+        hits_before = gbco_index.pair_cache_hits
+        second = indexed.match_relations(table_a, table_b)
+        assert gbco_index.pair_cache_hits > hits_before
+        assert _correspondence_tuples(first) == _correspondence_tuples(second)
+
+    def test_filter_counts_match_value_index_filter(self, gbco_dataset, gbco_tables, gbco_index):
+        profile_filter = ValueOverlapFilter.from_index(gbco_index)
+        legacy_filter = ValueOverlapFilter(
+            index=ValueIndex.from_catalog(gbco_dataset.catalog)
+        )
+        for i, table_a in enumerate(gbco_tables):
+            for table_b in gbco_tables[i + 1 :]:
+                assert profile_filter.comparable_pairs(
+                    table_a, table_b
+                ) == legacy_filter.comparable_pairs(table_a, table_b)
+
+    def test_comparison_counters_are_identical(self, gbco_tables, gbco_index):
+        blocked = ValueOverlapMatcher(profile_index=gbco_index)
+        exhaustive = ValueOverlapMatcher()
+        for matcher in (blocked, exhaustive):
+            for i, table_a in enumerate(gbco_tables[:6]):
+                for table_b in gbco_tables[i + 1 : 6]:
+                    matcher.match_relations(table_a, table_b)
+        assert (
+            blocked.counter.attribute_comparisons
+            == exhaustive.counter.attribute_comparisons
+        )
+        assert blocked.counter.relation_pairs == exhaustive.counter.relation_pairs
+
+
+class TestContentTfIdfMatcher:
+    def test_blocking_is_lossless(self, mini_catalog):
+        # Brute force: score every attribute pair by cosine; the blocked
+        # matcher must return exactly the pairs clearing the threshold.
+        index = CatalogProfileIndex.from_catalog(mini_catalog)
+        matcher = ContentTfIdfMatcher(min_confidence=0.05, profile_index=index)
+        tables = mini_catalog.all_tables()
+        for i, table_a in enumerate(tables):
+            for table_b in tables[i + 1 :]:
+                rel_a = table_a.schema.qualified_name
+                rel_b = table_b.schema.qualified_name
+                expected = []
+                for attr_a in table_a.schema.attribute_names:
+                    for attr_b in table_b.schema.attribute_names:
+                        confidence = index.content_similarity(
+                            rel_a, attr_a, rel_b, attr_b
+                        )
+                        if confidence >= 0.05:
+                            expected.append(
+                                (
+                                    f"{rel_a}.{attr_a}",
+                                    f"{rel_b}.{attr_b}",
+                                    round(min(confidence, 1.0), 6),
+                                )
+                            )
+                got = [
+                    (c.source.qualified, c.target.qualified, c.confidence)
+                    for c in matcher.match_relations(table_a, table_b)
+                ]
+                assert got == expected
+
+    def test_works_without_a_shared_index(self, mini_catalog):
+        table_a = mini_catalog.relation("go.term")
+        table_b = mini_catalog.relation("interpro.interpro2go")
+        standalone = ContentTfIdfMatcher(min_confidence=0.05)
+        result = standalone.match_relations(table_a, table_b)
+        assert any(
+            (c.source.attribute, c.target.attribute) == ("acc", "go_id")
+            for c in result
+        )
+
+    def test_dispatchable_by_name(self):
+        from repro.matching import resolve_matcher
+
+        matcher = resolve_matcher("content_tfidf")
+        assert isinstance(matcher, ContentTfIdfMatcher)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            ContentTfIdfMatcher(min_confidence=0.0)
+
+
+class TestEnsembleParity:
+    def test_ensemble_with_index_matches_plain(self, mini_catalog):
+        index = CatalogProfileIndex.from_catalog(mini_catalog)
+        tables = mini_catalog.all_tables()
+        with_index = MatcherEnsemble(
+            [MetadataMatcher(), ValueOverlapMatcher()], top_y=2, profile_index=index
+        ).match_tables(tables)
+        plain = MatcherEnsemble(
+            [MetadataMatcher(), ValueOverlapMatcher()], top_y=2
+        ).match_tables(tables)
+        assert [
+            (a.key(), sorted(a.confidences.items())) for a in with_index
+        ] == [(a.key(), sorted(a.confidences.items())) for a in plain]
+
+
+# ----------------------------------------------------------------------
+# Property-style tests on random tables
+# ----------------------------------------------------------------------
+_VALUES = st.sampled_from(["a", "b", "c", "d", "e", "f", None])
+_ATTRS = ["k1", "k2", "shared_id", "name"]
+
+
+def _random_source(draw, name: str, arity: int, rows: int):
+    attrs = _ATTRS[:arity]
+    data = [
+        {attr: draw(_VALUES) for attr in attrs}
+        for _ in range(rows)
+    ]
+    return DataSource.build(name, {"rel": attrs}, data={"rel": data})
+
+
+@st.composite
+def _table_pair(draw):
+    source_a = _random_source(draw, "alpha", draw(st.integers(1, 4)), draw(st.integers(0, 8)))
+    source_b = _random_source(draw, "beta", draw(st.integers(1, 4)), draw(st.integers(0, 8)))
+    return source_a, source_b
+
+
+class TestRandomTableParity:
+    @settings(max_examples=60, deadline=None)
+    @given(data=_table_pair(), min_shared=st.integers(1, 3))
+    def test_blocked_value_matcher_equals_exhaustive(self, data, min_shared):
+        source_a, source_b = data
+        catalog = Catalog([source_a, source_b])
+        index = CatalogProfileIndex.from_catalog(catalog)
+        table_a, table_b = source_a.table("rel"), source_b.table("rel")
+        blocked = ValueOverlapMatcher(min_shared_values=min_shared, profile_index=index)
+        exhaustive = ValueOverlapMatcher(min_shared_values=min_shared)
+        assert _correspondence_tuples(
+            blocked.match_relations(table_a, table_b)
+        ) == _correspondence_tuples(exhaustive.match_relations(table_a, table_b))
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=_table_pair(), min_shared=st.integers(1, 3))
+    def test_filter_count_equals_nested_loop(self, data, min_shared):
+        source_a, source_b = data
+        catalog = Catalog([source_a, source_b])
+        index = CatalogProfileIndex.from_catalog(catalog)
+        table_a, table_b = source_a.table("rel"), source_b.table("rel")
+        fast = ValueOverlapFilter.from_index(index)
+        fast.min_shared_values = min_shared
+        expected = 0
+        for attr_a in table_a.schema.attribute_names:
+            for attr_b in table_b.schema.attribute_names:
+                if (
+                    len(
+                        table_a.distinct_values(attr_a)
+                        & table_b.distinct_values(attr_b)
+                    )
+                    >= min_shared
+                ):
+                    expected += 1
+        assert fast.comparable_pairs(table_a, table_b) == expected
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        label_a=st.text(
+            alphabet=st.sampled_from("abc_ABC012"), min_size=0, max_size=12
+        ),
+        label_b=st.text(
+            alphabet=st.sampled_from("abc_ABC012"), min_size=0, max_size=12
+        ),
+    )
+    def test_name_similarity_is_symmetric(self, label_a, label_b):
+        # The metadata matcher canonicalizes the cached pair order; this is
+        # sound only while every component measure is symmetric.
+        forward = _name_similarity_cached.__wrapped__(
+            label_a, label_b, 0.40, 0.25, 0.20, 0.15
+        )
+        backward = _name_similarity_cached.__wrapped__(
+            label_b, label_a, 0.40, 0.25, 0.20, 0.15
+        )
+        assert forward == backward
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=_table_pair())
+    def test_stale_profile_falls_back_to_exhaustive(self, data):
+        # Mutating a table after indexing must not produce stale blocked
+        # results: the matcher detects the stale profile and scans.
+        source_a, source_b = data
+        catalog = Catalog([source_a, source_b])
+        index = CatalogProfileIndex.from_catalog(catalog)
+        table_a, table_b = source_a.table("rel"), source_b.table("rel")
+        table_a.append({attr: "zz" for attr in table_a.schema.attribute_names})
+        blocked = ValueOverlapMatcher(profile_index=index)
+        exhaustive = ValueOverlapMatcher()
+        assert _correspondence_tuples(
+            blocked.match_relations(table_a, table_b)
+        ) == _correspondence_tuples(exhaustive.match_relations(table_a, table_b))

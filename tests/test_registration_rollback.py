@@ -1,0 +1,244 @@
+"""Registration atomicity: maintained indexes, graph rollback, batch ingest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alignment import ExhaustiveAligner, SourceRegistrar
+from repro.alignment.base import BaseAligner
+from repro.datastore.database import Catalog, DataSource
+from repro.datastore.indexes import TokenIndex, ValueIndex
+from repro.exceptions import RegistrationError
+from repro.graph import QueryGraphBuilder, SearchGraph
+from repro.matching import MetadataMatcher
+from repro.profiling import CatalogProfileIndex
+
+
+class _ExplodingAligner(BaseAligner):
+    strategy_name = "exploding"
+
+    def candidate_relations(self, graph, catalog, new_source):
+        raise RuntimeError("boom")
+
+
+@pytest.fixture()
+def new_source() -> DataSource:
+    return DataSource.build(
+        "newdb",
+        {"xref": ["entry_ac", "go_ref", "score"]},
+        data={
+            "xref": [
+                {"entry_ac": "IPR001", "go_ref": "GO:0001", "score": "1"},
+                {"entry_ac": "IPR002", "go_ref": "GO:0002", "score": "2"},
+            ]
+        },
+    )
+
+
+class TestSearchGraphRemoval:
+    def test_remove_node_drops_incident_edges(self, mini_catalog, mini_graph):
+        node_id = mini_graph.attribute_nodes()[0].node_id
+        incident = len(mini_graph.edges_of(node_id))
+        assert incident > 0
+        edges_before = mini_graph.edge_count
+        mini_graph.remove_node(node_id)
+        assert not mini_graph.has_node(node_id)
+        assert mini_graph.edge_count == edges_before - incident
+
+    def test_remove_source_is_inverse_of_add_source(self, mini_graph, new_source):
+        nodes_before = mini_graph.node_count
+        edges_before = mini_graph.edge_count
+        mini_graph.add_source(new_source)
+        assert mini_graph.node_count > nodes_before
+        mini_graph.remove_source("newdb")
+        assert mini_graph.node_count == nodes_before
+        assert mini_graph.edge_count == edges_before
+        assert not mini_graph.has_node("rel:newdb.xref")
+
+
+class TestIncrementalIndexes:
+    def test_value_index_remove_source_equals_fresh_build(self, mini_catalog, new_source):
+        grown = ValueIndex.from_catalog(mini_catalog)
+        grown.index_source(new_source)
+        assert grown.attributes_with_value("GO:0001") >= {
+            ("newdb.xref", "go_ref"),
+            ("go.term", "acc"),
+        }
+        grown.remove_source("newdb")
+        fresh = ValueIndex.from_catalog(mini_catalog)
+        for table in mini_catalog.all_tables():
+            relation = table.schema.qualified_name
+            for attr in table.schema.attribute_names:
+                assert grown.attribute_values(relation, attr) == fresh.attribute_values(
+                    relation, attr
+                )
+        assert grown.distinct_value_count == fresh.distinct_value_count
+        assert ("newdb.xref", "go_ref") not in grown.attributes_with_value("GO:0001")
+        assert [o.relation for o in grown.lookup("GO:0001")] == [
+            o.relation for o in fresh.lookup("GO:0001")
+        ]
+
+    def test_token_index_remove_source_equals_fresh_build(self, mini_catalog, new_source):
+        grown = TokenIndex.from_catalog(mini_catalog)
+        count_before = grown.document_count
+        grown.index_source(new_source)
+        assert grown.document_count > count_before
+        grown.remove_source("newdb")
+        fresh = TokenIndex.from_catalog(mini_catalog)
+        assert grown.document_count == fresh.document_count
+        for token in ("kinase", "membrane", "entry", "ac", "go"):
+            assert grown.document_frequency(token) == fresh.document_frequency(token)
+
+    def test_builder_add_then_remove_source_restores_state(self, mini_catalog, new_source):
+        builder = QueryGraphBuilder(mini_catalog)
+        docs_before = builder.scorer.document_count
+        idf_before = builder.scorer.inverse_document_frequency("entry")
+        builder.add_source(new_source)
+        assert builder.scorer.document_count > docs_before
+        assert builder.value_index.lookup("GO:0001")
+        builder.remove_source(new_source)
+        assert builder.scorer.document_count == docs_before
+        assert builder.scorer.inverse_document_frequency("entry") == idf_before
+        assert ("newdb.xref", "go_ref") not in builder.value_index.attributes_with_value(
+            "GO:0001"
+        )
+
+
+class TestRegistrarRollback:
+    def _registrar(self, mini_catalog, mini_graph):
+        profile_index = CatalogProfileIndex.from_catalog(mini_catalog)
+        value_index = ValueIndex.from_catalog(mini_catalog)
+        token_index = TokenIndex.from_catalog(mini_catalog)
+        registrar = SourceRegistrar(
+            mini_catalog, mini_graph, indexes=(profile_index, value_index, token_index)
+        )
+        return registrar, profile_index, value_index, token_index
+
+    def test_successful_registration_updates_all_indexes(
+        self, mini_catalog, mini_graph, new_source
+    ):
+        registrar, profile_index, value_index, token_index = self._registrar(
+            mini_catalog, mini_graph
+        )
+        registrar.register(new_source, ExhaustiveAligner(MetadataMatcher()))
+        assert mini_catalog.has_source("newdb")
+        assert profile_index.has_relation("newdb.xref")
+        assert value_index.attribute_values("newdb.xref", "go_ref")
+        assert token_index.tokens("attribute:newdb.xref.entry_ac")
+
+    def test_failure_rolls_back_catalog_graph_and_indexes(
+        self, mini_catalog, mini_graph, new_source
+    ):
+        registrar, profile_index, value_index, token_index = self._registrar(
+            mini_catalog, mini_graph
+        )
+        nodes_before = mini_graph.node_count
+        edges_before = mini_graph.edge_count
+        docs_before = token_index.document_count
+        values_before = value_index.distinct_value_count
+        with pytest.raises(RuntimeError):
+            registrar.register(new_source, _ExplodingAligner(MetadataMatcher()))
+        assert not mini_catalog.has_source("newdb")
+        assert mini_graph.node_count == nodes_before
+        assert mini_graph.edge_count == edges_before
+        assert not profile_index.has_relation("newdb.xref")
+        assert value_index.distinct_value_count == values_before
+        assert token_index.document_count == docs_before
+        assert registrar.epoch == 0
+
+    def test_registration_succeeds_after_a_failed_attempt(
+        self, mini_catalog, mini_graph, new_source
+    ):
+        registrar, profile_index, _, _ = self._registrar(mini_catalog, mini_graph)
+        with pytest.raises(RuntimeError):
+            registrar.register(new_source, _ExplodingAligner(MetadataMatcher()))
+        result = registrar.register(new_source, ExhaustiveAligner(MetadataMatcher()))
+        assert result.new_source == "newdb"
+        assert profile_index.has_relation("newdb.xref")
+        assert registrar.registered_sources() == ["newdb"]
+
+    def test_duplicate_registration_is_rejected_before_mutation(
+        self, mini_catalog, mini_graph, new_source
+    ):
+        registrar, *_ = self._registrar(mini_catalog, mini_graph)
+        registrar.register(new_source, ExhaustiveAligner(MetadataMatcher()))
+        with pytest.raises(RegistrationError):
+            registrar.register(new_source, ExhaustiveAligner(MetadataMatcher()))
+        assert registrar.registered_sources() == ["newdb"]
+
+
+class TestRegisterBatch:
+    def _second_source(self) -> DataSource:
+        return DataSource.build(
+            "otherdb",
+            {"links": ["go_ref", "label"]},
+            data={"links": [{"go_ref": "GO:0002", "label": "nucleus"}]},
+        )
+
+    def test_batch_admits_all_then_aligns(self, mini_catalog, mini_graph, new_source):
+        registrar, profile_index, *_ = TestRegistrarRollback()._registrar(
+            mini_catalog, mini_graph
+        )
+        other = self._second_source()
+        results = registrar.register_batch(
+            [new_source, other],
+            [ExhaustiveAligner(MetadataMatcher()), ExhaustiveAligner(MetadataMatcher())],
+        )
+        assert [r.new_source for r in results] == ["newdb", "otherdb"]
+        assert registrar.registered_sources() == ["newdb", "otherdb"]
+        assert profile_index.has_relation("newdb.xref")
+        assert profile_index.has_relation("otherdb.links")
+        # Batch members are visible to each other's alignment.
+        assert "newdb.xref" in results[1].candidate_relations
+
+    def test_batch_failure_rolls_back_every_member(
+        self, mini_catalog, mini_graph, new_source
+    ):
+        registrar, profile_index, value_index, token_index = TestRegistrarRollback()._registrar(
+            mini_catalog, mini_graph
+        )
+        nodes_before = mini_graph.node_count
+        other = self._second_source()
+        with pytest.raises(RuntimeError):
+            registrar.register_batch(
+                [new_source, other],
+                [ExhaustiveAligner(MetadataMatcher()), _ExplodingAligner(MetadataMatcher())],
+            )
+        assert not mini_catalog.has_source("newdb")
+        assert not mini_catalog.has_source("otherdb")
+        assert mini_graph.node_count == nodes_before
+        assert not profile_index.has_relation("newdb.xref")
+        assert not profile_index.has_relation("otherdb.links")
+        assert registrar.registered_sources() == []
+
+    def test_batch_aligner_factories_resolve_after_admission(
+        self, mini_catalog, mini_graph, new_source
+    ):
+        # A factory entry must be invoked only once every batch member is
+        # admitted, so construction-time snapshots (e.g. the view-based
+        # strategy's neighborhood graph) see the whole batch.
+        registrar, *_ = TestRegistrarRollback()._registrar(mini_catalog, mini_graph)
+        other = self._second_source()
+        observed = {}
+
+        def factory():
+            observed["newdb"] = mini_catalog.has_source("newdb")
+            observed["otherdb"] = mini_catalog.has_source("otherdb")
+            return ExhaustiveAligner(MetadataMatcher())
+
+        results = registrar.register_batch(
+            [new_source, other], [factory, ExhaustiveAligner(MetadataMatcher())]
+        )
+        assert observed == {"newdb": True, "otherdb": True}
+        assert [r.new_source for r in results] == ["newdb", "otherdb"]
+
+    def test_batch_validates_before_mutating(self, mini_catalog, mini_graph, new_source):
+        registrar, *_ = TestRegistrarRollback()._registrar(mini_catalog, mini_graph)
+        with pytest.raises(RegistrationError):
+            registrar.register_batch(
+                [new_source, new_source],
+                [ExhaustiveAligner(MetadataMatcher()), ExhaustiveAligner(MetadataMatcher())],
+            )
+        assert not mini_catalog.has_source("newdb")
+        with pytest.raises(RegistrationError):
+            registrar.register_batch([new_source], [])
