@@ -79,15 +79,29 @@ def _clone_source(source: DataSource) -> DataSource:
     return source_from_dict(source_to_dict(source))
 
 
-def _trial_catalog(gbco, excluded_relations: Sequence[str], clone: bool = True) -> Catalog:
+def _trial_catalog(
+    gbco,
+    excluded_relations: Sequence[str],
+    clone: bool = True,
+    backend: Optional[str] = None,
+) -> Catalog:
     """The GBCO catalog minus the sources owning ``excluded_relations``.
 
     The seed pipeline clones every source per trial; the indexed pipeline
     shares the original (immutable) table objects so the persistent profile
-    index built over them stays valid across trials.
+    index built over them stays valid across trials.  ``backend`` selects
+    the trial catalog's storage backend (a fresh instance per trial —
+    ``"sqlite"`` ingests the trial's sources into one SQLite database);
+    sources are always cloned when a backend is given, since admission
+    *moves* a table's storage into the catalog's backend.
     """
     excluded_sources = {relation.split(".")[0] for relation in excluded_relations}
-    catalog = Catalog()
+    catalog = Catalog(backend=backend)
+    # Admission to a backend-bound catalog MOVES a table's storage, so the
+    # shared dataset's sources must be cloned whenever the trial catalog
+    # actually has a backend — whether from the explicit parameter or from
+    # the REPRO_BACKEND environment default.
+    clone = clone or catalog.backend is not None
     for source in gbco.catalog:
         if source.name not in excluded_sources:
             catalog.add_source(_clone_source(source) if clone else source)
@@ -455,6 +469,7 @@ def run_scaling_experiment(
     rows_per_relation: int = 10,
     trials: Optional[Sequence] = None,
     preferential_budget: int = 5,
+    backend: Optional[str] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Figure 8: pairwise column comparisons vs search-graph size.
 
@@ -463,6 +478,13 @@ def run_scaling_experiment(
     then replayed in *count-only* mode (the synthetic relations carry no
     meaningful labels, so only the number of comparisons is measured — as in
     the paper).
+
+    ``backend`` adds a storage dimension to the replay: every trial catalog
+    is created on that backend (``"memory"`` / ``"sqlite"`` /
+    ``"sqlite:<path>"``), so the Figure 8 numbers can be reported per
+    backend — the comparison *counts* are storage-independent (asserted by
+    the cross-backend parity suite), while the wall time reflects the
+    chosen storage layer.
     """
     results: Dict[int, Dict[str, float]] = {}
     for size in graph_sizes:
@@ -472,7 +494,7 @@ def run_scaling_experiment(
         introductions = 0
 
         for entry in trial_entries:
-            catalog = _trial_catalog(gbco, entry.new_relations)
+            catalog = _trial_catalog(gbco, entry.new_relations, backend=backend)
             graph = SearchGraph()
             graph.add_catalog(catalog)
             _wire_initial_associations(catalog, graph)

@@ -3,6 +3,10 @@ Keyword Search-Based Data Integration" (Talukdar, Ives, Pereira; SIGMOD 2010).
 
 The package implements the Q system end to end:
 
+* :mod:`repro.storage` — pluggable relation storage behind the
+  :class:`~repro.storage.base.StorageBackend` protocol: in-memory rows
+  (default) or per-catalog SQLite with bulk ingest, real indexes and SQL
+  pushdown.
 * :mod:`repro.datastore` — relational substrate (schemas, tables, catalogs,
   indexes, conjunctive query execution with provenance).
 * :mod:`repro.engine` — planned, indexed query execution: compiled
@@ -46,19 +50,24 @@ from .core.qsystem import QSystem, QSystemConfig
 from .core.view import RankedView
 from .datastore.database import Catalog, DataSource
 from .graph.search_graph import GraphConfig, SearchGraph
+from .storage import MemoryBackend, SqliteBackend, StorageBackend, create_backend
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "Catalog",
     "DataSource",
     "GraphConfig",
+    "MemoryBackend",
     "QService",
     "QSystem",
     "QSystemConfig",
     "RankedView",
     "SearchGraph",
     "ServiceConfig",
+    "SqliteBackend",
+    "StorageBackend",
     "api",
+    "create_backend",
     "__version__",
 ]

@@ -78,6 +78,14 @@ class QService:
         the metadata matcher plus MAD.
     config:
         Session knobs; see :class:`~repro.api.types.ServiceConfig`.
+    backend:
+        Storage backend for the session's catalog — a
+        :class:`~repro.storage.base.StorageBackend` instance or a name
+        (``"memory"``, ``"sqlite"``, ``"sqlite:<path>"``).  Defaults to the
+        ``REPRO_BACKEND`` environment variable, falling back to per-table
+        memory storage.  A persistent SQLite backend that already holds a
+        catalog is reopened: its sources load without re-ingest and every
+        registration routes through the backend's bulk ingest.
     """
 
     def __init__(
@@ -85,9 +93,10 @@ class QService:
         sources: Optional[Iterable[DataSource]] = None,
         matchers: Optional[Sequence[BaseMatcher]] = None,
         config: Optional[ServiceConfig] = None,
+        backend=None,
     ) -> None:
         self.config = config or ServiceConfig()
-        self.catalog = Catalog(sources)
+        self.catalog = Catalog(sources, backend=backend)
         self.graph = SearchGraph(config=self.config.graph)
         self.graph.add_catalog(self.catalog)
         #: Shared per-attribute profiles + posting lists over the catalog,
@@ -530,7 +539,11 @@ class QService:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> SystemStats:
-        """Aggregate session counters (a cheap read; refreshes nothing)."""
+        """Aggregate session counters.
+
+        Mostly a cheap read that refreshes nothing; ``storage_bytes`` may
+        be O(rows) on the memory backend (page-count arithmetic on SQLite).
+        """
         weights_version, structure_version = self._versions()
         return SystemStats(
             sources=self.catalog.source_count,
@@ -544,4 +557,12 @@ class QService:
             structure_version=structure_version,
             view_refreshes=self._refreshes,
             view_refreshes_skipped=self._refreshes_skipped,
+            backend=self.catalog.backend_kind,
+            storage_bytes=self.catalog.storage_size_bytes(),
         )
+
+    def close(self) -> None:
+        """Release the catalog's storage resources (flushes nothing: every
+        successful ingest is already committed).  Safe to call repeatedly;
+        required before another session reopens the same SQLite file."""
+        self.catalog.close()

@@ -203,6 +203,11 @@ class SystemStats:
     ``view_refreshes`` / ``view_refreshes_skipped`` expose the payoff of the
     pull-based consistency model: a skipped refresh is a read that found its
     view's ``(weights.version, structure_version)`` snapshot still current.
+
+    ``backend`` / ``storage_bytes`` describe the session's storage layer:
+    the :class:`~repro.storage.base.StorageBackend` kind serving the
+    catalog (``"memory"`` / ``"sqlite"``) and the approximate bytes of
+    relation data it holds.
     """
 
     sources: int
@@ -216,3 +221,5 @@ class SystemStats:
     structure_version: int
     view_refreshes: int
     view_refreshes_skipped: int
+    backend: str = "memory"
+    storage_bytes: int = 0

@@ -4,7 +4,8 @@ This subpackage provides everything the Q system needs from a database layer:
 
 * :class:`Attribute`, :class:`RelationSchema`, :class:`SourceSchema`,
   :class:`ForeignKey` — metadata (paper Section 2.1).
-* :class:`Table`, :class:`Row` — in-memory tuple storage.
+* :class:`Table`, :class:`Row` — relation facade over pluggable tuple
+  storage (:mod:`repro.storage`: in-memory or SQLite backends).
 * :class:`DataSource`, :class:`Catalog` — registered sources.
 * :class:`ValueIndex`, :class:`TokenIndex` — inverted indexes for keyword
   matching and the value-overlap filter.

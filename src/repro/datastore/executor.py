@@ -139,9 +139,9 @@ class QueryExecutor:
     @staticmethod
     def _filter_rows(table: Table, predicates: Sequence[SelectionPredicate]) -> List[Row]:
         if not predicates:
-            return list(table.rows)
+            return list(table.scan())
         rows: List[Row] = []
-        for row in table:
+        for row in table.scan():
             if all(_selection_matches(p, row[p.attribute]) for p in predicates):
                 rows.append(row)
         return rows

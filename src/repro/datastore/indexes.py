@@ -58,7 +58,7 @@ class ValueIndex:
         """Add every cell of ``table`` to the index."""
         relation = table.schema.qualified_name
         relation_values = self._relation_values[relation]
-        for row in table:
+        for row in table.scan():
             for attr_name, value in zip(table.schema.attribute_names, row.values):
                 canon = canonicalize(value)
                 if canon is None:
@@ -236,7 +236,7 @@ class TokenIndex:
         for attr in table.schema:
             add(f"attribute:{relation}.{attr.name}", attr.name)
         if include_values:
-            for row in table:
+            for row in table.scan():
                 for attr_name, value in zip(table.schema.attribute_names, row.values):
                     canon = canonicalize(value)
                     if canon is None:

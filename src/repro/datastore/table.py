@@ -1,12 +1,20 @@
-"""In-memory tuple storage for relations.
+"""Relation facade over pluggable tuple storage.
 
 A :class:`Table` couples a :class:`~repro.datastore.schema.RelationSchema`
-with row storage and per-attribute value statistics.  Tables are the
-instance-level substrate for:
+with row storage owned by a :class:`~repro.storage.base.StorageBackend` and
+per-attribute value statistics.  Tables are the instance-level substrate for:
 
 * keyword-to-value matching when expanding a query graph (paper Section 2.2),
 * the MAD column-value graph (paper Section 3.2.2),
 * the value-overlap filter used in the Figure 7 experiment.
+
+Storage is delegated, never embedded: a table created on its own owns a
+private :class:`~repro.storage.memory.MemoryBackend` (behaviorally identical
+to the seed's in-object row list), while a table admitted to a backend-bound
+:class:`~repro.datastore.database.Catalog` is *attached* — its rows migrate
+into the catalog's backend (one bulk ingest) and every subsequent operation
+routes there.  No layer above :mod:`repro.storage` touches physical row
+storage directly.
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Seque
 
 from ..exceptions import DataError
 from .schema import RelationSchema
-from .types import ValueType, canonicalize, infer_column_type
+from .types import ValueType, infer_column_type
 
 
 class Row:
@@ -65,6 +73,12 @@ class Row:
         return f"Row({self.as_dict()!r})"
 
 
+def _default_backend():
+    from ..storage.memory import MemoryBackend
+
+    return MemoryBackend()
+
+
 class Table:
     """A relation schema plus its stored tuples.
 
@@ -75,35 +89,93 @@ class Table:
     rows:
         Optional initial rows; each row may be a mapping from attribute name
         to value or a positional sequence.
+    backend:
+        Storage backend holding the rows.  Defaults to a private
+        :class:`~repro.storage.memory.MemoryBackend`.
+    adopt:
+        When ``True``, the relation already exists on ``backend`` (a
+        reopened persistent catalog) and is adopted instead of created —
+        its stored rows become this table's contents.
     """
 
-    def __init__(self, schema: RelationSchema, rows: Optional[Iterable] = None) -> None:
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Optional[Iterable] = None,
+        backend=None,
+        adopt: bool = False,
+    ) -> None:
         self.schema = schema
-        self._rows: List[Row] = []
-        self._distinct_cache: Dict[str, Set[str]] = {}
-        #: Monotonically increasing data version, bumped on every mutation.
-        #: External caches (e.g. the engine's join indexes) key on it so
-        #: that stale entries are detected without explicit invalidation.
-        self.version = 0
+        self._backend = backend if backend is not None else _default_backend()
+        self._key = schema.qualified_name
+        if adopt:
+            self._backend.bind_schema(self._key, schema)
+        else:
+            self._backend.create_relation(self._key, schema)
         if rows is not None:
             self.extend(rows)
+
+    # ------------------------------------------------------------------
+    # Storage binding
+    # ------------------------------------------------------------------
+    @property
+    def storage_backend(self):
+        """The :class:`~repro.storage.base.StorageBackend` holding the rows."""
+        return self._backend
+
+    @property
+    def storage_key(self) -> str:
+        """The relation's key on its backend (its qualified name at bind time)."""
+        return self._key
+
+    def attach(self, backend) -> None:
+        """Migrate this table's rows onto ``backend`` (one bulk ingest).
+
+        Used when a source is admitted to a backend-bound catalog: the rows
+        move, the table is re-keyed under its *current* qualified name, and
+        the version counter carries forward (strictly increased) so engine
+        caches keyed on ``(table, version)`` can never alias across the
+        move.  No-op when already attached to ``backend``.
+        """
+        if backend is self._backend:
+            return
+        old_backend, old_key = self._backend, self._key
+        key = self.schema.qualified_name
+        backend.create_relation(
+            key, self.schema, initial_version=old_backend.version(old_key) + 1
+        )
+        try:
+            backend.insert_rows(key, (row.values for row in old_backend.scan(old_key)))
+        except Exception:
+            backend.drop_relation(key)
+            raise
+        self._backend, self._key = backend, key
+        old_backend.drop_relation(old_key)
+
+    def detach(self) -> None:
+        """Move the rows back onto a fresh private memory backend.
+
+        The inverse of :meth:`attach`, used when a source is removed from a
+        backend-bound catalog (e.g. the registration rollback path): the
+        catalog's backend must not keep the failed source's data, but the
+        caller still holds a fully functional table.
+        """
+        self.attach(_default_backend())
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def append(self, row) -> Row:
         """Append a single row (mapping or sequence) and return the stored Row."""
-        values = self._coerce(row)
-        stored = Row(self.schema, values, len(self._rows))
-        self._rows.append(stored)
-        self._distinct_cache.clear()
-        self.version += 1
-        return stored
+        return self._backend.append_row(self._key, self._coerce(row))
 
     def extend(self, rows: Iterable) -> None:
-        """Append many rows."""
-        for row in rows:
-            self.append(row)
+        """Bulk-append rows: one atomic backend ingest, one version bump.
+
+        ``rows`` may be a generator; it is coerced and consumed lazily, so
+        streaming loaders (CSV batches) never materialize whole files.
+        """
+        self._backend.insert_rows(self._key, (self._coerce(row) for row in rows))
 
     def _coerce(self, row) -> Tuple[Any, ...]:
         names = self.schema.attribute_names
@@ -130,40 +202,50 @@ class Table:
     # Access
     # ------------------------------------------------------------------
     @property
+    def version(self) -> int:
+        """Monotonically increasing data version (bumped on every mutation).
+
+        External caches (e.g. the engine's join indexes) key on it so that
+        stale entries are detected without explicit invalidation.
+        """
+        return self._backend.version(self._key)
+
+    def scan(self) -> Sequence[Row]:
+        """All stored rows in insertion (row-id) order, via the backend.
+
+        The canonical read path for bulk consumers (profiling, indexing,
+        the engine's scan cache).  The returned sequence is owned by the
+        backend — callers must not mutate it.
+        """
+        return self._backend.scan(self._key)
+
+    @property
     def rows(self) -> Tuple[Row, ...]:
         """All stored rows as an immutable tuple."""
-        return tuple(self._rows)
+        return tuple(self._backend.scan(self._key))
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._backend.row_count(self._key)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self._backend.scan(self._key))
 
     def __getitem__(self, index: int) -> Row:
-        return self._rows[index]
+        return self._backend.scan(self._key)[index]
 
     def column(self, attribute: str) -> List[Any]:
         """Return all values of ``attribute`` in row order."""
         idx = self.schema.attribute_index(attribute)
-        return [row.values[idx] for row in self._rows]
+        return [row.values[idx] for row in self._backend.scan(self._key)]
 
     def distinct_values(self, attribute: str) -> Set[str]:
         """Return the set of canonicalized, non-null values of ``attribute``.
 
-        Results are cached; the cache is invalidated on any mutation.
+        Served by the backend (cached in memory; ``SELECT DISTINCT`` under
+        SQLite), invalidated naturally on mutation.
         """
-        cached = self._distinct_cache.get(attribute)
-        if cached is not None:
-            return cached
-        values: Set[str] = set()
-        idx = self.schema.attribute_index(attribute)
-        for row in self._rows:
-            canon = canonicalize(row.values[idx])
-            if canon is not None:
-                values.add(canon)
-        self._distinct_cache[attribute] = values
-        return values
+        self.schema.attribute_index(attribute)  # validates existence
+        return self._backend.distinct_values(self._key, attribute)
 
     def inferred_column_type(self, attribute: str) -> ValueType:
         """Infer the dominant value type of ``attribute`` from stored data."""
@@ -179,9 +261,7 @@ class Table:
     def select(self, predicate) -> "Table":
         """Return a new table containing rows for which ``predicate(row)`` holds."""
         result = Table(self.schema)
-        for row in self._rows:
-            if predicate(row):
-                result.append(row.as_dict())
+        result.extend(row.as_dict() for row in self if predicate(row))
         return result
 
     def project(self, attributes: Sequence[str]) -> "Table":
@@ -192,9 +272,8 @@ class Table:
             source=self.schema.source,
         )
         result = Table(new_schema)
-        for row in self._rows:
-            result.append({a: row[a] for a in attributes})
+        result.extend({a: row[a] for a in attributes} for row in self)
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Table({self.schema.qualified_name!r}, rows={len(self._rows)})"
+        return f"Table({self.schema.qualified_name!r}, rows={len(self)})"

@@ -46,6 +46,10 @@ class ContextStatistics:
     join_indexes_built: int = 0
     join_index_cache_hits: int = 0
     invalidations: int = 0
+    #: Filtered scans answered natively by the storage backend (SQL).
+    pushdown_scans: int = 0
+    #: Whole conjunctive queries answered natively by the storage backend.
+    pushdown_queries: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -55,6 +59,8 @@ class ContextStatistics:
             "join_indexes_built": self.join_indexes_built,
             "join_index_cache_hits": self.join_index_cache_hits,
             "invalidations": self.invalidations,
+            "pushdown_scans": self.pushdown_scans,
+            "pushdown_queries": self.pushdown_queries,
         }
 
 
@@ -143,6 +149,33 @@ class ExecutionContext:
         #: Shared Steiner-network snapshot cache (version-keyed, so it needs
         #: no explicit invalidation — see :class:`SteinerNetworkCache`).
         self.steiner_cache = SteinerNetworkCache()
+        #: Whole-query SQL pushdown handle, present iff the catalog's
+        #: storage backend supports it (see :mod:`repro.storage.pushdown`).
+        self.pushdown = None
+        backend = getattr(catalog, "backend", None)
+        if backend is not None and backend.supports_sql_pushdown:
+            from ..storage.pushdown import SqlPushdown
+
+            self.pushdown = SqlPushdown(backend)
+
+    # ------------------------------------------------------------------
+    # SQL pushdown
+    # ------------------------------------------------------------------
+    def try_pushdown_query(self, query, limit: Optional[int]):
+        """Answers of a whole conjunctive query from the backend, or ``None``.
+
+        Returns a fully built answer list when every relation of the query
+        lives on the catalog's pushdown-capable backend (and no ``limit``
+        is in play — see :meth:`SqlPushdown.can_execute`); the caller falls
+        back to the Python join engine otherwise.
+        """
+        if self.pushdown is None or not self.pushdown.can_execute(
+            self.catalog, query, limit
+        ):
+            return None
+        answers = self.pushdown.execute(self.catalog, query)
+        self.statistics.pushdown_queries += 1
+        return answers
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -194,7 +227,14 @@ class ExecutionContext:
     ) -> List[Row]:
         if not predicates:
             self.statistics.scans += 1
-            return list(table.rows)
+            return list(table.scan())
+        # Backend pushdown: a SQL-capable backend evaluates the selections
+        # natively (same semantics — the backend runs the library's own
+        # matcher, see repro.storage.sqlite).
+        pushed = self._backend_scan_where(table, predicates)
+        if pushed is not None:
+            self.statistics.pushdown_scans += 1
+            return pushed
         # Selection pushdown: seed the scan from a value index when an
         # equals-mode predicate can enumerate candidate rows directly.
         seed_rows = self._index_seed_rows(caches, table, predicates)
@@ -203,12 +243,23 @@ class ExecutionContext:
             candidates = seed_rows
         else:
             self.statistics.scans += 1
-            candidates = table.rows
+            candidates = table.scan()
         return [
             row
             for row in candidates
             if all(p.matches(row[p.attribute]) for p in predicates)
         ]
+
+    @staticmethod
+    def _backend_scan_where(
+        table: Table, predicates: Sequence[CompiledPredicate]
+    ) -> Optional[List[Row]]:
+        backend = table.storage_backend
+        if not backend.supports_sql_pushdown:
+            return None
+        return backend.scan_where(
+            table.storage_key, [(p.attribute, p.mode, p.value) for p in predicates]
+        )
 
     def _index_seed_rows(
         self, caches: _RelationCaches, table: Table, predicates: Sequence[CompiledPredicate]
@@ -224,7 +275,7 @@ class ExecutionContext:
                 best = row_ids
         if best is None:
             return None
-        rows = table.rows
+        rows = table.scan()
         return [rows[row_id] for row_id in best]
 
     def _attribute_index(
@@ -235,7 +286,7 @@ class ExecutionContext:
             return cached
         index: Dict[str, List[int]] = {}
         attr_idx = table.schema.attribute_index(attribute)
-        for row in table.rows:
+        for row in table.scan():
             canon = canonicalize(row.values[attr_idx])
             if canon is None:
                 continue

@@ -59,7 +59,18 @@ class PlanExecutor:
     # Single-query execution
     # ------------------------------------------------------------------
     def execute(self, query: ConjunctiveQuery, limit: Optional[int] = None) -> List[AnswerTuple]:
-        """Execute one conjunctive query; answers carry provenance."""
+        """Execute one conjunctive query; answers carry provenance.
+
+        When the catalog's storage backend supports SQL pushdown and every
+        relation of the query lives on it, the whole query runs inside the
+        backend (same answers, costs, provenance and order — see
+        :mod:`repro.storage.pushdown`); otherwise the planned Python join
+        engine below executes it, with per-relation scan pushdown still
+        applying where the backend offers it.
+        """
+        pushed = self.context.try_pushdown_query(query, limit)
+        if pushed is not None:
+            return pushed
         plan = self.planner.plan(query)
         partials = self._run_plan(plan, limit)
         if not partials:

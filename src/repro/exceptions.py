@@ -43,6 +43,15 @@ class DataError(QError):
     """Raised when tuple data does not conform to its relation schema."""
 
 
+class StorageError(QError):
+    """Raised by storage backends (:mod:`repro.storage`).
+
+    Examples include registering two relations under the same key on one
+    backend, scanning a relation that was never created, or handing a
+    SQLite-backed relation a value type the backend cannot round-trip.
+    """
+
+
 class GraphError(QError):
     """Raised for inconsistent search-graph or query-graph operations."""
 

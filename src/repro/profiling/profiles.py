@@ -105,9 +105,10 @@ class RelationProfile:
 def profile_table(table: Table) -> Tuple[RelationProfile, Dict[str, AttributeProfile]]:
     """Build the relation profile and all attribute profiles of ``table``.
 
-    One pass over the stored rows: every cell is canonicalized once, its
-    distinct value recorded, and its tokens folded into the attribute's
-    value-token set.
+    One backend scan over the stored rows (:meth:`Table.scan` — the storage
+    protocol's ordered bulk read, identical under memory and SQLite): every
+    cell is canonicalized once, its distinct value recorded, and its tokens
+    folded into the attribute's value-token set.
     """
     schema = table.schema
     relation = schema.qualified_name
@@ -116,7 +117,7 @@ def profile_table(table: Table) -> Tuple[RelationProfile, Dict[str, AttributePro
     distinct: Tuple[set, ...] = tuple(set() for _ in range(arity))
     value_tokens: Tuple[set, ...] = tuple(set() for _ in range(arity))
     non_null = [0] * arity
-    for row in table:
+    for row in table.scan():
         values = row.values
         for idx in range(arity):
             canon = canonicalize(values[idx])

@@ -1,0 +1,196 @@
+"""Whole-query SQL pushdown for SQLite-backed catalogs.
+
+When every relation of a conjunctive query lives on the catalog's
+:class:`~repro.storage.sqlite.SqliteBackend`, the engine does not need to
+scan, hash and join in Python at all: the query *is* a conjunctive SQL
+statement (the paper's own formulation, Section 2.2), so it is compiled to
+one parameterized SELECT and executed inside SQLite.
+
+Parity is guaranteed by construction rather than by approximation:
+
+* join conditions compare ``repro_canon(left) = repro_canon(right)`` — the
+  library's canonicalize function registered with the database — so exactly
+  the tuples the Python hash join matches are matched (nulls never join:
+  ``NULL = NULL`` is not true in SQL);
+* selections go through :func:`repro.datastore.sqlgen.selection_condition`
+  in its *exact* dialect (``repro_match(?, ?, column) = 1``), the same
+  semantics as :meth:`~repro.engine.predicates.CompiledPredicate.matches`;
+* the result is ordered by the base tuples' row ids along the query's atom
+  list — precisely the deterministic emission order of
+  :meth:`~repro.engine.executor.PlanExecutor.execute`;
+* self-joins binding one alias to itself are dropped, as the planner does.
+
+Anything the compiler cannot push — a relation stored on a different
+backend, a ``limit`` (whose 100k-partial safety valve is engine-specific) —
+falls back to the Python join engine per query fragment; the per-relation
+*scan* pushdown (:meth:`SqliteBackend.scan_where`) still applies there.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from ..datastore.provenance import AnswerTuple, TupleProvenance
+from ..datastore.sqlgen import selection_condition
+from .sqlite import SqliteBackend, quote_identifier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datastore.database import Catalog
+    from ..datastore.query import ConjunctiveQuery
+
+
+class SqlPushdown:
+    """Compiles and runs whole conjunctive queries on a SQLite backend."""
+
+    def __init__(self, backend: SqliteBackend) -> None:
+        self.backend = backend
+        #: How many queries were answered fully inside SQLite (benchmarks
+        #: and tests read this).
+        self.queries_executed = 0
+
+    # ------------------------------------------------------------------
+    # Eligibility
+    # ------------------------------------------------------------------
+    def can_execute(
+        self, catalog: "Catalog", query: "ConjunctiveQuery", limit: Optional[int]
+    ) -> bool:
+        """Whether the whole query can run inside the backend.
+
+        ``limit`` forces a fallback: with a limit the engine's pathological
+        cross-product valve may truncate mid-join, a behavior the SQL path
+        intentionally does not replicate.
+        """
+        if limit is not None or not query.atoms:
+            return False
+        for atom in query.atoms:
+            try:
+                table = catalog.relation(atom.relation)
+            except Exception:
+                return False
+            if (
+                table.storage_backend is not self.backend
+                or table.storage_key != atom.relation
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Compilation + execution
+    # ------------------------------------------------------------------
+    def execute(self, catalog: "Catalog", query: "ConjunctiveQuery") -> List[AnswerTuple]:
+        """Run ``query`` as one parameterized SELECT; answers carry provenance."""
+        query.validate()
+        schemas = {
+            atom.alias: catalog.relation(atom.relation).schema for atom in query.atoms
+        }
+
+        select_items: List[str] = []
+        slices: List[Tuple[str, int]] = []  # (alias, cell count) per atom
+        for atom in query.atoms:
+            alias_sql = quote_identifier(atom.alias)
+            names = schemas[atom.alias].attribute_names
+            select_items.append(f'{alias_sql}."_row_id"')
+            select_items.append(f'{alias_sql}."_tags"')
+            select_items.extend(
+                f"{alias_sql}.{self.backend.column_sql_name(name)}" for name in names
+            )
+            slices.append((atom.alias, 2 + len(names)))
+
+        from_items = [
+            f"{self.backend.table_sql_name(atom.relation)} AS {quote_identifier(atom.alias)}"
+            for atom in query.atoms
+        ]
+
+        conditions: List[str] = []
+        params: List[object] = []
+        for join in query.joins:
+            if join.left_alias == join.right_alias:
+                continue  # planner semantics: self-joins on one alias are dropped
+            left = (
+                f"{quote_identifier(join.left_alias)}."
+                f"{self.backend.column_sql_name(join.left_attribute)}"
+            )
+            right = (
+                f"{quote_identifier(join.right_alias)}."
+                f"{self.backend.column_sql_name(join.right_attribute)}"
+            )
+            conditions.append(f"repro_canon({left}) = repro_canon({right})")
+            self.backend.ensure_canon_index(
+                self._relation_of(query, join.right_alias), join.right_attribute
+            )
+            self.backend.ensure_canon_index(
+                self._relation_of(query, join.left_alias), join.left_attribute
+            )
+        for selection in query.selections:
+            column = (
+                f"{quote_identifier(selection.alias)}."
+                f"{self.backend.column_sql_name(selection.attribute)}"
+            )
+            conditions.append(
+                selection_condition(selection, column, params, dialect="exact")
+            )
+            if selection.mode == "equals":
+                self.backend.ensure_canon_index(
+                    self._relation_of(query, selection.alias), selection.attribute
+                )
+
+        order_by = ", ".join(
+            f'{quote_identifier(atom.alias)}."_row_id"' for atom in query.atoms
+        )
+        sql = f"SELECT {', '.join(select_items)}\nFROM {', '.join(from_items)}"
+        if conditions:
+            sql += "\nWHERE " + " AND ".join(conditions)
+        sql += f"\nORDER BY {order_by}"
+
+        fetched = self.backend.execute_sql(sql, params)
+        self.queries_executed += 1
+        return [self._to_answer(query, schemas, slices, record) for record in fetched]
+
+    @staticmethod
+    def _relation_of(query: "ConjunctiveQuery", alias: str) -> str:
+        for atom in query.atoms:
+            if atom.alias == alias:
+                return atom.relation
+        raise KeyError(alias)  # pragma: no cover - validate() guarantees binding
+
+    # ------------------------------------------------------------------
+    # Answer construction (mirrors PlanExecutor._to_answer)
+    # ------------------------------------------------------------------
+    def _to_answer(
+        self,
+        query: "ConjunctiveQuery",
+        schemas: Dict[str, object],
+        slices: Sequence[Tuple[str, int]],
+        record: Sequence[object],
+    ) -> AnswerTuple:
+        decode = SqliteBackend._decode_values
+        bound: Dict[str, Tuple[int, Tuple[object, ...]]] = {}
+        offset = 0
+        for alias, width in slices:
+            row_id, tags = record[offset], record[offset + 1]
+            values = decode(record[offset + 2 : offset + width], tags)
+            bound[alias] = (row_id, values)
+            offset += width
+
+        if not query.outputs:
+            values_out: Dict[str, object] = {}
+            for atom in query.atoms:
+                _, cells = bound[atom.alias]
+                for attr, value in zip(schemas[atom.alias].attribute_names, cells):
+                    values_out[f"{atom.alias}.{attr}"] = value
+        else:
+            values_out = {}
+            for column in query.outputs:
+                _, cells = bound[column.alias]
+                index = schemas[column.alias].attribute_index(column.attribute)
+                values_out[column.label] = cells[index]
+
+        base_tuples = frozenset(
+            (atom.relation, bound[atom.alias][0]) for atom in query.atoms
+        )
+        provenance = TupleProvenance(
+            query_id=query.provenance or "query",
+            query_cost=query.cost,
+            base_tuples=base_tuples,
+        )
+        return AnswerTuple(values=values_out, cost=query.cost, provenance=provenance)

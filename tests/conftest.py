@@ -7,6 +7,7 @@ is pure Python, so importing straight from the source tree is equivalent).
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -19,6 +20,23 @@ if str(_SRC) not in sys.path:
 from repro.datastore import Catalog, DataSource  # noqa: E402
 from repro.datasets import build_gbco, build_interpro_go  # noqa: E402
 from repro.graph import SearchGraph  # noqa: E402
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "memory_engine_internals: asserts Python-join-engine cache internals "
+        "(scan/join-index counters) that SQL pushdown legitimately bypasses; "
+        "skipped when REPRO_BACKEND selects a pushdown-capable backend",
+    )
+
+
+def pytest_runtest_setup(item):
+    env_backend = os.environ.get("REPRO_BACKEND", "").strip()
+    if env_backend not in ("", "memory") and item.get_closest_marker(
+        "memory_engine_internals"
+    ):
+        pytest.skip(f"asserts memory-engine internals (REPRO_BACKEND={env_backend})")
 
 
 @pytest.fixture()

@@ -126,6 +126,7 @@ class TestPlanner:
 
 
 class TestExecutionContext:
+    @pytest.mark.memory_engine_internals
     def test_scan_and_join_index_caches_hit(self, mini_catalog):
         context = ExecutionContext(mini_catalog)
         executor = PlanExecutor(mini_catalog, context)
@@ -146,6 +147,7 @@ class TestExecutionContext:
         after = executor.execute(make_join_query())
         assert len(after) == len(before) + 1
 
+    @pytest.mark.memory_engine_internals
     def test_equals_pushdown_uses_index_scan(self, mini_catalog):
         context = ExecutionContext(mini_catalog)
         executor = PlanExecutor(mini_catalog, context)

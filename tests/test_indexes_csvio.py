@@ -5,9 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.datastore.csvio import (
+    iter_relation_rows,
     load_catalog_json,
     load_relation_csv,
     load_source_from_csv_dir,
+    read_relation_header,
     save_catalog_json,
     save_source_to_csv_dir,
     source_from_dict,
@@ -16,6 +18,7 @@ from repro.datastore.csvio import (
 from repro.datastore.database import Catalog, DataSource
 from repro.datastore.indexes import TokenIndex, ValueIndex
 from repro.exceptions import DataError
+from repro.storage import SqliteBackend
 
 
 class TestValueIndex:
@@ -104,6 +107,43 @@ class TestCsvIO:
         assert loaded.name == "interpro"
         assert loaded.relation_count == 4
         assert loaded.table("entry").distinct_values("entry_ac") == {"IPR001", "IPR002"}
+
+    def test_iter_relation_rows_is_lazy(self, tmp_path):
+        csv_path = tmp_path / "entry.csv"
+        csv_path.write_text("entry_ac,name\nIPR001,Kinase\nIPR002,Zinc finger\n")
+        stream = iter_relation_rows(csv_path)
+        assert iter(stream) is stream  # a generator, not a materialized list
+        assert next(stream)["entry_ac"] == "IPR001"
+        header = read_relation_header(csv_path)
+        assert header.attribute_names == ("entry_ac", "name")
+
+    def test_streamed_batches_match_materialized_load(self, tmp_path, mini_catalog):
+        out_dir = tmp_path / "interpro"
+        save_source_to_csv_dir(mini_catalog.source("interpro"), out_dir)
+        whole = load_source_from_csv_dir(out_dir)
+        batched = load_source_from_csv_dir(out_dir, source_name="batched", batch_size=1)
+        for table in whole:
+            other = batched.table(table.schema.name)
+            assert [tuple(r.values) for r in other.scan()] == [
+                tuple(r.values) for r in table.scan()
+            ]
+
+    def test_stream_into_sqlite_backend(self, tmp_path, mini_catalog):
+        out_dir = tmp_path / "interpro"
+        save_source_to_csv_dir(mini_catalog.source("interpro"), out_dir)
+        backend = SqliteBackend(":memory:")
+        source = load_source_from_csv_dir(out_dir, backend=backend, batch_size=2)
+        assert source.table("entry").storage_backend is backend
+        assert backend.row_count("interpro.entry") == 2
+        assert source.table("entry").distinct_values("entry_ac") == {"IPR001", "IPR002"}
+        backend.close()
+
+    def test_bad_batch_size_rejected(self, tmp_path):
+        empty = tmp_path / "dir"
+        empty.mkdir()
+        (empty / "r.csv").write_text("a\n1\n")
+        with pytest.raises(DataError):
+            load_source_from_csv_dir(empty, batch_size=0)
 
     def test_load_missing_directory(self, tmp_path):
         with pytest.raises(DataError):
