@@ -49,10 +49,11 @@ from .api.types import ServiceConfig
 from .core.qsystem import QSystem, QSystemConfig
 from .core.view import RankedView
 from .datastore.database import Catalog, DataSource
+from .exceptions import SnapshotError
 from .graph.search_graph import GraphConfig, SearchGraph
 from .storage import MemoryBackend, SqliteBackend, StorageBackend, create_backend
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "Catalog",
@@ -65,6 +66,7 @@ __all__ = [
     "RankedView",
     "SearchGraph",
     "ServiceConfig",
+    "SnapshotError",
     "SqliteBackend",
     "StorageBackend",
     "api",

@@ -26,6 +26,7 @@ The legacy :class:`repro.QSystem` facade remains importable but delegates
 here and emits a :class:`DeprecationWarning`.
 """
 
+from ..persist import SaveReport, SnapshotError
 from .errors import (
     InvalidRequestError,
     QError,
@@ -69,7 +70,9 @@ __all__ = [
     "RegisterSourceRequest",
     "RegistrationError",
     "RegistrationResponse",
+    "SaveReport",
     "ServiceConfig",
+    "SnapshotError",
     "SystemStats",
     "UnknownMatcherError",
     "UnknownStrategyError",

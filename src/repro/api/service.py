@@ -30,6 +30,7 @@ deferred until the stream reaches each query's answers.
 from __future__ import annotations
 
 import itertools
+from dataclasses import fields as dataclass_fields
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..alignment.base import AlignmentResult, install_associations
@@ -48,6 +49,21 @@ from ..matching.ensemble import MatcherEnsemble
 from ..matching.mad import MadMatcher
 from ..matching.metadata_matcher import MetadataMatcher
 from ..matching.value_overlap import ValueOverlapFilter
+from ..persist import (
+    FileSessionStore,
+    SessionPersistence,
+    SessionStore,
+    SnapshotError,
+    SqliteSessionStore,
+    restore_core,
+    sniff_sqlite_file,
+)
+from ..persist.snapshot import (
+    empty_query_graph,
+    restore_event,
+    restore_graph_config,
+    restore_query_graph,
+)
 from ..profiling.index import CatalogProfileIndex
 from .strategies import AlignerSpec, AlignmentStrategy, build_aligner
 from .streaming import paginate
@@ -64,6 +80,22 @@ from .types import (
     ViewRef,
 )
 from .views import ViewRecord, ViewRegistry
+
+
+def _restore_config(payload) -> ServiceConfig:
+    """Rebuild a :class:`ServiceConfig` from its persisted payload.
+
+    Field names come from the dataclass itself — the same source
+    :func:`repro.persist.session.service_config_payload` serializes from —
+    so a future config knob round-trips without touching either side.
+    """
+    config = ServiceConfig()
+    for field in dataclass_fields(ServiceConfig):
+        if field.name != "graph" and field.name in payload:
+            setattr(config, field.name, payload[field.name])
+    if payload.get("graph"):
+        config.graph = restore_graph_config(payload["graph"])
+    return config
 
 
 class QService:
@@ -86,6 +118,12 @@ class QService:
         memory storage.  A persistent SQLite backend that already holds a
         catalog is reopened: its sources load without re-ingest and every
         registration routes through the backend's bulk ingest.
+    autosave:
+        Durable sessions: ``True`` checkpoints the session after every
+        mutating call (requires a SQLite-backed catalog, whose database
+        hosts the snapshot), a path value does the same into that JSON
+        sidecar file, ``False`` (the default) leaves persistence to
+        explicit :meth:`save` calls.
     """
 
     def __init__(
@@ -94,16 +132,35 @@ class QService:
         matchers: Optional[Sequence[BaseMatcher]] = None,
         config: Optional[ServiceConfig] = None,
         backend=None,
+        autosave=False,
     ) -> None:
         self.config = config or ServiceConfig()
-        self.catalog = Catalog(sources, backend=backend)
-        self.graph = SearchGraph(config=self.config.graph)
-        self.graph.add_catalog(self.catalog)
+        catalog = Catalog(sources, backend=backend)
+        graph = SearchGraph(config=self.config.graph)
+        graph.add_catalog(catalog)
+        self._assemble(catalog, graph, CatalogProfileIndex.from_catalog(catalog), matchers)
+        self._init_persistence(autosave)
+
+    def _assemble(
+        self,
+        catalog: Catalog,
+        graph: SearchGraph,
+        profile_index: CatalogProfileIndex,
+        matchers: Optional[Sequence[BaseMatcher]],
+    ) -> None:
+        """Wire the session around its three core structures.
+
+        Shared between cold construction (``__init__`` builds graph and
+        profile index from the catalog) and warm restore (:meth:`open`
+        rebuilds them from a snapshot + journal without recomputation).
+        """
+        self.catalog = catalog
+        self.graph = graph
         #: Shared per-attribute profiles + posting lists over the catalog,
         #: profiled once per source and updated incrementally by the
         #: registrar (see :mod:`repro.profiling`).  Every matcher and value
         #: filter of this session reads it instead of re-deriving state.
-        self.profile_index = CatalogProfileIndex.from_catalog(self.catalog)
+        self.profile_index = profile_index
         self.matchers: List[BaseMatcher] = (
             list(matchers) if matchers else [MetadataMatcher(), MadMatcher()]
         )
@@ -127,6 +184,25 @@ class QService:
         self._refreshes = 0
         self._refreshes_skipped = 0
 
+    def _init_persistence(self, autosave) -> None:
+        self._persistence: Optional[SessionPersistence] = None
+        self._autosave = bool(autosave)
+        #: Sidecar path remembered from ``autosave=<path>`` or the first
+        #: explicit ``save(path)``; ``None`` for in-database sessions.
+        self._save_path = None
+        if autosave and not isinstance(autosave, bool):
+            self._save_path = autosave
+        if self._autosave and self._save_path is None:
+            # Fail at construction, not on the first (already applied)
+            # mutation: autosave=True needs somewhere to write.
+            backend = self.catalog.backend
+            if backend is None or not backend.supports_session_store:
+                raise SnapshotError(
+                    "autosave=True needs a session-capable (SQLite) catalog "
+                    "backend; pass autosave=<path> to checkpoint a "
+                    "memory-backed session into a sidecar file"
+                )
+
     # ------------------------------------------------------------------
     # Sources and alignments
     # ------------------------------------------------------------------
@@ -140,6 +216,7 @@ class QService:
         self.graph.add_source(source)
         self.profile_index.index_source(source)
         self._sync_builder(source)
+        self._after_mutation()
 
     def bootstrap_alignments(self, top_y: Optional[int] = None) -> List[Correspondence]:
         """Run the matcher ensemble over all current tables and install edges.
@@ -163,6 +240,7 @@ class QService:
                     )
                 )
         install_associations(self.graph, correspondences)
+        self._after_mutation()
         return correspondences
 
     # ------------------------------------------------------------------
@@ -202,6 +280,7 @@ class QService:
         record = self.views.add(view, request.name or " ".join(request.keywords))
         self._mark_synced(record)
         self._refreshes += 1
+        self._after_mutation()
         return self._info(record)
 
     def view(self, ref: Union[ViewRef, ViewRecord]) -> RankedView:
@@ -438,6 +517,7 @@ class QService:
         strategy, aligner = self._aligner_for(request)
         result = self.registrar.register(request.source, aligner)
         self._sync_builder(request.source)
+        self._after_mutation()
         return self._registration_response(request, strategy, result)
 
     def register_sources(
@@ -473,10 +553,32 @@ class QService:
         )
         for request in requests:
             self._sync_builder(request.source)
+        self._after_mutation()
         return tuple(
             self._registration_response(request, strategy, result)
             for request, strategy, result in zip(requests, strategies, results)
         )
+
+    def remove_source(self, name: str) -> DataSource:
+        """Remove a source from the session: catalog, graph, indexes, builder.
+
+        The inverse of :meth:`add_source` / :meth:`register_source` at the
+        session level (association edges incident to the source's nodes are
+        dropped with them).  Like registration, the removal invalidates the
+        shared execution context and every view's answer cache once; views
+        rebuild on their next read.  Removals are journaled, so a persisted
+        session reopens without the source.
+        """
+        source = self.catalog.remove_source(name)
+        self.graph.remove_source(name)
+        self.profile_index.remove_source(name)
+        if self._builder is not None:
+            self._builder.remove_source(source)
+        self.engine_context.invalidate()
+        for record in self.views.records():
+            record.view.invalidate_cache()
+        self._after_mutation()
+        return source
 
     def _on_registration(self, source: DataSource, result: AlignmentResult) -> None:
         # A new source changes both the data and the graph structure: drop
@@ -506,6 +608,7 @@ class QService:
         results = self.learner.replay(
             [event], request.replay, graph=record.view.query_graph.graph
         )
+        self._after_mutation()
         return FeedbackResponse(
             view_id=record.view_id,
             events=(event,),
@@ -527,6 +630,7 @@ class QService:
         results = self.learner.replay(
             list(events), repetitions, graph=record.view.query_graph.graph
         )
+        self._after_mutation()
         return FeedbackResponse(
             view_id=record.view_id,
             events=tuple(events),
@@ -534,6 +638,213 @@ class QService:
             weight_change=sum(step.weight_change for step in results),
             weights_version=self.graph.weights.version,
         )
+
+    # ------------------------------------------------------------------
+    # Durability (see :mod:`repro.persist`)
+    # ------------------------------------------------------------------
+    def save(self, path=None, compact: bool = False):
+        """Checkpoint the whole session so :meth:`open` can restore it.
+
+        The first call writes a full snapshot — search graph (nodes and
+        alignment edges with features and original edge ids), weight
+        vector, learner state, profile index, view registry with each
+        synced view's query-graph expansion, feedback log, and the
+        process-global edge-id counter.  Later calls are *incremental*:
+        one journal delta entry capturing the mutations since the previous
+        save.  Once the journal reaches
+        ``config.journal_compact_after`` entries (or ``compact=True``, or a
+        change a delta cannot express), journal and snapshot fold into a
+        fresh snapshot.
+
+        Where the bytes go: on a SQLite-backed catalog, into
+        ``_repro_session_*`` tables inside the catalog database itself
+        (one file holds the whole session) — unless ``path`` is given,
+        which always selects a JSON sidecar (snapshot at ``path``, journal
+        at ``path + ".journal"``).  A memory-backed catalog requires a
+        ``path`` on the first save; the sidecar then also carries the
+        catalog's rows, giving the memory backend durability it never had.
+
+        Returns a :class:`~repro.persist.SaveReport`.
+        """
+        if self._persistence is None:
+            self._persistence = SessionPersistence(
+                self._resolve_store(path),
+                compact_after=self.config.journal_compact_after,
+            )
+        elif path is not None:
+            store = self._persistence.store
+            if not isinstance(store, FileSessionStore) or str(store.path) != str(path):
+                raise SnapshotError(
+                    f"this session already persists to {store.description}; "
+                    "save() cannot be re-targeted to a different location"
+                )
+        return self._persistence.save(self, compact=compact)
+
+    def _resolve_store(self, path) -> SessionStore:
+        if path is None:
+            path = self._save_path
+        if path is not None:
+            self._save_path = path
+            return FileSessionStore(path)
+        backend = self.catalog.backend
+        if backend is not None and backend.supports_session_store:
+            return SqliteSessionStore(backend)
+        raise SnapshotError(
+            "a memory-backed session has no durable home for its snapshot; "
+            "pass save(path=...) (or autosave=<path>) to choose a sidecar file"
+        )
+
+    @classmethod
+    def open(
+        cls,
+        path=None,
+        backend=None,
+        config: Optional[ServiceConfig] = None,
+        matchers: Optional[Sequence[BaseMatcher]] = None,
+        autosave=False,
+    ) -> "QService":
+        """Warm-start a session from a previously saved snapshot + journal.
+
+        ``open(path)`` sniffs the file: a SQLite database restores the
+        whole session from its ``_repro_session_*`` tables (rows included);
+        a JSON sidecar restores a memory-style session, re-ingesting the
+        rows serialized in the snapshot.  ``backend=`` overrides the sniff
+        — pass ``"sqlite:<path>"`` (or a live
+        :class:`~repro.storage.base.StorageBackend`) to name the catalog
+        database explicitly.
+
+        No profiling, matching or alignment runs: graph, weights, profiles
+        and views come straight from the snapshot, the journal replays any
+        post-snapshot mutations, and the edge-id counter is restored so the
+        reopened session allocates the same ids a continuing live session
+        would.  Restored sessions answer queries byte-identically to the
+        session that saved them.
+
+        ``config`` / ``matchers`` override the persisted session knobs and
+        the (non-serializable) matcher stack; by default the saved config
+        is restored and the default matchers are installed.
+        """
+        from ..storage import SqliteBackend, resolve_backend
+        from ..storage.base import StorageBackend
+
+        # A backend we construct here is ours to close if the restore
+        # fails; one handed in live belongs to the caller.
+        owns_backend = not isinstance(backend, StorageBackend)
+        resolved = resolve_backend(backend) if backend is not None else None
+        if resolved is None and path is not None and sniff_sqlite_file(path):
+            resolved = SqliteBackend(path)
+        if resolved is not None and resolved.supports_session_store:
+            store: SessionStore = SqliteSessionStore(resolved)
+        elif path is not None:
+            store = FileSessionStore(path)
+        else:
+            raise SnapshotError(
+                "QService.open needs a session location: a path (sqlite "
+                "database or JSON sidecar) and/or a session-capable backend"
+            )
+        try:
+            loaded = store.load()
+            if loaded is None:
+                raise SnapshotError(f"no session stored in {store.description}")
+            body, entries = loaded
+
+            service = cls.__new__(cls)
+            service.config = config if config is not None else _restore_config(
+                body.get("config") or {}
+            )
+            if store.holds_rows:
+                catalog = Catalog(backend=resolved)
+            else:
+                from ..datastore.csvio import source_from_dict
+
+                catalog = Catalog(
+                    [
+                        source_from_dict(payload)
+                        for payload in (body.get("catalog") or {}).get("sources", ())
+                    ],
+                    backend=resolved,
+                )
+            graph, profile_index, overlay = restore_core(
+                body, entries, catalog, service.config.graph, store.holds_rows
+            )
+            service._assemble(catalog, graph, profile_index, matchers)
+            service._restore_overlay(overlay)
+            profile_index.rebind_tables(catalog)
+            if autosave is True and isinstance(store, FileSessionStore):
+                autosave = store.path
+            service._init_persistence(autosave)
+            if isinstance(store, FileSessionStore):
+                service._save_path = store.path
+            service._persistence = SessionPersistence(
+                store, compact_after=service.config.journal_compact_after
+            )
+            service._persistence.attach_restored(
+                service, body.get("snapshot_version", 1), overlay
+            )
+            return service
+        except BaseException:
+            if owns_backend and resolved is not None:
+                resolved.close()
+            raise
+
+    def _restore_overlay(self, overlay) -> None:
+        """Install the snapshot's tail state: views, log, counters, ids."""
+        from ..alignment.registration import RegistrationRecord
+        from ..graph.edges import set_edge_id_counter
+
+        views_spec = overlay.get("views") or {}
+        records = views_spec.get("records", ())
+        builder = self._query_builder() if records else None
+        for spec in records:
+            qg_payload = spec.get("query_graph")
+            query_graph = (
+                restore_query_graph(qg_payload, self.graph)
+                if qg_payload is not None
+                else empty_query_graph(self.graph)
+            )
+            view = RankedView(
+                list(spec["keywords"]),
+                self.catalog,
+                self.graph,
+                k=spec["k"],
+                builder=builder,
+                answer_limit=self.config.answer_limit,
+                engine_context=self.engine_context,
+                query_graph=query_graph,
+            )
+            self.views.restore(
+                view,
+                spec["name"],
+                spec["view_id"],
+                spec["created_index"],
+                synced_weights_version=spec.get("synced_weights_version"),
+                synced_structure_version=spec.get("synced_structure_version"),
+            )
+        self.views.set_created(views_spec.get("created", len(self.views)))
+        self.learner.steps_processed = overlay.get("learner_steps", 0)
+        for event_spec in overlay.get("feedback_events", ()):
+            self.feedback_log.add(restore_event(event_spec))
+        for name, strategy in overlay.get("registrations", ()):
+            self.registrar.history.append(
+                RegistrationRecord(source_name=name, strategy=strategy, alignment=None)
+            )
+        self._refreshes = overlay.get("refreshes", 0)
+        self._refreshes_skipped = overlay.get("refreshes_skipped", 0)
+        # Authoritative counters last: the replay above moved versions as a
+        # side effect; the saved values make staleness checks and future
+        # edge-id allocation agree exactly with the session that saved.
+        self.graph.weights.version = overlay["weights_version"]
+        self.graph.structure_version = overlay["structure_version"]
+        set_edge_id_counter(overlay["edge_id_counter"])
+
+    def _after_mutation(self) -> None:
+        """Autosave hook, called at the end of every mutating service call."""
+        if self._autosave and not getattr(self, "_in_autosave", False):
+            self._in_autosave = True
+            try:
+                self.save()
+            finally:
+                self._in_autosave = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -559,10 +870,30 @@ class QService:
             view_refreshes_skipped=self._refreshes_skipped,
             backend=self.catalog.backend_kind,
             storage_bytes=self.catalog.storage_size_bytes(),
+            snapshot_version=(
+                self._persistence.snapshot_version if self._persistence else 0
+            ),
+            journal_entries=(
+                self._persistence.store.entry_count() if self._persistence else 0
+            ),
         )
 
     def close(self) -> None:
-        """Release the catalog's storage resources (flushes nothing: every
-        successful ingest is already committed).  Safe to call repeatedly;
-        required before another session reopens the same SQLite file."""
+        """Release the catalog's storage resources.
+
+        If the session persists (a :meth:`save` happened, or ``autosave``
+        is on), any unsaved mutations are checkpointed first, so
+        close/reopen never loses state.  Row ingests were always committed
+        eagerly; sessions that never called :meth:`save` still lose their
+        graph/weights/views on close — exactly the pre-persistence
+        behavior.  Safe to call repeatedly; required before another session
+        reopens the same SQLite file.
+        """
+        backend_closed = bool(getattr(self.catalog.backend, "closed", False))
+        if (
+            self._persistence is not None
+            and self._persistence.snapshot_version > 0
+            and not backend_closed
+        ):
+            self.save()
         self.catalog.close()

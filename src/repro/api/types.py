@@ -47,6 +47,10 @@ class ServiceConfig:
     answer_limit: Optional[int] = 200
     #: Answers per :class:`AnswerPage` when a request does not override it.
     default_page_size: int = 25
+    #: Durable sessions: once the mutation journal holds this many entries,
+    #: the next :meth:`~repro.api.service.QService.save` folds journal and
+    #: snapshot into one fresh snapshot (compaction) instead of appending.
+    journal_compact_after: int = 64
 
 
 @dataclass(frozen=True)
@@ -208,6 +212,12 @@ class SystemStats:
     the :class:`~repro.storage.base.StorageBackend` kind serving the
     catalog (``"memory"`` / ``"sqlite"``) and the approximate bytes of
     relation data it holds.
+
+    ``snapshot_version`` counts the full session snapshots written so far
+    (``0`` = the session has never been persisted); it advances on the
+    first :meth:`~repro.api.service.QService.save` and on every journal
+    compaction.  ``journal_entries`` is the number of incremental delta
+    entries currently pending on top of that snapshot.
     """
 
     sources: int
@@ -223,3 +233,5 @@ class SystemStats:
     view_refreshes_skipped: int
     backend: str = "memory"
     storage_bytes: int = 0
+    snapshot_version: int = 0
+    journal_entries: int = 0

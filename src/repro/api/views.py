@@ -83,6 +83,45 @@ class ViewRegistry:
         self._by_name[name] = record
         return record
 
+    def restore(
+        self,
+        view: RankedView,
+        name: str,
+        view_id: str,
+        created_index: int,
+        synced_weights_version: Optional[int] = None,
+        synced_structure_version: Optional[int] = None,
+    ) -> ViewRecord:
+        """Re-register a view restored from a session snapshot.
+
+        Unlike :meth:`add`, the id, creation index and sync state are
+        supplied by the caller (they come from the snapshot) and the
+        creation counter is *not* advanced — :meth:`set_created` restores it
+        separately so post-restore :meth:`add` calls continue the original
+        id sequence.
+        """
+        record = ViewRecord(
+            view_id=view_id,
+            name=name,
+            view=view,
+            created_index=created_index,
+            synced_weights_version=synced_weights_version,
+            synced_structure_version=synced_structure_version,
+        )
+        self._records.append(record)
+        self._by_id[record.view_id] = record
+        self._by_name[name] = record
+        return record
+
+    @property
+    def created_count(self) -> int:
+        """How many views have ever been created (ids are never reused)."""
+        return self._created
+
+    def set_created(self, value: int) -> None:
+        """Restore the creation counter (session restore only)."""
+        self._created = value
+
     # ------------------------------------------------------------------
     # Resolution
     # ------------------------------------------------------------------

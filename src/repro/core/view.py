@@ -116,6 +116,7 @@ class RankedView:
         answer_limit: Optional[int] = 200,
         engine_context: Optional[ExecutionContext] = None,
         max_cached_queries: int = 64,
+        query_graph: Optional[QueryGraph] = None,
     ) -> None:
         self.keywords = list(keywords)
         self.catalog = catalog
@@ -123,7 +124,13 @@ class RankedView:
         self.k = k
         self.answer_limit = answer_limit
         self.builder = builder or QueryGraphBuilder(catalog)
-        self.query_graph: QueryGraph = self.builder.expand(graph, self.keywords)
+        # A restored session injects the view's previously expanded query
+        # graph (same keyword/value nodes, same edge ids) instead of
+        # re-expanding — re-expansion would consume fresh edge ids and drop
+        # any per-edge weight corrections feedback learned for this view.
+        self.query_graph: QueryGraph = (
+            query_graph if query_graph is not None else self.builder.expand(graph, self.keywords)
+        )
         self.state = ViewState()
         self.engine_context = engine_context if engine_context is not None else ExecutionContext(catalog)
         # The solver shares the context's Steiner snapshot cache so repeated

@@ -153,3 +153,14 @@ class FeedbackError(LearningError):
 
 class RegistrationError(QError):
     """Raised when registration of a new data source fails."""
+
+
+class SnapshotError(QError):
+    """Raised by the session persistence layer (:mod:`repro.persist`).
+
+    Covers every way a durable session can fail to round-trip: a missing or
+    truncated snapshot, a checksum mismatch (corruption), a snapshot written
+    by an incompatible format version, a journal entry that cannot be
+    replayed, or a save attempted without a resolvable storage location
+    (e.g. a memory-backed session saved without a sidecar path).
+    """

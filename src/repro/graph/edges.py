@@ -46,6 +46,28 @@ def _next_edge_id(kind: EdgeKind, u: str, v: str) -> str:
     return f"{kind.value}:{u}|{v}#{next(_edge_counter)}"
 
 
+def edge_id_counter() -> int:
+    """The next sequence number the process-global edge-id counter will emit.
+
+    Edge ids embed this counter, so equal-cost tie-breaks (which sort on
+    edge ids) depend on it.  The session snapshot records it and
+    :func:`set_edge_id_counter` restores it on reopen, which is what makes a
+    restored session allocate the *same* ids a continuing live session
+    would.  Peeking is implemented as consume-and-rebind so it also works
+    when a test has installed a plain ``itertools.count`` by hand (the
+    historical replay-parity hook, which keeps working unchanged).
+    """
+    value = next(_edge_counter)
+    set_edge_id_counter(value)
+    return value
+
+
+def set_edge_id_counter(value: int) -> None:
+    """Restart the process-global edge-id counter at ``value``."""
+    global _edge_counter
+    _edge_counter = itertools.count(value)
+
+
 @dataclass
 class Edge:
     """An undirected, weighted-feature edge of the graph.

@@ -114,11 +114,29 @@ class QueryGraphBuilder:
         keyword_match_weight: float = 1.0,
     ) -> None:
         self.catalog = catalog
-        self.value_index = value_index or ValueIndex.from_catalog(catalog)
-        self.scorer = scorer or self._build_scorer(catalog)
+        # Both corpus structures build lazily on first use: a builder handed
+        # to restored views (which carry their expanded query graphs in the
+        # session snapshot) never pays the full catalog scan unless a view
+        # actually rebuilds or a new keyword query is expanded.
+        self._value_index = value_index
+        self._scorer = scorer
         self.similarity_threshold = similarity_threshold
         self.max_value_matches = max_value_matches
         self.keyword_match_weight = keyword_match_weight
+
+    @property
+    def value_index(self) -> ValueIndex:
+        """The keyword→cell occurrence index (built from the catalog on demand)."""
+        if self._value_index is None:
+            self._value_index = ValueIndex.from_catalog(self.catalog)
+        return self._value_index
+
+    @property
+    def scorer(self) -> TfIdfScorer:
+        """The schema-label tf-idf scorer (built from the catalog on demand)."""
+        if self._scorer is None:
+            self._scorer = self._build_scorer(self.catalog)
+        return self._scorer
 
     @staticmethod
     def _build_scorer(catalog: Catalog) -> TfIdfScorer:
@@ -138,25 +156,32 @@ class QueryGraphBuilder:
         scorer gains its schema-label documents, ending in exactly the state
         a from-scratch build over the grown catalog would produce.  Views
         holding this builder see the new source on their next rebuild.
+        Structures that have not been built yet are left alone — their
+        eventual lazy build over the grown catalog includes the source.
         """
-        self.value_index.index_source(source)
-        for table in source:
-            self.scorer.add_document(table.schema.name)
-            for attr in table.schema:
-                self.scorer.add_document(attr.name)
+        if self._value_index is not None:
+            self._value_index.index_source(source)
+        if self._scorer is not None:
+            for table in source:
+                self._scorer.add_document(table.schema.name)
+                for attr in table.schema:
+                    self._scorer.add_document(attr.name)
 
     def remove_source(self, source) -> None:
         """Retract a source admitted via :meth:`add_source` (rollback path).
 
         The value index retracts exactly; the tf-idf scorer's document
         frequencies are decremented per label so corpus statistics return to
-        their pre-registration values.
+        their pre-registration values.  Unbuilt structures need no retraction
+        — their eventual build reads the already-shrunk catalog.
         """
-        self.value_index.remove_source(source.name)
-        for table in source:
-            self.scorer.remove_document(table.schema.name)
-            for attr in table.schema:
-                self.scorer.remove_document(attr.name)
+        if self._value_index is not None:
+            self._value_index.remove_source(source.name)
+        if self._scorer is not None:
+            for table in source:
+                self._scorer.remove_document(table.schema.name)
+                for attr in table.schema:
+                    self._scorer.remove_document(attr.name)
 
     # ------------------------------------------------------------------
     # Expansion

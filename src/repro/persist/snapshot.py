@@ -1,0 +1,350 @@
+"""Versioned session-snapshot payloads (the durable half of :mod:`repro.persist`).
+
+A *snapshot* is a JSON document capturing everything a
+:class:`~repro.api.service.QService` session accumulates beyond its stored
+rows: the search graph (nodes, edges with features and **their original edge
+ids**), the learned :class:`~repro.graph.features.WeightVector`, the
+:class:`~repro.profiling.index.CatalogProfileIndex`, the view registry
+(definitions plus lazy-sync state plus each synced view's expanded
+query-graph delta), the learner/feedback/registration counters, and the
+process-global edge-id counter.  Restoring a snapshot therefore skips every
+expensive cold-start step — profiling, matching, alignment — *and* restores
+the exact tie-break-relevant identifiers, which is what makes a reopened
+session answer queries byte-identically to the session that saved it.
+
+Serialization rules
+-------------------
+* **Order is data.**  Node, edge and weight insertion order is preserved
+  verbatim: dict iteration order feeds equal-cost tie-breaks, constraint
+  enumeration and future query-graph expansions, so payload lists mirror the
+  live containers exactly.
+* **Sets are canonical.**  Set-valued fields (profile value sets, tree edge
+  sets) are emitted sorted, so saving, restoring and saving again produces
+  an identical document (the fixed-point property tests rely on it).
+* **Every stored document is wrapped** in ``{"format_version", "checksum",
+  "body"}``; :func:`unwrap_document` raises a typed
+  :class:`~repro.exceptions.SnapshotError` on parse failure, checksum
+  mismatch (corruption) or an unknown format version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+from ..exceptions import SnapshotError
+from ..graph.edges import Edge, EdgeKind
+from ..graph.features import FeatureVector, WeightVector
+from ..graph.nodes import Node, NodeKind
+from ..graph.query_graph import KeywordMatch, QueryGraph
+from ..graph.search_graph import GraphConfig, SearchGraph
+from ..learning.feedback import FeedbackEvent
+from ..steiner.tree import SteinerTree
+
+#: Version of the on-disk snapshot/journal format.  Bumped on any change
+#: that an older reader could misinterpret; readers reject other versions
+#: with a typed :class:`SnapshotError`.
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Document framing (wrapping, checksums, corruption detection)
+# ----------------------------------------------------------------------
+def _checksum(body: object) -> str:
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def wrap_document(body: Dict[str, object]) -> str:
+    """Serialize ``body`` with format version and integrity checksum."""
+    try:
+        checksum = _checksum(body)
+        return json.dumps(
+            {"format_version": FORMAT_VERSION, "checksum": checksum, "body": body}
+        )
+    except (TypeError, ValueError) as exc:
+        raise SnapshotError(f"session state is not serializable: {exc}") from exc
+
+
+def unwrap_document(text: str, what: str = "snapshot") -> Dict[str, object]:
+    """Parse and verify one wrapped document; returns its body.
+
+    Raises
+    ------
+    SnapshotError
+        On malformed JSON, a missing wrapper field, a format version this
+        reader does not understand, or a checksum mismatch (corruption).
+    """
+    try:
+        document = json.loads(text)
+    except (TypeError, ValueError) as exc:
+        raise SnapshotError(f"corrupt session {what}: not valid JSON ({exc})") from exc
+    if not isinstance(document, dict) or "body" not in document:
+        raise SnapshotError(f"corrupt session {what}: missing document wrapper")
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"unsupported session {what} format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    body = document["body"]
+    if document.get("checksum") != _checksum(body):
+        raise SnapshotError(
+            f"corrupt session {what}: checksum mismatch (file was truncated or modified)"
+        )
+    return body
+
+
+# ----------------------------------------------------------------------
+# Graph elements
+# ----------------------------------------------------------------------
+def node_payload(node: Node) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "id": node.node_id,
+        "kind": node.kind.value,
+        "label": node.label,
+    }
+    if node.relation is not None:
+        payload["relation"] = node.relation
+    if node.attribute is not None:
+        payload["attribute"] = node.attribute
+    return payload
+
+
+# Value→member maps: Enum.__call__ is measurably slow on the restore hot
+# path (one lookup per node and edge of the whole graph).
+_NODE_KINDS = {kind.value: kind for kind in NodeKind}
+_EDGE_KINDS = {kind.value: kind for kind in EdgeKind}
+
+
+def restore_node(payload: Dict[str, object]) -> Node:
+    return Node(
+        node_id=payload["id"],
+        kind=_NODE_KINDS[payload["kind"]],
+        label=payload["label"],
+        relation=payload.get("relation"),
+        attribute=payload.get("attribute"),
+    )
+
+
+def _encode_metadata(metadata: Dict[str, object]) -> Dict[str, object]:
+    encoded = dict(metadata)
+    if "foreign_key" in encoded:
+        encoded["foreign_key"] = list(encoded["foreign_key"])
+    return encoded
+
+
+def _decode_metadata(metadata: Dict[str, object]) -> Dict[str, object]:
+    decoded = dict(metadata)
+    if "foreign_key" in decoded:
+        decoded["foreign_key"] = tuple(decoded["foreign_key"])
+    return decoded
+
+
+def edge_payload(edge: Edge) -> Dict[str, object]:
+    """One edge, id included — restored edges keep their original identity."""
+    payload: Dict[str, object] = {
+        "id": edge.edge_id,
+        "u": edge.u,
+        "v": edge.v,
+        "kind": edge.kind.value,
+        "features": dict(edge.features.items()),
+    }
+    if edge.fixed_cost is not None:
+        payload["fixed_cost"] = edge.fixed_cost
+    if edge.metadata:
+        payload["metadata"] = _encode_metadata(edge.metadata)
+    return payload
+
+
+def restore_edge(payload: Dict[str, object]) -> Edge:
+    return Edge(
+        edge_id=payload["id"],
+        u=payload["u"],
+        v=payload["v"],
+        kind=_EDGE_KINDS[payload["kind"]],
+        features=FeatureVector(payload.get("features") or {}),
+        fixed_cost=payload.get("fixed_cost"),
+        metadata=_decode_metadata(payload.get("metadata") or {}),
+    )
+
+
+def apply_edge_change(graph: SearchGraph, payload: Dict[str, object]) -> None:
+    """Replay a confidence-merge (in-place feature/metadata update) on an edge."""
+    edge = graph.edge(payload["id"])
+    edge.features = FeatureVector(payload.get("features") or {})
+    edge.metadata = _decode_metadata(payload.get("metadata") or {})
+
+
+# ----------------------------------------------------------------------
+# Graph / weights
+# ----------------------------------------------------------------------
+def graph_payload(graph: SearchGraph) -> Dict[str, object]:
+    """Nodes and edges of ``graph`` in insertion order (weights separate)."""
+    return {
+        "structure_version": graph.structure_version,
+        "nodes": [node_payload(node) for node in graph.nodes()],
+        "edges": [edge_payload(edge) for edge in graph.edges()],
+    }
+
+
+def restore_graph(
+    payload: Dict[str, object],
+    config: Optional[GraphConfig] = None,
+    weights: Optional[WeightVector] = None,
+) -> SearchGraph:
+    """Rebuild a graph: same nodes, same edges, same ids, same order.
+
+    ``add_node``/``add_edge`` replay in payload order, which reproduces the
+    adjacency lists exactly (they are append-ordered by edge addition).
+    The caller installs the definitive ``structure_version`` and weight
+    version afterwards — replay bumps both as a side effect.
+    """
+    graph = SearchGraph(config=config, weights=weights)
+    for node_spec in payload.get("nodes", ()):
+        graph.add_node(restore_node(node_spec))
+    for edge_spec in payload.get("edges", ()):
+        graph.add_edge(restore_edge(edge_spec))
+    graph.structure_version = payload.get("structure_version", graph.structure_version)
+    return graph
+
+
+def weights_payload(weights: WeightVector) -> Dict[str, object]:
+    return {"values": weights.as_dict(), "version": weights.version}
+
+
+def restore_weights(payload: Dict[str, object]) -> WeightVector:
+    weights = WeightVector(payload.get("values") or {})
+    weights.version = payload.get("version", 0)
+    return weights
+
+
+def graph_config_payload(config: GraphConfig) -> Dict[str, object]:
+    return {
+        "default_cost": config.default_cost,
+        "foreign_key_cost": config.foreign_key_cost,
+        "initial_matcher_weight": config.initial_matcher_weight,
+        "association_threshold": config.association_threshold,
+        "minimum_edge_cost": config.minimum_edge_cost,
+    }
+
+
+def restore_graph_config(payload: Dict[str, object]) -> GraphConfig:
+    return GraphConfig(**payload)
+
+
+# ----------------------------------------------------------------------
+# Trees and feedback events
+# ----------------------------------------------------------------------
+def tree_payload(tree: SteinerTree) -> Dict[str, object]:
+    return {
+        "edge_ids": sorted(tree.edge_ids),
+        "terminals": sorted(tree.terminals),
+        "cost": tree.cost,
+    }
+
+
+def restore_tree(payload: Dict[str, object]) -> SteinerTree:
+    return SteinerTree(
+        edge_ids=frozenset(payload["edge_ids"]),
+        terminals=frozenset(payload["terminals"]),
+        cost=payload["cost"],
+    )
+
+
+def event_payload(event: FeedbackEvent) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "terminals": list(event.terminals),
+        "target_tree": tree_payload(event.target_tree),
+    }
+    if event.demoted_tree is not None:
+        payload["demoted_tree"] = tree_payload(event.demoted_tree)
+    return payload
+
+
+def restore_event(payload: Dict[str, object]) -> FeedbackEvent:
+    demoted = payload.get("demoted_tree")
+    return FeedbackEvent(
+        terminals=tuple(payload["terminals"]),
+        target_tree=restore_tree(payload["target_tree"]),
+        demoted_tree=restore_tree(demoted) if demoted is not None else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# View query graphs (delta against the base search graph)
+# ----------------------------------------------------------------------
+def query_graph_delta_payload(
+    query_graph: QueryGraph, base_graph: SearchGraph
+) -> Dict[str, object]:
+    """The keyword/value expansion of a view, as a delta over the base graph.
+
+    Only valid for a view whose query graph was expanded against the
+    *current* base-graph structure (the service serializes a delta only for
+    views synced to the current ``structure_version``); everything the
+    expansion added — keyword nodes, lazily materialized value nodes,
+    keyword-match and value-membership edges, with their original ids — is
+    recorded so the restored view neither re-expands nor consumes fresh
+    edge ids.
+    """
+    expanded = query_graph.graph
+    return {
+        "keyword_nodes": dict(query_graph.keyword_nodes),
+        "nodes": [
+            node_payload(node)
+            for node in expanded.nodes()
+            if not base_graph.has_node(node.node_id)
+        ],
+        "edges": [
+            edge_payload(edge)
+            for edge in expanded.edges()
+            if not base_graph.has_edge(edge.edge_id)
+        ],
+        "matches": [
+            {
+                "keyword": match.keyword,
+                "node_id": match.node_id,
+                "similarity": match.similarity,
+                "mismatch_cost": match.mismatch_cost,
+                "target_kind": match.target_kind.value,
+            }
+            for match in query_graph.matches
+        ],
+    }
+
+
+def restore_query_graph(
+    payload: Dict[str, object], base_graph: SearchGraph
+) -> QueryGraph:
+    """Rebuild a view's expanded query graph from its delta payload."""
+    expanded = base_graph.copy(share_weights=True)
+    for node_spec in payload.get("nodes", ()):
+        expanded.add_node(restore_node(node_spec))
+    for edge_spec in payload.get("edges", ()):
+        expanded.add_edge(restore_edge(edge_spec))
+    return QueryGraph(
+        graph=expanded,
+        keyword_nodes=dict(payload.get("keyword_nodes") or {}),
+        matches=[
+            KeywordMatch(
+                keyword=spec["keyword"],
+                node_id=spec["node_id"],
+                similarity=spec["similarity"],
+                mismatch_cost=spec["mismatch_cost"],
+                target_kind=NodeKind(spec["target_kind"]),
+            )
+            for spec in payload.get("matches", ())
+        ],
+    )
+
+
+def empty_query_graph(base_graph: SearchGraph) -> QueryGraph:
+    """Placeholder for a restored view that must rebuild on its first read.
+
+    A view whose sync state is stale against the current graph structure
+    would discard its expansion on the next read anyway; restoring it with
+    an unexpanded copy reproduces exactly the rebuild a continuing live
+    session would perform (consuming the same edge-id sequence).
+    """
+    return QueryGraph(graph=base_graph.copy(share_weights=True))

@@ -154,6 +154,10 @@ class CatalogProfileIndex:
         """The relation's profile, or ``None`` if not indexed."""
         return self._relation_profiles.get(relation)
 
+    def profiled_relations(self) -> Tuple[str, ...]:
+        """Qualified names of all profiled relations, in indexing order."""
+        return tuple(self._relation_profiles)
+
     def profile(self, relation: str, attribute: str) -> Optional[AttributeProfile]:
         """The attribute's profile, or ``None`` if not indexed."""
         return self._attribute_profiles.get((relation, attribute))
@@ -314,7 +318,10 @@ class CatalogProfileIndex:
         profile = self._attribute_profiles.get(attr_id)
         vector: Dict[str, float] = {}
         if profile is not None and profile.value_tokens:
-            for token in profile.value_tokens:
+            # Sorted iteration fixes the float-summation order of the norm,
+            # so the vector is identical however the token set was built —
+            # scanned live or restored from a session snapshot.
+            for token in sorted(profile.value_tokens):
                 vector[token] = self.inverse_token_frequency(token)
             norm = math.sqrt(sum(w * w for w in vector.values()))
             if norm > 0.0:
@@ -353,6 +360,124 @@ class CatalogProfileIndex:
         self._pair_cache.move_to_end(key)
         while len(self._pair_cache) > _PAIR_CACHE_LIMIT:
             self._pair_cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Session persistence (see :mod:`repro.persist`)
+    # ------------------------------------------------------------------
+    def export_state(self, relations: Optional[Iterable[str]] = None) -> Dict[str, object]:
+        """JSON-compatible state of the index (optionally one relation subset).
+
+        Set-valued profile fields are emitted sorted so the payload is
+        canonical: exporting, restoring and exporting again yields an
+        identical document (the round-trip fixed point the persistence
+        property tests assert).  Posting lists and memo caches are *not*
+        serialized — they are derived state, rebuilt from the profiles on
+        :meth:`absorb_state`.
+        """
+        selected = set(relations) if relations is not None else None
+
+        def keep(relation: str) -> bool:
+            return selected is None or relation in selected
+
+        return {
+            "epoch": self.epoch,
+            "relations": [
+                {
+                    "relation": profile.relation,
+                    "attribute_names": list(profile.attribute_names),
+                    "name_token_union": sorted(profile.name_token_union),
+                    "row_count": profile.row_count,
+                }
+                for profile in self._relation_profiles.values()
+                if keep(profile.relation)
+            ],
+            "attributes": [
+                {
+                    "relation": profile.relation,
+                    "attribute": profile.attribute,
+                    "normalized_name": profile.normalized_name,
+                    "name_tokens": sorted(profile.name_tokens),
+                    "distinct_values": sorted(profile.distinct_values),
+                    "value_tokens": sorted(profile.value_tokens),
+                    "row_count": profile.row_count,
+                    "non_null_count": profile.non_null_count,
+                }
+                for profile in self._attribute_profiles.values()
+                if keep(profile.relation)
+            ],
+            "source_relations": [
+                [name, list(rels)]
+                for name, rels in self._source_relations.items()
+                if selected is None or any(rel in selected for rel in rels)
+            ],
+        }
+
+    def absorb_state(self, payload: Dict[str, object]) -> None:
+        """Fold a previously exported state into this index.
+
+        Profiles are installed verbatim (no table scan — the warm-start
+        fast path) and the posting lists are rebuilt from them; the epoch is
+        taken from the payload so dependent caches re-validate exactly as
+        they would against the original index.
+        """
+        for spec in payload.get("relations", ()):
+            relation = spec["relation"]
+            names = tuple(spec["attribute_names"])
+            self._relation_profiles[relation] = RelationProfile(
+                relation=relation,
+                attribute_names=names,
+                name_token_union=frozenset(spec["name_token_union"]),
+                fingerprint=(relation, names),
+                row_count=spec["row_count"],
+            )
+        for spec in payload.get("attributes", ()):
+            profile = AttributeProfile(
+                relation=spec["relation"],
+                attribute=spec["attribute"],
+                normalized_name=spec["normalized_name"],
+                name_tokens=frozenset(spec["name_tokens"]),
+                distinct_values=frozenset(spec["distinct_values"]),
+                value_tokens=frozenset(spec["value_tokens"]),
+                row_count=spec["row_count"],
+                non_null_count=spec["non_null_count"],
+            )
+            attr_id = profile.attr_id
+            self._attribute_profiles[attr_id] = profile
+            for value in profile.distinct_values:
+                self._value_postings.setdefault(value, set()).add(attr_id)
+            for token in profile.value_tokens:
+                self._token_postings.setdefault(token, set()).add(attr_id)
+        for name, rels in payload.get("source_relations", ()):
+            relations = self._source_relations.setdefault(name, [])
+            for relation in rels:
+                if relation not in relations:
+                    relations.append(relation)
+        if "epoch" in payload:
+            self.epoch = payload["epoch"]
+
+    @classmethod
+    def from_state(cls, payload: Dict[str, object]) -> "CatalogProfileIndex":
+        """Rebuild an index from :meth:`export_state` output (no data scan)."""
+        index = cls()
+        index.absorb_state(payload)
+        return index
+
+    def rebind_tables(self, catalog: Catalog) -> None:
+        """Point the staleness bookkeeping at ``catalog``'s live tables.
+
+        After a restore, profiles describe data that is now served by
+        freshly (re)opened :class:`Table` objects; binding their identity
+        and current version makes :meth:`is_current` checks behave exactly
+        as on the session that wrote the snapshot.
+        """
+        from ..exceptions import UnknownRelationError
+
+        for relation in self._relation_profiles:
+            try:
+                table = catalog.relation(relation)
+            except UnknownRelationError:
+                continue
+            self._table_versions[relation] = (table, table.version)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -76,6 +76,13 @@ class StorageBackend(ABC):
     #: queries) down to the backend as SQL.
     supports_sql_pushdown: bool = False
 
+    #: Whether the backend can host the durable session snapshot/journal
+    #: next to the relation data (see :mod:`repro.persist`).  When ``True``
+    #: the backend must expose ``execute_sql`` and ``execute_write`` so the
+    #: session store can manage its ``_repro_session_*`` tables; sessions on
+    #: backends without this capability persist to a sidecar file instead.
+    supports_session_store: bool = False
+
     # ------------------------------------------------------------------
     # Relation lifecycle
     # ------------------------------------------------------------------

@@ -131,6 +131,7 @@ class SqliteBackend(StorageBackend):
 
     kind = "sqlite"
     supports_sql_pushdown = True
+    supports_session_store = True
 
     def __init__(self, path: "str | os.PathLike[str]" = ":memory:") -> None:
         self.path = str(path)
@@ -466,6 +467,35 @@ class SqliteBackend(StorageBackend):
         """Run one parameterized read-only statement (the pushdown hook)."""
         with self._lock:
             return self._conn.execute(sql, list(params)).fetchall()
+
+    def execute_write(self, sql: str, params: Sequence[object] = ()) -> None:
+        """Run one parameterized write statement in its own transaction.
+
+        Used by the session store (:mod:`repro.persist.store`) to maintain
+        its ``_repro_session_*`` tables inside the catalog database; those
+        tables are invisible to the relation bookkeeping (they are never
+        recorded in ``_repro_relations``).
+        """
+        self.execute_write_batch([(sql, params)])
+
+    def execute_write_batch(
+        self, statements: Sequence[Tuple[str, Sequence[object]]]
+    ) -> None:
+        """Run several write statements in **one** transaction.
+
+        All-or-nothing: the session store pairs a snapshot replace with its
+        journal truncation here, so a crash between the two can never leave
+        a fresh snapshot with the previous checkpoint's journal.
+        """
+        with self._lock:
+            with self._conn:
+                for sql, params in statements:
+                    self._conn.execute(sql, list(params))
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released the underlying connection."""
+        return self._closed
 
     # ------------------------------------------------------------------
     # Catalog metadata persistence

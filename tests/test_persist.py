@@ -1,0 +1,578 @@
+"""Durable sessions: save/open round trips, journaling, and replay parity.
+
+The acceptance gate of :mod:`repro.persist`: a session saved after the
+fig6-style replay (registration + feedback + views) must reopen from disk
+with **byte-identical** answers, provenance and correspondence edges on both
+storage backends — and reopening must be deterministic *without* the
+hand-reset of the process-global edge-id counter the storage parity tests
+need for independently built sessions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    FeedbackRequest,
+    QService,
+    QueryRequest,
+    RegisterSourceRequest,
+    ServiceConfig,
+    SnapshotError,
+)
+from repro.datastore import DataSource
+from repro.datastore.csvio import source_from_dict, source_to_dict
+from repro.matching import MetadataMatcher, ValueOverlapMatcher
+
+BACKEND_SPECS = ("memory", "sqlite")
+
+
+def clone_source(source: DataSource) -> DataSource:
+    return source_from_dict(source_to_dict(source))
+
+
+def mini_sources():
+    go = DataSource.build(
+        "go",
+        {"term": ["acc", "name"]},
+        data={
+            "term": [
+                ("GO:0001", "plasma membrane"),
+                ("GO:0002", "nucleus"),
+                (" GO:0003 ", "plasma membrane transport"),
+                (None, "orphan"),
+            ]
+        },
+    )
+    interpro = DataSource.build(
+        "interpro",
+        {"interpro2go": ["go_id", "entry_ac"]},
+        data={
+            "interpro2go": [
+                ("GO:0001", "IPR001"),
+                ("GO:0003", "IPR003"),
+                ("GO:0002", "IPR002"),
+                ("GO:0001", "IPR004"),
+            ]
+        },
+    )
+    return [go, interpro]
+
+
+def answer_fingerprint(answers):
+    """Everything observable about a ranked answer list, order included."""
+    result = []
+    for answer in answers:
+        provenance = answer.provenance
+        result.append(
+            (
+                tuple(answer.values.items()),
+                answer.cost,
+                None
+                if provenance is None
+                else (
+                    provenance.query_id,
+                    provenance.query_cost,
+                    tuple(sorted(provenance.base_tuples)),
+                ),
+            )
+        )
+    return result
+
+
+def graph_fingerprint(graph):
+    """Edges (ids, kinds, features, metadata) + weights, order included."""
+    return (
+        [
+            (e.edge_id, e.kind.value, dict(e.features.items()), repr(e.metadata))
+            for e in graph.edges()
+        ],
+        [n.node_id for n in graph.nodes()],
+        graph.weights.as_dict(),
+        graph.weights.version,
+        graph.structure_version,
+    )
+
+
+def read(service, view_ref):
+    return answer_fingerprint(
+        list(service.stream_answers(QueryRequest(view=view_ref)))
+    )
+
+
+def session_location(kind, tmp_path):
+    """Backend spec + save/open location for one parameterized round trip."""
+    if kind == "sqlite":
+        db = tmp_path / "session.db"
+        return f"sqlite:{db}", None, db
+    path = tmp_path / "session.json"
+    return None, path, path
+
+
+def build_session(kind, tmp_path, sources=None):
+    backend, save_path, location = session_location(kind, tmp_path)
+    service = QService(
+        sources=sources if sources is not None else mini_sources(),
+        matchers=[ValueOverlapMatcher(min_confidence=0.3, min_shared_values=2)],
+        config=ServiceConfig(top_k=5, top_y=1),
+        backend=backend,
+    )
+    return service, save_path, location
+
+
+# ----------------------------------------------------------------------
+# Round-trip parity (the replay acceptance gate)
+# ----------------------------------------------------------------------
+class TestRoundTripParity:
+    @pytest.mark.parametrize("kind", BACKEND_SPECS)
+    def test_full_session_replay_parity(self, kind, tmp_path):
+        """Registration + feedback + views survive close/reopen byte-identically."""
+        sources = mini_sources()
+        service, save_path, location = build_session(
+            kind, tmp_path, sources=[sources[0]]
+        )
+        service.bootstrap_alignments()
+        info = service.create_view(QueryRequest(keywords=("plasma", "IPR001")))
+        service.register_source(
+            RegisterSourceRequest(source=sources[1], strategy="exhaustive")
+        )
+        answers = list(service.stream_answers(QueryRequest(view=info.view_id)))
+        assert answers, "workload produced no answers — parity would be vacuous"
+        service.feedback(FeedbackRequest(view=info.view_id, answer=answers[0]))
+        live = read(service, info.view_id)
+        live_graph = graph_fingerprint(service.graph)
+        service.save(save_path)
+        service.close()
+
+        reopened = QService.open(location)
+        assert read(reopened, info.view_id) == live
+        assert graph_fingerprint(reopened.graph) == live_graph
+        stats = reopened.stats()
+        assert stats.snapshot_version == 1
+        assert stats.registrations == 1
+        assert stats.feedback_events == 1
+        assert stats.sources == 2
+        reopened.close()
+
+    @pytest.mark.parametrize("kind", BACKEND_SPECS)
+    def test_reopen_is_deterministic_without_counter_reset(self, kind, tmp_path):
+        """Two opens of one file answer a *new* query identically.
+
+        The snapshot carries the process-global edge-id counter, so each
+        open restarts id allocation at the saved position — no by-hand
+        ``edges._edge_counter`` reset required for replay parity.
+        """
+        service, save_path, location = build_session(kind, tmp_path)
+        service.bootstrap_alignments()
+        service.create_view(QueryRequest(keywords=("plasma", "IPR001")))
+        service.save(save_path)
+        service.close()
+
+        first = QService.open(location)
+        first_new = answer_fingerprint(
+            list(first.stream_answers(QueryRequest(keywords=("membrane", "IPR003"))))
+        )
+        first_trees = [
+            (t.cost, tuple(sorted(t.edge_ids)))
+            for t in first.views.latest().view.state.trees
+        ]
+        first.close()
+        second = QService.open(location)
+        second_new = answer_fingerprint(
+            list(second.stream_answers(QueryRequest(keywords=("membrane", "IPR003"))))
+        )
+        second_trees = [
+            (t.cost, tuple(sorted(t.edge_ids)))
+            for t in second.views.latest().view.state.trees
+        ]
+        second.close()
+        assert first_new == second_new
+        assert first_trees == second_trees
+        assert first_trees, "new query solved no trees — determinism check vacuous"
+
+    def test_restored_view_ids_continue_sequence(self, tmp_path):
+        service, save_path, _ = build_session("memory", tmp_path)
+        service.bootstrap_alignments()
+        info = service.create_view(QueryRequest(keywords=("plasma", "IPR001")))
+        assert info.view_id == "view-0001"
+        service.save(save_path)
+
+        reopened = QService.open(save_path)
+        restored = reopened.view_info(info.view_id)
+        assert restored.view_id == "view-0001"
+        assert restored.keywords == ("plasma", "IPR001")
+        next_info = reopened.create_view(QueryRequest(keywords=("nucleus", "IPR002")))
+        assert next_info.view_id == "view-0002"
+
+    def test_stale_view_rebuilds_identically_on_both_sides(self, tmp_path):
+        """A view left stale at save time rebuilds on read — same on reopen."""
+        sources = mini_sources()
+        service, save_path, _ = build_session("memory", tmp_path, sources=[sources[0]])
+        service.bootstrap_alignments()
+        info = service.create_view(QueryRequest(keywords=("plasma", "IPR001")))
+        # Structural mutation *after* the view's last sync, then save without
+        # reading: the view is stale in the snapshot.
+        service.register_source(
+            RegisterSourceRequest(source=sources[1], strategy="exhaustive")
+        )
+        service.save(save_path)
+
+        live = read(service, info.view_id)  # live rebuilds, consuming edge ids
+        # Opening restores the edge-id counter to the saved position, so the
+        # restored rebuild allocates exactly the ids the live rebuild did.
+        reopened = QService.open(save_path)
+        restored = read(reopened, info.view_id)
+        assert restored == live
+        assert live, "stale-view rebuild produced no answers — check workload"
+
+
+# ----------------------------------------------------------------------
+# fig6 / fig8 replay acceptance: the full workloads survive a round trip
+# ----------------------------------------------------------------------
+class TestReplayAcceptance:
+    @pytest.mark.parametrize("kind", BACKEND_SPECS)
+    def test_fig6_replay_round_trip(self, gbco_dataset, kind, tmp_path):
+        """Registration + feedback + views on the GBCO fig6 workload."""
+        trial = list(gbco_dataset.query_log)[0]
+        excluded = {relation.split(".")[0] for relation in trial.new_relations}
+        backend, save_path, location = session_location(kind, tmp_path)
+        service = QService(
+            sources=[
+                clone_source(source)
+                for source in gbco_dataset.catalog
+                if source.name not in excluded
+            ],
+            matchers=[ValueOverlapMatcher(min_confidence=0.6, min_shared_values=5)],
+            config=ServiceConfig(top_k=5, top_y=1),
+            backend=backend,
+        )
+        service.bootstrap_alignments()
+        info = service.create_view(QueryRequest(keywords=tuple(trial.keywords)))
+        for relation in trial.new_relations:
+            source_name = relation.split(".")[0]
+            service.register_source(
+                RegisterSourceRequest(
+                    source=clone_source(gbco_dataset.catalog.source(source_name)),
+                    strategy="view_based",
+                    matcher=MetadataMatcher(),
+                )
+            )
+        answers = list(service.stream_answers(QueryRequest(view=info.view_id)))
+        assert answers, "fig6 replay produced no answers — parity would be vacuous"
+        service.feedback(FeedbackRequest(view=info.view_id, answer=answers[0]))
+        live = read(service, info.view_id)
+        live_graph = graph_fingerprint(service.graph)
+        service.save(save_path)
+        service.close()
+
+        reopened = QService.open(location)
+        # Byte-identical answers, provenance and correspondence edges.
+        assert read(reopened, info.view_id) == live
+        assert graph_fingerprint(reopened.graph) == live_graph
+        profiles = reopened.profile_index
+        assert profiles.export_state() == service.profile_index.export_state()
+        reopened.close()
+
+    def test_fig8_grown_catalog_round_trip(self, tmp_path):
+        """A fig8-style grown catalog (synthetic sources wired directly into
+        catalog + graph, bypassing the service API) is still captured by the
+        shadow-diff save and restored byte-identically."""
+        from repro.datasets import build_gbco, grow_catalog_and_graph
+
+        gbco = build_gbco(rows_per_relation=10)
+        trial = list(gbco.query_log)[0]
+        excluded = {relation.split(".")[0] for relation in trial.new_relations}
+        service = QService(
+            sources=[
+                clone_source(source)
+                for source in gbco.catalog
+                if source.name not in excluded
+            ],
+            matchers=[ValueOverlapMatcher(min_confidence=0.6, min_shared_values=5)],
+            config=ServiceConfig(top_k=5, top_y=1),
+        )
+        service.bootstrap_alignments()
+        grow_catalog_and_graph(
+            service.catalog, service.graph, target_source_count=30, seed=30
+        )
+        info = service.create_view(QueryRequest(keywords=tuple(trial.keywords)))
+        live = read(service, info.view_id)
+        assert live, "fig8 replay produced no answers — parity would be vacuous"
+        service.save(tmp_path / "fig8.json")
+
+        reopened = QService.open(tmp_path / "fig8.json")
+        assert reopened.catalog.source_count == 30
+        assert read(reopened, info.view_id) == live
+        assert graph_fingerprint(reopened.graph) == graph_fingerprint(service.graph)
+
+
+# ----------------------------------------------------------------------
+# Journal behavior: incremental saves, compaction, expressiveness limits
+# ----------------------------------------------------------------------
+class TestJournal:
+    @pytest.mark.parametrize("kind", BACKEND_SPECS)
+    def test_second_save_appends_then_replays(self, kind, tmp_path):
+        service, save_path, location = build_session(kind, tmp_path)
+        service.bootstrap_alignments()
+        info = service.create_view(QueryRequest(keywords=("plasma", "IPR001")))
+        first = service.save(save_path)
+        assert first.action == "snapshot" and first.snapshot_version == 1
+
+        answers = list(service.stream_answers(QueryRequest(view=info.view_id)))
+        service.feedback(FeedbackRequest(view=info.view_id, answer=answers[0]))
+        live = read(service, info.view_id)
+        second = service.save()
+        assert second.action == "append"
+        assert second.snapshot_version == 1
+        assert second.journal_entries == 1
+        service.close()
+
+        reopened = QService.open(location)
+        assert read(reopened, info.view_id) == live
+        assert reopened.stats().journal_entries == 1
+        reopened.close()
+
+    def test_noop_save_reports_noop(self, tmp_path):
+        service, save_path, _ = build_session("memory", tmp_path)
+        service.save(save_path)
+        report = service.save()
+        assert report.action == "noop"
+        assert report.journal_entries == 0
+
+    def test_compaction_folds_journal_into_snapshot(self, tmp_path):
+        service, save_path, _ = build_session("memory", tmp_path)
+        service.config.journal_compact_after = 2
+        service.bootstrap_alignments()
+        info = service.create_view(QueryRequest(keywords=("plasma", "IPR001")))
+        service.save(save_path)
+        actions = []
+        for _ in range(3):
+            answers = list(service.stream_answers(QueryRequest(view=info.view_id)))
+            service.feedback(FeedbackRequest(view=info.view_id, answer=answers[0]))
+            actions.append(service.save())
+        assert [r.action for r in actions] == ["append", "append", "snapshot"]
+        assert actions[-1].compacted
+        assert actions[-1].snapshot_version == 2
+        assert actions[-1].journal_entries == 0
+        live = read(service, info.view_id)
+        reopened = QService.open(save_path)
+        assert read(reopened, info.view_id) == live
+        assert reopened.stats().snapshot_version == 2
+
+    def test_explicit_compact_flag(self, tmp_path):
+        service, save_path, _ = build_session("memory", tmp_path)
+        service.save(save_path)
+        service.create_view(QueryRequest(keywords=("plasma", "IPR001")))
+        report = service.save(compact=True)
+        assert report.action == "snapshot" and report.compacted
+
+    def test_row_mutation_forces_snapshot_on_sidecar_store(self, tmp_path):
+        """Appended rows of an existing relation cannot ride in a delta when
+        the store holds no row data — the save must compact instead."""
+        service, save_path, _ = build_session("memory", tmp_path)
+        service.save(save_path)
+        service.catalog.relation("go.term").append(("GO:0009", "golgi apparatus"))
+        report = service.save()
+        assert report.action == "snapshot" and report.compacted
+        reopened = QService.open(save_path)
+        assert len(reopened.catalog.relation("go.term")) == 5
+
+    def test_remove_source_is_journaled(self, tmp_path):
+        sources = mini_sources()
+        service, save_path, _ = build_session("memory", tmp_path, sources=sources)
+        service.bootstrap_alignments()
+        service.save(save_path)
+        service.remove_source("interpro")
+        report = service.save()
+        assert report.action == "append"
+        reopened = QService.open(save_path)
+        assert set(reopened.catalog.source_names()) == {"go"}
+        assert not any(
+            (node.relation or "").startswith("interpro.")
+            for node in reopened.graph.nodes()
+        )
+        assert not reopened.profile_index.has_relation("interpro.interpro2go")
+
+    def test_registration_after_snapshot_is_journaled(self, tmp_path):
+        sources = mini_sources()
+        service, save_path, _ = build_session("memory", tmp_path, sources=[sources[0]])
+        service.bootstrap_alignments()
+        service.save(save_path)
+        service.register_source(
+            RegisterSourceRequest(source=sources[1], strategy="exhaustive")
+        )
+        report = service.save()
+        assert report.action == "append"
+        live_graph = graph_fingerprint(service.graph)
+        reopened = QService.open(save_path)
+        assert graph_fingerprint(reopened.graph) == live_graph
+        assert set(reopened.catalog.source_names()) == {"go", "interpro"}
+        assert reopened.profile_index.has_relation("interpro.interpro2go")
+        # The journal carried the rows (sidecar stores hold no row data).
+        assert len(reopened.catalog.relation("interpro.interpro2go")) == 4
+
+
+# ----------------------------------------------------------------------
+# Autosave and close semantics
+# ----------------------------------------------------------------------
+class TestAutosaveAndClose:
+    def test_autosave_path_checkpoints_every_mutation(self, tmp_path):
+        path = tmp_path / "auto.json"
+        service = QService(
+            sources=mini_sources(),
+            matchers=[ValueOverlapMatcher(min_confidence=0.3, min_shared_values=2)],
+            autosave=path,
+        )
+        service.bootstrap_alignments()
+        assert path.exists(), "autosave did not write on first mutation"
+        info = service.create_view(QueryRequest(keywords=("plasma", "IPR001")))
+        live = read(service, info.view_id)
+        # No explicit save: the checkpoint happened inside create_view.
+        reopened = QService.open(path)
+        assert read(reopened, info.view_id) == live
+
+    def test_autosave_true_requires_session_capable_backend(self, tmp_path):
+        db = tmp_path / "auto.db"
+        service = QService(
+            sources=mini_sources(), backend=f"sqlite:{db}", autosave=True
+        )
+        service.bootstrap_alignments()
+        assert service.stats().snapshot_version == 1
+        service.close()
+        reopened = QService.open(db)
+        assert reopened.stats().sources == 2
+        reopened.close()
+
+        # Rejected at construction (not after a mutation already applied):
+        # autosave=True has nowhere to write on a memory-backed catalog.
+        with pytest.raises(SnapshotError):
+            QService(sources=mini_sources(), backend="memory", autosave=True)
+
+    def test_close_flushes_pending_changes(self, tmp_path):
+        db = tmp_path / "session.db"
+        service = QService(
+            sources=mini_sources(),
+            matchers=[ValueOverlapMatcher(min_confidence=0.3, min_shared_values=2)],
+            backend=f"sqlite:{db}",
+        )
+        service.bootstrap_alignments()
+        service.save()
+        info = service.create_view(QueryRequest(keywords=("plasma", "IPR001")))
+        live = read(service, info.view_id)
+        service.close()  # must flush the unsaved view
+        reopened = QService.open(db)
+        assert read(reopened, info.view_id) == live
+        reopened.close()
+
+    def test_unsaved_session_closes_without_persisting(self, tmp_path):
+        db = tmp_path / "session.db"
+        service = QService(sources=mini_sources(), backend=f"sqlite:{db}")
+        service.create_view(QueryRequest(keywords=("plasma", "IPR001")))
+        service.close()  # never saved: pre-persistence behavior
+        with pytest.raises(SnapshotError):
+            QService.open(db)
+
+    def test_close_is_idempotent_after_save(self, tmp_path):
+        db = tmp_path / "session.db"
+        service = QService(sources=mini_sources(), backend=f"sqlite:{db}")
+        service.save()
+        service.close()
+        service.close()  # must not raise on the closed connection
+
+    def test_failed_open_leaves_catalog_database_untouched(self, tmp_path):
+        """Opening a catalog-only database must not create session tables."""
+        import sqlite3
+
+        db = tmp_path / "catalog-only.db"
+        service = QService(sources=mini_sources(), backend=f"sqlite:{db}")
+        service.close()  # rows persisted, but no session ever saved
+        with pytest.raises(SnapshotError):
+            QService.open(db)
+        with sqlite3.connect(db) as conn:
+            names = {
+                name
+                for (name,) in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+        assert not any(name.startswith("_repro_session") for name in names)
+
+    def test_stale_journal_from_interrupted_compaction_is_discarded(self, tmp_path):
+        """Crash-consistency: a sidecar journal left over from before a
+        compaction (snapshot replaced, truncate lost) must not replay."""
+        service, save_path, _ = build_session("memory", tmp_path)
+        service.bootstrap_alignments()
+        info = service.create_view(QueryRequest(keywords=("plasma", "IPR001")))
+        service.save(save_path)
+        answers = list(service.stream_answers(QueryRequest(view=info.view_id)))
+        service.feedback(FeedbackRequest(view=info.view_id, answer=answers[0]))
+        live = read(service, info.view_id)
+        service.save()  # one journal entry after snapshot v1
+        journal = save_path.parent / (save_path.name + ".journal")
+        stale = journal.read_text()
+        service.save(compact=True)  # snapshot v2, journal truncated
+        journal.write_text(stale)  # simulate the lost truncation
+        reopened = QService.open(save_path)
+        assert reopened.stats().snapshot_version == 2
+        assert read(reopened, info.view_id) == live
+
+
+# ----------------------------------------------------------------------
+# Error surface
+# ----------------------------------------------------------------------
+class TestErrors:
+    def test_memory_save_without_path(self):
+        service = QService(sources=mini_sources(), backend="memory")
+        with pytest.raises(SnapshotError):
+            service.save()
+
+    def test_save_cannot_be_retargeted(self, tmp_path):
+        service, save_path, _ = build_session("memory", tmp_path)
+        service.save(save_path)
+        with pytest.raises(SnapshotError):
+            service.save(tmp_path / "elsewhere.json")
+
+    def test_open_missing_location(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            QService.open(tmp_path / "never-written.json")
+        with pytest.raises(SnapshotError):
+            QService.open()
+
+    def test_open_database_without_session(self, tmp_path):
+        db = tmp_path / "bare.db"
+        service = QService(sources=mini_sources(), backend=f"sqlite:{db}")
+        service.close()
+        with pytest.raises(SnapshotError):
+            QService.open(db)
+
+    def test_matchers_override_on_open(self, tmp_path):
+        service, save_path, _ = build_session("memory", tmp_path)
+        service.save(save_path)
+        reopened = QService.open(save_path, matchers=[MetadataMatcher()])
+        assert isinstance(reopened.matchers[0], MetadataMatcher)
+        # Default restore installs the standard stack.
+        again = QService.open(save_path)
+        assert len(again.matchers) == 2
+
+    def test_config_survives_round_trip(self, tmp_path):
+        config = ServiceConfig(top_k=3, top_y=1, answer_limit=17, default_page_size=4)
+        config.graph.foreign_key_cost = 0.25
+        service = QService(sources=mini_sources(), config=config)
+        service.save(tmp_path / "s.json")
+        reopened = QService.open(tmp_path / "s.json")
+        assert reopened.config.top_k == 3
+        assert reopened.config.answer_limit == 17
+        assert reopened.config.default_page_size == 4
+        assert reopened.config.graph.foreign_key_cost == 0.25
+        assert reopened.graph.config.foreign_key_cost == 0.25
+
+    def test_sidecar_contains_catalog_rows(self, tmp_path):
+        """The sidecar file is self-contained: schema + rows + session."""
+        service, save_path, _ = build_session("memory", tmp_path)
+        service.save(save_path)
+        document = json.loads(save_path.read_text())
+        sources = document["body"]["catalog"]["sources"]
+        assert {spec["name"] for spec in sources} == {"go", "interpro"}
+        assert sources[0]["relations"]["term"]["rows"]
