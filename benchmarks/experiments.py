@@ -298,6 +298,14 @@ def run_gbco_alignment_experiment(
                     preferential_budget,
                 )
         timings["registration_seconds"] += time.perf_counter() - registration_start
+    if profile_index is not None:
+        # Registration observability: the profile index's candidate-tier and
+        # memo counters, surfaced in the benchmark reports.
+        timings["sketch_candidates"] = profile_index.sketch_candidates_generated
+        timings["exact_candidates"] = profile_index.exact_candidates_kept
+        timings["pair_cache_hits"] = profile_index.pair_cache_hits
+        timings["pair_cache_misses"] = profile_index.pair_cache_misses
+        timings["pair_memo_entries"] = profile_index.pair_memo_size
     return measurements
 
 

@@ -67,11 +67,25 @@ def _run_pipeline(pipeline: str, rows: int, trials) -> Dict[str, object]:
         rows_per_relation=rows, trials=trials, pipeline=pipeline, timings=timings
     )
     wall = time.perf_counter() - start
+    # Registration observability counters (indexed pipeline only): the
+    # profile index's candidate-tier and pair-memo statistics.
+    counters = {
+        key: timings[key]
+        for key in (
+            "sketch_candidates",
+            "exact_candidates",
+            "pair_cache_hits",
+            "pair_cache_misses",
+            "pair_memo_entries",
+        )
+        if key in timings
+    }
     return {
         "wall_seconds": round(wall, 4),
         "setup_seconds": round(timings["setup_seconds"], 4),
         "registration_seconds": round(timings["registration_seconds"], 4),
         "index_build_seconds": round(timings["index_build_seconds"], 4),
+        **({"profile_index_counters": counters} if counters else {}),
         "strategies": {
             name: {
                 "avg_time_ms": round(m.avg_time_ms, 3),

@@ -8,15 +8,20 @@ Public API
   neighborhood of an existing view's keywords (lossless pruning).
 * :class:`PreferentialAligner` — Algorithm 3: follow a preference prior over
   existing relations, within a budget.
+* :class:`ProfileBlockedAligner` — index-driven pruning: only relations the
+  profile index's (tiered) candidate generation proposes are matched.
 * :class:`SourceRegistrar` — the registration service that wires a new
   source into the catalog, search graph and aligner.
 * :class:`AlignmentResult`, :func:`install_associations`,
-  :func:`prior_from_weights` — shared plumbing.
+  :func:`prior_from_weights`, :func:`score_pairs` — shared plumbing
+  (including the deterministic parallel scoring pool).
 """
 
 from .base import AlignmentResult, BaseAligner, install_associations
 from .exhaustive import ExhaustiveAligner
+from .parallel import chunk_evenly, clone_matcher, resolve_workers, score_pairs
 from .preferential import PreferentialAligner, prior_from_weights
+from .profile_blocked import ProfileBlockedAligner
 from .registration import RegistrationRecord, SourceRegistrar
 from .view_based import ViewBasedAligner
 
@@ -25,9 +30,14 @@ __all__ = [
     "BaseAligner",
     "ExhaustiveAligner",
     "PreferentialAligner",
+    "ProfileBlockedAligner",
     "RegistrationRecord",
     "SourceRegistrar",
     "ViewBasedAligner",
+    "chunk_evenly",
+    "clone_matcher",
     "install_associations",
     "prior_from_weights",
+    "resolve_workers",
+    "score_pairs",
 ]

@@ -22,6 +22,7 @@ from ..graph.search_graph import SearchGraph
 from ..matching.base import BaseMatcher, Correspondence, merge_correspondences, top_y_per_attribute
 from ..matching.value_overlap import ValueOverlapFilter
 from ..profiling.index import CatalogProfileIndex
+from .parallel import POOL_THREAD, PairTask, score_pairs
 
 
 @dataclass
@@ -48,6 +49,11 @@ class AlignmentResult:
         The existing relations the strategy chose to compare against.
     elapsed_seconds:
         Wall-clock time of the alignment (the metric of Figure 6).
+    pairs_scored:
+        Number of relation pairs the base matcher was actually invoked on
+        (pairs surviving the comparison count, i.e. the pool's work items).
+    pool_workers:
+        Number of pool workers that scored those pairs (1 = serial path).
     """
 
     strategy: str
@@ -58,6 +64,8 @@ class AlignmentResult:
     attribute_comparisons: int = 0
     candidate_relations: List[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    pairs_scored: int = 0
+    pool_workers: int = 1
 
 
 class BaseAligner(abc.ABC):
@@ -84,6 +92,10 @@ class BaseAligner(abc.ABC):
         the matcher when the matcher supports one and has none attached, so
         every strategy pulls candidate pairs and table profiles from the
         same incrementally maintained index.
+
+    Parallelism is configured post-construction (``aligner.workers`` /
+    ``aligner.pool`` — see :mod:`repro.alignment.parallel`); the defaults
+    keep every strategy on the serial path.
     """
 
     #: Strategy name, overridden by subclasses.
@@ -102,6 +114,10 @@ class BaseAligner(abc.ABC):
         self.value_filter = value_filter
         self.count_only = count_only
         self.profile_index = profile_index
+        #: Matcher-scoring pool size (1 = serial) and pool kind; see
+        #: :func:`repro.alignment.parallel.score_pairs`.
+        self.workers = 1
+        self.pool = POOL_THREAD
         if profile_index is not None and getattr(matcher, "profile_index", "unsupported") is None:
             matcher.profile_index = profile_index
 
@@ -131,8 +147,11 @@ class BaseAligner(abc.ABC):
         candidates = self.candidate_relations(graph, catalog, new_source)
         result.candidate_relations = list(candidates)
         new_tables = list(new_source.tables())
-        correspondences: List[Correspondence] = []
 
+        # Comparison counting stays in this thread (race-free Figure 7/8
+        # instrumentation); the surviving pairs become the pool's work list,
+        # in exactly the order the serial loop would have scored them.
+        pair_tasks: List[PairTask] = []
         for qualified_relation in candidates:
             try:
                 existing_table = catalog.relation(qualified_relation)
@@ -147,13 +166,19 @@ class BaseAligner(abc.ABC):
                 result.relation_pairs_considered += 1
                 result.attribute_comparisons += comparisons
                 if not self.count_only:
-                    correspondences.extend(
-                        self.matcher.match_relations(new_table, existing_table)
-                    )
+                    pair_tasks.append((new_table, existing_table))
 
         if not self.count_only:
+            correspondences, workers_used = score_pairs(
+                self.matcher, pair_tasks, workers=self.workers, pool=self.pool
+            )
+            result.pairs_scored = len(pair_tasks)
+            result.pool_workers = workers_used
             retained = top_y_per_attribute(correspondences, self.top_y)
             result.correspondences = retained
+            # Edge installation (and with it edge id allocation) is strictly
+            # serial, after the parallel join — a precondition of the
+            # byte-identical-to-serial guarantee.
             result.edges_added = install_associations(graph, retained)
         result.elapsed_seconds = time.perf_counter() - start
         return result

@@ -1,0 +1,211 @@
+"""Deterministic parallel scoring of relation-pair matcher work.
+
+Matcher scores are pure functions of the two relations' profiles (paper
+Section 3.2 treats matchers as black boxes over a relation pair), so the
+per-pair work of an alignment is embarrassingly parallel.  What is *not*
+free is determinism: registration must produce byte-identical accepted
+correspondences — and therefore identical association edge ids — whether
+it ran on one worker or eight.  This module provides that guarantee by
+construction:
+
+* the pair list is split into **contiguous chunks**, one per worker, and
+  the chunk results are concatenated **in chunk order** — the flattened
+  correspondence stream is exactly the serial loop's stream;
+* each worker scores its chunk on its **own matcher clone** with a fresh
+  :class:`~repro.matching.base.ComparisonCounter`, so the Figure 7/8
+  instrumentation never races; clone counters are summed back into the
+  caller's matcher after the join;
+* edge installation stays in the caller's thread (aligners install edges
+  only after :func:`score_pairs` returns), so graph mutation — and with it
+  edge id allocation — remains strictly serial.
+
+``pool="thread"`` (the default) shares the profile index across workers:
+candidate maps and tf-idf vectors are epoch-memoized pure values, so a
+duplicated first computation is wasted work, never wrong work.
+``pool="process"`` sidesteps the GIL for CPU-bound matchers but requires
+the matcher and both tables of every pair to pickle; live storage-backend
+handles usually don't, so the process path probes picklability first and
+falls back to threads instead of failing registration.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import List, Sequence, Tuple
+
+from ..datastore.table import Table
+from ..matching.base import BaseMatcher, ComparisonCounter, Correspondence
+
+#: One unit of scoring work: (new relation's table, existing relation's table).
+PairTask = Tuple[Table, Table]
+
+POOL_THREAD = "thread"
+POOL_PROCESS = "process"
+_POOLS = (POOL_THREAD, POOL_PROCESS)
+
+
+def resolve_workers(workers: object) -> int:
+    """Normalize a worker-count knob: ``0``/``None``/``"auto"`` → CPU count."""
+    if workers in (None, 0, "auto"):
+        return max(os.cpu_count() or 1, 1)
+    count = int(workers)  # type: ignore[arg-type]
+    if count < 1:
+        raise ValueError(f"workers must be >= 1 (or 0/'auto'), got {workers!r}")
+    return count
+
+
+def clone_matcher(matcher: BaseMatcher) -> BaseMatcher:
+    """A shallow matcher clone with its own comparison counter.
+
+    Shallow is the point: clones share the (read-mostly) profile index and
+    configuration, and differ only in the mutable instrumentation, so
+    scoring on a clone is observably identical to scoring on the original.
+    """
+    clone = copy.copy(matcher)
+    clone.counter = ComparisonCounter()
+    return clone
+
+
+def _index_free_parity(matcher: BaseMatcher) -> bool:
+    """Whether dropping the profile index cannot change the matcher's scores.
+
+    True for matchers whose index is a pure cache (see
+    :attr:`~repro.matching.base.BaseMatcher.index_result_dependent`);
+    ensembles qualify only when every member does.
+    """
+    if getattr(matcher, "index_result_dependent", False):
+        return False
+    members = getattr(matcher, "matchers", None)
+    if members:
+        return all(not getattr(m, "index_result_dependent", False) for m in members)
+    return True
+
+
+def detach_profile_index(matcher: BaseMatcher) -> BaseMatcher:
+    """Clone ``matcher`` without its profile index (members included).
+
+    The process pool pickles each payload, and a shared profile index can
+    dwarf the actual work — at 10k relations it is the whole catalog's
+    posting lists, shipped once per chunk.  Workers score from the tables
+    instead; only call this when :func:`_index_free_parity` holds.
+    """
+    clone = clone_matcher(matcher)
+    if getattr(clone, "profile_index", None) is not None:
+        clone.profile_index = None
+    members = getattr(clone, "matchers", None)
+    if members:
+        detached = []
+        for member in members:
+            member_clone = copy.copy(member)
+            if getattr(member_clone, "profile_index", None) is not None:
+                member_clone.profile_index = None
+            detached.append(member_clone)
+        clone.matchers = detached
+    return clone
+
+
+def chunk_evenly(items: Sequence, parts: int) -> List[List]:
+    """Split ``items`` into ≤ ``parts`` contiguous chunks of near-equal size.
+
+    Contiguity is what makes the parallel merge order equal the serial
+    iteration order; empty chunks are dropped.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    total = len(items)
+    chunks: List[List] = []
+    base, extra = divmod(total, parts)
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            continue
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+def _score_chunk(
+    matcher: BaseMatcher, chunk: Sequence[PairTask]
+) -> Tuple[List[List[Correspondence]], int, int]:
+    """Score one chunk serially; returns per-pair results + counter deltas."""
+    per_pair: List[List[Correspondence]] = []
+    for new_table, existing_table in chunk:
+        per_pair.append(matcher.match_relations(new_table, existing_table))
+    return per_pair, matcher.counter.attribute_comparisons, matcher.counter.relation_pairs
+
+
+def _score_chunk_star(
+    payload: Tuple[BaseMatcher, Sequence[PairTask]]
+) -> Tuple[List[List[Correspondence]], int, int]:
+    """Top-level adapter so :class:`ProcessPoolExecutor` can pickle the call."""
+    return _score_chunk(*payload)
+
+
+def score_pairs(
+    matcher: BaseMatcher,
+    pairs: Sequence[PairTask],
+    workers: int = 1,
+    pool: str = POOL_THREAD,
+) -> Tuple[List[Correspondence], int]:
+    """Score every relation pair, possibly in parallel, in serial order.
+
+    Returns ``(correspondences, workers_used)`` where the correspondence
+    list is byte-identical to running ``matcher.match_relations`` over
+    ``pairs`` in order on one thread, and ``workers_used`` is the number of
+    pool workers that actually ran (1 for the serial path).
+
+    Parameters
+    ----------
+    matcher:
+        The caller's matcher.  On the serial path it scores directly; on
+        the parallel paths it only receives the summed counter deltas.
+    workers:
+        Target pool size (pre-normalized; see :func:`resolve_workers`).
+    pool:
+        ``"thread"`` or ``"process"``.  The process pool requires the work
+        to pickle and silently degrades to threads when it does not.
+    """
+    if pool not in _POOLS:
+        raise ValueError(f"unknown pool kind {pool!r}; expected one of {_POOLS}")
+    tasks = list(pairs)
+    if workers <= 1 or len(tasks) < 2:
+        flat: List[Correspondence] = []
+        for new_table, existing_table in tasks:
+            flat.extend(matcher.match_relations(new_table, existing_table))
+        return flat, 1
+    chunks = chunk_evenly(tasks, workers)
+    results: List[Tuple[List[List[Correspondence]], int, int]] = []
+    if pool == POOL_PROCESS:
+        # Ship index-free clones when that provably cannot change scores:
+        # the shared profile index is the whole catalog's posting lists,
+        # and pickling it once per chunk would dwarf the scoring work.
+        process_clone = (
+            detach_profile_index if _index_free_parity(matcher) else clone_matcher
+        )
+        payloads = [(process_clone(matcher), chunk) for chunk in chunks]
+        try:
+            # Probe before spawning: live tables/backends often hold
+            # unpicklable handles, and a late worker crash would be a far
+            # worse failure mode than degrading to threads.
+            pickle.dumps(payloads[0])
+            with ProcessPoolExecutor(max_workers=len(chunks)) as executor:
+                results = list(executor.map(_score_chunk_star, payloads))
+        except Exception:
+            results = []
+    if not results:
+        # Thread path (or process-pool fallback): clones share the live
+        # profile index, which threads read for free.
+        payloads = [(clone_matcher(matcher), chunk) for chunk in chunks]
+        with ThreadPoolExecutor(max_workers=len(chunks)) as executor:
+            results = list(executor.map(_score_chunk_star, payloads))
+    flat = []
+    for per_pair, comparisons, relation_pairs in results:
+        for pair_result in per_pair:
+            flat.extend(pair_result)
+        matcher.counter.record_comparisons(comparisons)
+        matcher.counter.relation_pairs += relation_pairs
+    return flat, len(chunks)

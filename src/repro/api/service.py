@@ -138,8 +138,33 @@ class QService:
         catalog = Catalog(sources, backend=backend)
         graph = SearchGraph(config=self.config.graph)
         graph.add_catalog(catalog)
-        self._assemble(catalog, graph, CatalogProfileIndex.from_catalog(catalog), matchers)
+        profile_index = CatalogProfileIndex.from_catalog(
+            catalog, **self._profile_index_kwargs()
+        )
+        self._assemble(catalog, graph, profile_index, matchers)
         self._init_persistence(autosave)
+
+    def _profile_index_kwargs(self) -> dict:
+        """Constructor knobs of the session's profile index, from the config.
+
+        On warm restore the *persisted* structural configuration wins
+        instead (:meth:`CatalogProfileIndex.from_state` applies the saved
+        shard count and sketch shape), so a reopened index routes exactly
+        like the one that saved.
+        """
+        config = self.config
+        sketch = None
+        if config.sketch_num_perm > 0:
+            from ..profiling.sketches import SketchConfig
+
+            bands = config.sketch_bands or max(config.sketch_num_perm // 2, 1)
+            sketch = SketchConfig(num_perm=config.sketch_num_perm, bands=bands)
+        return {
+            "shard_count": max(int(config.profile_shards), 1),
+            "sketch": sketch,
+            "pair_memo_limit": config.pair_memo_limit,
+            "rare_token_df": config.sketch_rare_token_df,
+        }
 
     def _assemble(
         self,
@@ -183,6 +208,9 @@ class QService:
         self.learner = OnlineLearner(self.graph, k=self.config.top_k)
         self._refreshes = 0
         self._refreshes_skipped = 0
+        #: Registration-scaling counters (surfaced through :meth:`stats`).
+        self._pairs_scored = 0
+        self._pool_workers = 1
 
     def _init_persistence(self, autosave) -> None:
         self._persistence: Optional[SessionPersistence] = None
@@ -489,6 +517,8 @@ class QService:
                 max_relations=request.max_relations,
                 view=driving_view,
                 profile_index=self.profile_index,
+                workers=self.config.registration_workers,
+                pool=self.config.registration_pool,
             ),
         )
         return strategy, aligner
@@ -585,7 +615,9 @@ class QService:
         # the engine's shared scan/join-index caches and every view's
         # per-signature answer cache — once, at mutation time.  The refresh
         # itself is deferred to each view's next read.
-        del source, result
+        del source
+        self._pairs_scored += result.pairs_scored
+        self._pool_workers = max(self._pool_workers, result.pool_workers)
         self.engine_context.invalidate()
         for record in self.views.records():
             record.view.invalidate_cache()
@@ -876,6 +908,12 @@ class QService:
             journal_entries=(
                 self._persistence.store.entry_count() if self._persistence else 0
             ),
+            profile_shards=self.profile_index.shard_count,
+            sketch_candidates=self.profile_index.sketch_candidates_generated,
+            exact_candidates=self.profile_index.exact_candidates_kept,
+            pairs_scored=self._pairs_scored,
+            pool_workers=self._pool_workers,
+            pair_memo_entries=self.profile_index.pair_memo_size,
         )
 
     def close(self) -> None:

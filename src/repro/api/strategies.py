@@ -22,7 +22,9 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Union
 
 from ..alignment.base import BaseAligner
 from ..alignment.exhaustive import ExhaustiveAligner
+from ..alignment.parallel import POOL_THREAD, resolve_workers
 from ..alignment.preferential import PreferentialAligner
+from ..alignment.profile_blocked import ProfileBlockedAligner
 from ..alignment.view_based import ViewBasedAligner
 from ..exceptions import RegistrationError, UnknownStrategyError
 from ..matching.base import BaseMatcher
@@ -42,6 +44,7 @@ class AlignmentStrategy(enum.Enum):
     EXHAUSTIVE = "exhaustive"
     VIEW_BASED = "view_based"
     PREFERENTIAL = "preferential"
+    PROFILE_BLOCKED = "profile_blocked"
 
     @classmethod
     def coerce(cls, value: Union[str, "AlignmentStrategy"]) -> "AlignmentStrategy":
@@ -87,6 +90,13 @@ class AlignerSpec:
         :class:`~repro.profiling.index.CatalogProfileIndex`; injected into
         the aligner (and from there into the matcher) so candidate
         generation reads the incrementally maintained profiles.
+    workers, pool:
+        Matcher-scoring pool size and kind for the built aligner (see
+        :func:`repro.alignment.parallel.score_pairs`); applied centrally by
+        :func:`build_aligner`, so every strategy — including third-party
+        ones — gets deterministic parallel scoring for free.
+    min_shared_values:
+        Exact-tier acceptance floor for the profile-blocked strategy.
     """
 
     matcher: BaseMatcher
@@ -95,6 +105,9 @@ class AlignerSpec:
     max_relations: Optional[int] = 5
     view: Optional["RankedView"] = None
     profile_index: Optional[object] = None
+    workers: int = 1
+    pool: str = POOL_THREAD
+    min_shared_values: int = 1
 
 
 AlignerFactory = Callable[[AlignerSpec], BaseAligner]
@@ -128,7 +141,10 @@ def build_aligner(
     factory = _STRATEGY_REGISTRY.get(member)
     if factory is None:
         raise UnknownStrategyError(member.value, tuple(sorted(s.value for s in _STRATEGY_REGISTRY)))
-    return factory(spec)
+    aligner = factory(spec)
+    aligner.workers = resolve_workers(spec.workers)
+    aligner.pool = spec.pool
+    return aligner
 
 
 def _build_exhaustive(spec: AlignerSpec) -> BaseAligner:
@@ -173,6 +189,21 @@ def _build_view_based(spec: AlignerSpec) -> BaseAligner:
     )
 
 
+def _build_profile_blocked(spec: AlignerSpec) -> BaseAligner:
+    if spec.profile_index is None:
+        raise RegistrationError(
+            "profile_blocked registration requires the service's profile index"
+        )
+    return ProfileBlockedAligner(
+        spec.matcher,
+        top_y=spec.top_y,
+        value_filter=spec.value_filter,
+        profile_index=spec.profile_index,
+        min_shared_values=spec.min_shared_values,
+    )
+
+
 register_aligner(AlignmentStrategy.EXHAUSTIVE, _build_exhaustive)
 register_aligner(AlignmentStrategy.PREFERENTIAL, _build_preferential)
 register_aligner(AlignmentStrategy.VIEW_BASED, _build_view_based)
+register_aligner(AlignmentStrategy.PROFILE_BLOCKED, _build_profile_blocked)

@@ -51,6 +51,28 @@ class ServiceConfig:
     #: the next :meth:`~repro.api.service.QService.save` folds journal and
     #: snapshot into one fresh snapshot (compaction) instead of appending.
     journal_compact_after: int = 64
+    #: Registration scaling knobs (see README "Scaling registration").
+    #: Number of hash shards the profile index's posting lists are split
+    #: across; 1 keeps the flat layout.  Results are identical for any N.
+    profile_shards: int = 1
+    #: MinHash signature length for the approximate blocking tier; 0 (the
+    #: default) disables sketch maintenance entirely.
+    sketch_num_perm: int = 0
+    #: LSH bands the signature is cut into (must divide ``sketch_num_perm``);
+    #: 0 defaults to ``sketch_num_perm // 2`` (2 rows per band).
+    sketch_bands: int = 0
+    #: Document-frequency ceiling for the exact rare-token tier that backs
+    #: the sketch tier's losslessness at low Jaccard.
+    sketch_rare_token_df: int = 16
+    #: Matcher-scoring pool size for registration; 1 = serial, 0 = one
+    #: worker per CPU.  Accepted correspondences are byte-identical to
+    #: serial runs at any setting.
+    registration_workers: int = 1
+    #: Pool kind: ``"thread"`` or ``"process"`` (process falls back to
+    #: threads when the matcher/tables do not pickle).
+    registration_pool: str = "thread"
+    #: LRU cap on the profile index's schema-fingerprint pair memo.
+    pair_memo_limit: int = 4096
 
 
 @dataclass(frozen=True)
@@ -218,6 +240,13 @@ class SystemStats:
     first :meth:`~repro.api.service.QService.save` and on every journal
     compaction.  ``journal_entries`` is the number of incremental delta
     entries currently pending on top of that snapshot.
+
+    The registration-scaling block describes the candidate tiers and the
+    scoring pool: ``sketch_candidates`` counts attribute pairs proposed by
+    the approximate MinHash/LSH + rare-token tier, ``exact_candidates``
+    those surviving exact re-verification, ``pairs_scored`` the relation
+    pairs the base matcher actually ran on, and ``pool_workers`` the
+    largest scoring pool any registration used (1 = all serial).
     """
 
     sources: int
@@ -235,3 +264,9 @@ class SystemStats:
     storage_bytes: int = 0
     snapshot_version: int = 0
     journal_entries: int = 0
+    profile_shards: int = 1
+    sketch_candidates: int = 0
+    exact_candidates: int = 0
+    pairs_scored: int = 0
+    pool_workers: int = 1
+    pair_memo_entries: int = 0

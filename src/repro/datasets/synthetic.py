@@ -35,6 +35,69 @@ class GrowthResult:
     average_edge_cost: float
 
 
+def _alpha(n: int, width: int = 4) -> str:
+    """Base-26 letters-only encoding of ``n`` (zero-padded to ``width``).
+
+    Letters-only matters: the similarity tokenizer splits on digit
+    boundaries, so a value like ``pool003`` would shatter into high-frequency
+    tokens shared across every pool.  An all-letter value stays one token,
+    which keeps synthetic value overlap — and hence MinHash sketch overlap —
+    exactly where the generator put it.
+    """
+    chars = []
+    for _ in range(width):
+        chars.append(chr(ord("a") + n % 26))
+        n //= 26
+    return "".join(reversed(chars))
+
+
+def community_value_pool(community: int, pool_size: int = 24) -> List[str]:
+    """The shared value pool of one community of synthetic sources.
+
+    Values are letters-only and community-prefixed, so two sources overlap
+    exactly when they belong to the same community — the knob that gives
+    10k-relation synthetic catalogs realistic *joinability structure*
+    (dense overlap inside a community, none across) instead of the legacy
+    all-unique values that nothing can align on.
+    """
+    tag = _alpha(community)
+    return [f"{tag}{_alpha(j, width=3)}" for j in range(pool_size)]
+
+
+def make_community_source(
+    name: str,
+    community: int,
+    seed: int = 0,
+    pool_size: int = 24,
+    values_per_source: int = 20,
+) -> DataSource:
+    """A two-attribute synthetic source drawing ``attr_1`` from a community pool.
+
+    ``attr_1`` holds ``values_per_source`` distinct values sampled from the
+    community's pool — any two same-community sources therefore share at
+    least ``2 * values_per_source - pool_size`` values (16 with the
+    defaults, a Jaccard floor of ~0.67, comfortably above the sketch tier's
+    collision threshold).  ``attr_2`` holds globally unique single-token
+    values (seed-prefixed, letters-only — a shared suffix or the digit-bearing
+    source name would tokenize into high-overlap fragments and defeat the
+    sketch), so it can never join and only inflates the exhaustive comparison
+    count — exactly the attribute a blocking tier should prune.
+    """
+    rng = random.Random(seed)
+    pool = community_value_pool(community, pool_size)
+    values = sorted(rng.sample(pool, min(values_per_source, pool_size)))
+    schema = SourceSchema(name, description="synthetic community source")
+    schema.add_relation(RelationSchema(name, ["attr_1", "attr_2"]))
+    source = DataSource(schema)
+    table = source.table(name)
+    unique_tag = _alpha(seed, width=5)
+    for row, value in enumerate(values):
+        table.append(
+            {"attr_1": value, "attr_2": f"{unique_tag}{_alpha(row, width=3)}"}
+        )
+    return source
+
+
 def average_learnable_edge_cost(graph: SearchGraph, default: float = 1.0) -> float:
     """Average cost of the graph's learnable edges (``default`` if there are none)."""
     costs = [graph.edge_cost(edge) for edge in graph.learnable_edges()]
@@ -50,6 +113,9 @@ def grow_catalog_and_graph(
     seed: int = 3,
     attributes_per_source: int = 2,
     rows_per_source: int = 5,
+    value_communities: int = 0,
+    community_pool_size: int = 24,
+    community_values_per_source: Optional[int] = None,
 ) -> GrowthResult:
     """Grow ``catalog`` and ``graph`` with synthetic sources until the target size.
 
@@ -57,6 +123,15 @@ def grow_catalog_and_graph(
     in the paper); its first two attributes are wired to two randomly chosen
     existing attribute nodes with association edges at the calibrated
     average cost.
+
+    ``value_communities=0`` (the default) keeps the paper's construction:
+    every value is unique, so synthetic relations are joinable only through
+    the wired association edges.  With ``value_communities=N`` each
+    synthetic source additionally draws its first attribute's values from
+    one of ``N`` shared community pools (round-robin assignment; see
+    :func:`make_community_source`), giving large grown catalogs real value
+    overlap for blocking tiers and matchers to work against — the 10k+
+    relation configuration of ``benchmarks/scale_bench.py``.
 
     The function mutates both the catalog and the graph in place and returns
     a :class:`GrowthResult` describing what was added.
@@ -79,8 +154,21 @@ def grow_catalog_and_graph(
         schema.add_relation(RelationSchema(name, attributes))
         source = DataSource(schema)
         table = source.table(name)
-        for row in range(rows_per_source):
-            table.append({attr: f"{name}_{attr}_{row}" for attr in attributes})
+        if value_communities > 0:
+            community = counter % value_communities
+            pool = community_value_pool(community, community_pool_size)
+            take = min(
+                community_values_per_source or rows_per_source, community_pool_size
+            )
+            pooled = sorted(rng.sample(pool, take))
+            for row, value in enumerate(pooled):
+                record = {attributes[0]: value}
+                for attr in attributes[1:]:
+                    record[attr] = f"{name}_{attr}_{row}"
+                table.append(record)
+        else:
+            for row in range(rows_per_source):
+                table.append({attr: f"{name}_{attr}_{row}" for attr in attributes})
         catalog.add_source(source)
         graph.add_source(source)
         added.append(name)

@@ -100,6 +100,14 @@ class BaseMatcher(abc.ABC):
     #: Matcher name used for feature names and reporting.
     name: str = "matcher"
 
+    #: Whether scores *change* without the shared profile index attached.
+    #: For most matchers the index is a pure cache (profiles and memos
+    #: rebuild to identical values from the tables), so process-pool workers
+    #: may drop it instead of pickling the whole catalog's postings.  A
+    #: matcher whose evidence depends on the index's corpus (e.g. tf-idf
+    #: document frequencies) must set this to ``True``.
+    index_result_dependent: bool = False
+
     def __init__(self) -> None:
         self.counter = ComparisonCounter()
 

@@ -66,13 +66,32 @@ from .profiles import (
     profile_table,
     schema_fingerprint,
 )
+from .shards import BandKey, PostingShard, ShardRouter, stable_shard
+from .sketches import (
+    SketchConfig,
+    attribute_sketch,
+    band_keys,
+    minhash_signature,
+    sketch_jaccard,
+    token_hash,
+)
 
 __all__ = [
     "AttrId",
     "AttributeProfile",
+    "BandKey",
     "CatalogProfileIndex",
+    "PostingShard",
     "RelationProfile",
     "SchemaFingerprint",
+    "ShardRouter",
+    "SketchConfig",
+    "attribute_sketch",
+    "band_keys",
+    "minhash_signature",
     "profile_table",
     "schema_fingerprint",
+    "sketch_jaccard",
+    "stable_shard",
+    "token_hash",
 ]

@@ -11,8 +11,16 @@ of re-deriving per-table state inside nested loops.  It holds
   for posting-list-intersection candidate generation (blocking),
 * a **token posting list** with document frequencies (token → attributes
   whose values contain it), backing precomputed tf-idf name/content vectors,
+* optional **MinHash/LSH sketch buckets** over the per-attribute value-token
+  sets — the approximate tier of :meth:`tiered_candidates`,
 * a bounded **pair-correspondence memo** where schema-only matchers park
   their per-relation-pair outputs keyed by schema fingerprint.
+
+All posting-list state lives in hash-partitioned shards behind a
+:class:`~repro.profiling.shards.ShardRouter` (``shard_count=1`` by
+default); the router preserves the flat-dictionary semantics exactly, so
+every existing caller — matchers, persistence, aligner strategies — is
+unaffected by the shard count.
 
 The index is updated once per registered (or removed) source; the ``epoch``
 counter lets dependent caches (candidate maps, tf-idf vectors) validate
@@ -28,9 +36,19 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ..datastore.database import Catalog, DataSource
 from ..datastore.table import Table
 from .profiles import AttrId, AttributeProfile, RelationProfile, profile_table
+from .shards import BandKey, ShardRouter
+from .sketches import SketchConfig, attribute_sketch
 
-#: Cap on memoized per-relation-pair matcher outputs (LRU-evicted).
+#: Default cap on memoized per-relation-pair matcher outputs (LRU-evicted).
+#: Override per index via the ``pair_memo_limit`` constructor knob
+#: (:class:`~repro.api.types.ServiceConfig.pair_memo_limit` at the service
+#: level) — long-lived sessions with a churning catalog trade hit rate
+#: against resident memory here.
 _PAIR_CACHE_LIMIT = 4096
+
+#: Default document-frequency ceiling under which a value token counts as
+#: *rare* for the exact rare-token tier of :meth:`tiered_candidates`.
+_RARE_TOKEN_DF = 16
 
 
 class CatalogProfileIndex:
@@ -40,12 +58,40 @@ class CatalogProfileIndex:
     new source in one pass over its rows, :meth:`remove_source` retracts a
     source's contribution exactly (used by the registration failure-rollback
     path), and neither ever rebuilds the rest of the catalog's state.
+
+    Parameters
+    ----------
+    shard_count:
+        Number of hash shards the posting lists are split across (see
+        :mod:`repro.profiling.shards`).  Identical results for any value;
+        ``1`` keeps the seed layout.
+    sketch:
+        Optional :class:`~repro.profiling.sketches.SketchConfig`.  When
+        given, every attribute additionally maintains a MinHash signature
+        over its value tokens plus LSH band-bucket membership, enabling the
+        sub-linear :meth:`sketch_candidates` / :meth:`tiered_candidates`
+        tier.  ``None`` (the default) keeps candidate generation purely
+        exact.
+    pair_memo_limit:
+        LRU cap on the shared pair-correspondence memo.
+    rare_token_df:
+        Document-frequency ceiling for the rare-token tier of
+        :meth:`tiered_candidates`.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        shard_count: int = 1,
+        sketch: Optional[SketchConfig] = None,
+        pair_memo_limit: int = _PAIR_CACHE_LIMIT,
+        rare_token_df: int = _RARE_TOKEN_DF,
+    ) -> None:
         #: Bumped on every structural change (source/table added or removed);
         #: dependent caches key on it.
         self.epoch = 0
+        self.sketch_config = sketch
+        self.rare_token_df = rare_token_df
+        self.pair_memo_limit = max(int(pair_memo_limit), 1)
         self._attribute_profiles: Dict[AttrId, AttributeProfile] = {}
         self._relation_profiles: Dict[str, RelationProfile] = {}
         #: Table identity + data version at profiling time, so consumers can
@@ -53,34 +99,42 @@ class CatalogProfileIndex:
         self._table_versions: Dict[str, Tuple[object, int]] = {}
         #: source name -> qualified relation names it contributed.
         self._source_relations: Dict[str, List[str]] = {}
-        #: canonical value -> attributes containing it (the blocking index).
-        self._value_postings: Dict[str, Set[AttrId]] = {}
-        #: value token -> attributes whose values contain it.
-        self._token_postings: Dict[str, Set[AttrId]] = {}
+        #: All posting lists (values, tokens, sketch buckets), hash-sharded.
+        self._shards = ShardRouter(shard_count)
+        #: per-attribute MinHash signatures and their LSH band keys
+        #: (present only when ``sketch`` is configured).
+        self._signatures: Dict[AttrId, Tuple[int, ...]] = {}
+        self._band_keys: Dict[AttrId, Tuple[BandKey, ...]] = {}
         #: per-attribute candidate maps memo: attr -> (epoch, candidates).
         self._candidate_cache: Dict[AttrId, Tuple[int, Dict[AttrId, int]]] = {}
+        #: per-attribute tiered candidate memo (sketch + exact verify).
+        self._tiered_cache: Dict[AttrId, Tuple[int, Dict[AttrId, int]]] = {}
         #: per-attribute tf-idf content vectors memo, keyed on epoch.
         self._tfidf_cache: Dict[AttrId, Tuple[int, Dict[str, float]]] = {}
         #: schema-fingerprint-keyed matcher output memo (see pair_memo_*).
         self._pair_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
         self.pair_cache_hits = 0
         self.pair_cache_misses = 0
+        #: Tier observability: attribute pairs proposed by the sketch tier
+        #: and pairs surviving exact re-verification, cumulative.
+        self.sketch_candidates_generated = 0
+        self.exact_candidates_kept = 0
 
     # ------------------------------------------------------------------
     # Construction / maintenance
     # ------------------------------------------------------------------
     @classmethod
-    def from_catalog(cls, catalog: Catalog) -> "CatalogProfileIndex":
-        """Profile every source of ``catalog``."""
-        index = cls()
+    def from_catalog(cls, catalog: Catalog, **kwargs) -> "CatalogProfileIndex":
+        """Profile every source of ``catalog`` (kwargs as for the constructor)."""
+        index = cls(**kwargs)
         for source in catalog:
             index.index_source(source)
         return index
 
     @classmethod
-    def from_tables(cls, tables: Iterable[Table]) -> "CatalogProfileIndex":
+    def from_tables(cls, tables: Iterable[Table], **kwargs) -> "CatalogProfileIndex":
         """Profile a bare iterable of tables (no source bookkeeping)."""
-        index = cls()
+        index = cls(**kwargs)
         for table in tables:
             index.index_table(table)
         return index
@@ -103,13 +157,24 @@ class CatalogProfileIndex:
         self._relation_profiles[relation] = relation_profile
         self._table_versions[relation] = (table, table.version)
         for profile in attribute_profiles.values():
-            attr_id = profile.attr_id
-            self._attribute_profiles[attr_id] = profile
-            for value in profile.distinct_values:
-                self._value_postings.setdefault(value, set()).add(attr_id)
-            for token in profile.value_tokens:
-                self._token_postings.setdefault(token, set()).add(attr_id)
+            self._install_attribute(profile)
         self.epoch += 1
+
+    def _install_attribute(self, profile: AttributeProfile) -> None:
+        """Install one attribute profile: postings, and sketches if enabled."""
+        attr_id = profile.attr_id
+        self._attribute_profiles[attr_id] = profile
+        shards = self._shards
+        for value in profile.distinct_values:
+            shards.add_value(value, attr_id)
+        for token in profile.value_tokens:
+            shards.add_token(token, attr_id)
+        if self.sketch_config is not None:
+            signature, keys = attribute_sketch(profile.value_tokens, self.sketch_config)
+            self._signatures[attr_id] = signature
+            self._band_keys[attr_id] = keys
+            for key in keys:
+                shards.add_bucket(key, attr_id)
 
     def remove_source(self, name: str) -> None:
         """Retract every relation ``name`` contributed (no full rebuild)."""
@@ -122,24 +187,21 @@ class CatalogProfileIndex:
         if profile is None:
             return
         self._table_versions.pop(relation, None)
+        shards = self._shards
         for attribute in profile.attribute_names:
             attr_id = (relation, attribute)
             attr_profile = self._attribute_profiles.pop(attr_id, None)
             if attr_profile is None:
                 continue
             for value in attr_profile.distinct_values:
-                postings = self._value_postings.get(value)
-                if postings is not None:
-                    postings.discard(attr_id)
-                    if not postings:
-                        del self._value_postings[value]
+                shards.discard_value(value, attr_id)
             for token in attr_profile.value_tokens:
-                postings = self._token_postings.get(token)
-                if postings is not None:
-                    postings.discard(attr_id)
-                    if not postings:
-                        del self._token_postings[token]
+                shards.discard_token(token, attr_id)
+            for key in self._band_keys.pop(attr_id, ()):
+                shards.discard_bucket(key, attr_id)
+            self._signatures.pop(attr_id, None)
             self._candidate_cache.pop(attr_id, None)
+            self._tiered_cache.pop(attr_id, None)
             self._tfidf_cache.pop(attr_id, None)
         self.epoch += 1
 
@@ -189,7 +251,21 @@ class CatalogProfileIndex:
     @property
     def distinct_value_count(self) -> int:
         """Number of distinct canonical values across all posting lists."""
-        return len(self._value_postings)
+        return self._shards.distinct_value_count
+
+    @property
+    def shard_count(self) -> int:
+        """Number of posting-list shards."""
+        return self._shards.shard_count
+
+    def shard_sizes(self) -> Tuple[int, ...]:
+        """Posting keys per shard (balance diagnostic)."""
+        return self._shards.shard_sizes()
+
+    @property
+    def sketch_enabled(self) -> bool:
+        """Whether the MinHash/LSH tier is maintained."""
+        return self.sketch_config is not None
 
     # ------------------------------------------------------------------
     # Value overlap (read off the stored distinct sets)
@@ -208,7 +284,7 @@ class CatalogProfileIndex:
         return len(values_a & values_b)
 
     # ------------------------------------------------------------------
-    # Posting-list candidate generation (blocking)
+    # Posting-list candidate generation (the exact/lossless tier)
     # ------------------------------------------------------------------
     def value_candidates(self, relation: str, attribute: str) -> Dict[AttrId, int]:
         """Attributes sharing at least one value, with shared-value counts.
@@ -225,19 +301,109 @@ class CatalogProfileIndex:
         profile = self._attribute_profiles.get(attr_id)
         candidates: Dict[AttrId, int] = {}
         if profile is not None:
-            postings = self._value_postings
+            shards = self._shards
             for value in profile.distinct_values:
-                for other in postings.get(value, ()):
+                postings = shards.value_postings(value)
+                if postings is None:
+                    continue
+                for other in postings:
                     if other != attr_id:
                         candidates[other] = candidates.get(other, 0) + 1
         self._candidate_cache[attr_id] = (self.epoch, candidates)
         return candidates
+
+    # ------------------------------------------------------------------
+    # Sketch candidate generation (the approximate tier)
+    # ------------------------------------------------------------------
+    def sketch_candidates(self, relation: str, attribute: str) -> Set[AttrId]:
+        """Attributes whose MinHash signature collides in ≥ 1 LSH band.
+
+        Raw sketch-tier output: a superset of the high-Jaccard neighbors,
+        *not* verified against the true value sets.  Callers should go
+        through :meth:`tiered_candidates`, which re-verifies every survivor.
+        """
+        if self.sketch_config is None:
+            return set()
+        attr_id = (relation, attribute)
+        keys = self._band_keys.get(attr_id)
+        if not keys:
+            return set()
+        shards = self._shards
+        candidates: Set[AttrId] = set()
+        for key in keys:
+            bucket = shards.bucket(key)
+            if bucket:
+                candidates.update(bucket)
+        candidates.discard(attr_id)
+        return candidates
+
+    def tiered_candidates(
+        self, relation: str, attribute: str, min_shared_values: int = 1
+    ) -> Dict[AttrId, int]:
+        """Candidate attributes via the tiered pipeline, with exact shared counts.
+
+        Tier 0 (approximate): LSH band-bucket collisions over the MinHash
+        signatures, unioned with the posting lists of the attribute's
+        **rare** value tokens (document frequency ≤ ``rare_token_df``) —
+        cheap exact evidence that catches low-Jaccard joinable pairs (two
+        attributes sharing a handful of identifier-like values) that
+        MinHash alone would miss.
+
+        Tier 1 (exact): every tier-0 survivor is re-verified against the
+        true distinct-value sets; only pairs with ``shared >=
+        min_shared_values`` survive, with their exact shared counts — so a
+        surviving candidate carries the same count ``value_candidates``
+        would report, and no false positive ever reaches a matcher.
+
+        Falls back to the lossless posting-list walk when no sketch tier is
+        configured.  Memoized per attribute against the index epoch (with
+        the default ``min_shared_values=1``).
+        """
+        if self.sketch_config is None:
+            exact = self.value_candidates(relation, attribute)
+            if min_shared_values <= 1:
+                return exact
+            return {k: v for k, v in exact.items() if v >= min_shared_values}
+        attr_id = (relation, attribute)
+        if min_shared_values <= 1:
+            cached = self._tiered_cache.get(attr_id)
+            if cached is not None and cached[0] == self.epoch:
+                return cached[1]
+        profile = self._attribute_profiles.get(attr_id)
+        kept: Dict[AttrId, int] = {}
+        if profile is not None and profile.distinct_values:
+            survivors = self.sketch_candidates(relation, attribute)
+            shards = self._shards
+            rare_cap = self.rare_token_df
+            for token in profile.value_tokens:
+                postings = shards.token_postings(token)
+                if postings is not None and len(postings) <= rare_cap:
+                    survivors.update(postings)
+            survivors.discard(attr_id)
+            self.sketch_candidates_generated += len(survivors)
+            values = profile.distinct_values
+            for other in sorted(survivors):
+                other_profile = self._attribute_profiles.get(other)
+                if other_profile is None:
+                    continue
+                other_values = other_profile.distinct_values
+                if len(other_values) < len(values):
+                    shared = len(other_values & values)
+                else:
+                    shared = len(values & other_values)
+                if shared >= min_shared_values:
+                    kept[other] = shared
+            self.exact_candidates_kept += len(kept)
+        if min_shared_values <= 1:
+            self._tiered_cache[attr_id] = (self.epoch, kept)
+        return kept
 
     def candidate_pairs(
         self,
         relation: str,
         other_relation: Optional[str] = None,
         min_shared_values: int = 1,
+        tier: str = "exact",
     ) -> List[Tuple[AttrId, AttrId, int]]:
         """Attribute pairs of ``relation`` that could join, by posting lists.
 
@@ -245,14 +411,27 @@ class CatalogProfileIndex:
         with ``shared_count >= min_shared_values``, restricted to
         ``other_relation`` when given.  Deterministic order: schema order on
         the left side, ``(relation, attribute)`` order on the right.
+
+        ``tier`` selects the candidate source: ``"exact"`` (default — the
+        lossless posting-list walk, unchanged semantics), ``"sketch"`` (the
+        tiered sketch + rare-token pipeline; requires a sketch config), or
+        ``"auto"`` (sketch when configured, exact otherwise).
         """
+        if tier not in ("exact", "sketch", "auto"):
+            raise ValueError(f"unknown candidate tier {tier!r}")
+        use_sketch = tier == "sketch" or (tier == "auto" and self.sketch_enabled)
         rel_profile = self._relation_profiles.get(relation)
         if rel_profile is None:
             return []
         pairs: List[Tuple[AttrId, AttrId, int]] = []
         for name in rel_profile.attribute_names:
             attr_id = (relation, name)
-            for other, shared in sorted(self.value_candidates(relation, name).items()):
+            candidates = (
+                self.tiered_candidates(relation, name)
+                if use_sketch
+                else self.value_candidates(relation, name)
+            )
+            for other, shared in sorted(candidates.items()):
                 if shared < min_shared_values:
                     continue
                 if other_relation is not None and other[0] != other_relation:
@@ -289,12 +468,12 @@ class CatalogProfileIndex:
     # ------------------------------------------------------------------
     def token_postings(self, token: str) -> Tuple[AttrId, ...]:
         """The attributes whose values contain ``token`` (a posting list)."""
-        postings = self._token_postings.get(token.lower())
+        postings = self._shards.token_postings(token.lower())
         return tuple(postings) if postings is not None else ()
 
     def token_document_frequency(self, token: str) -> int:
         """Number of attributes whose values contain ``token``."""
-        postings = self._token_postings.get(token.lower())
+        postings = self._shards.token_postings(token.lower())
         return len(postings) if postings is not None else 0
 
     def inverse_token_frequency(self, token: str, smoothing: float = 1.0) -> float:
@@ -358,8 +537,13 @@ class CatalogProfileIndex:
         """Store a memoized per-relation-pair matcher output (LRU-bounded)."""
         self._pair_cache[key] = value
         self._pair_cache.move_to_end(key)
-        while len(self._pair_cache) > _PAIR_CACHE_LIMIT:
+        while len(self._pair_cache) > self.pair_memo_limit:
             self._pair_cache.popitem(last=False)
+
+    @property
+    def pair_memo_size(self) -> int:
+        """Current number of memoized relation-pair outputs."""
+        return len(self._pair_cache)
 
     # ------------------------------------------------------------------
     # Session persistence (see :mod:`repro.persist`)
@@ -370,9 +554,11 @@ class CatalogProfileIndex:
         Set-valued profile fields are emitted sorted so the payload is
         canonical: exporting, restoring and exporting again yields an
         identical document (the round-trip fixed point the persistence
-        property tests assert).  Posting lists and memo caches are *not*
-        serialized — they are derived state, rebuilt from the profiles on
-        :meth:`absorb_state`.
+        property tests assert).  Posting lists, sketches and memo caches
+        are *not* serialized — they are derived state, rebuilt from the
+        profiles on :meth:`absorb_state`.  The structural configuration
+        (shard count, sketch shape) *is* serialized so a restored index
+        routes and sketches exactly like the one that saved.
         """
         selected = set(relations) if relations is not None else None
 
@@ -381,6 +567,11 @@ class CatalogProfileIndex:
 
         return {
             "epoch": self.epoch,
+            "shard_count": self._shards.shard_count,
+            "sketch": (
+                self.sketch_config.payload() if self.sketch_config is not None else None
+            ),
+            "rare_token_df": self.rare_token_df,
             "relations": [
                 {
                     "relation": profile.relation,
@@ -416,9 +607,12 @@ class CatalogProfileIndex:
         """Fold a previously exported state into this index.
 
         Profiles are installed verbatim (no table scan — the warm-start
-        fast path) and the posting lists are rebuilt from them; the epoch is
-        taken from the payload so dependent caches re-validate exactly as
-        they would against the original index.
+        fast path) and the posting lists and sketches are rebuilt from
+        them; the epoch is taken from the payload so dependent caches
+        re-validate exactly as they would against the original index.
+        Structural configuration keys (``shard_count``, ``sketch``) are
+        ignored here — they are fixed at construction;
+        :meth:`from_state` applies them when rebuilding from scratch.
         """
         for spec in payload.get("relations", ()):
             relation = spec["relation"]
@@ -441,12 +635,7 @@ class CatalogProfileIndex:
                 row_count=spec["row_count"],
                 non_null_count=spec["non_null_count"],
             )
-            attr_id = profile.attr_id
-            self._attribute_profiles[attr_id] = profile
-            for value in profile.distinct_values:
-                self._value_postings.setdefault(value, set()).add(attr_id)
-            for token in profile.value_tokens:
-                self._token_postings.setdefault(token, set()).add(attr_id)
+            self._install_attribute(profile)
         for name, rels in payload.get("source_relations", ()):
             relations = self._source_relations.setdefault(name, [])
             for relation in rels:
@@ -457,8 +646,22 @@ class CatalogProfileIndex:
 
     @classmethod
     def from_state(cls, payload: Dict[str, object]) -> "CatalogProfileIndex":
-        """Rebuild an index from :meth:`export_state` output (no data scan)."""
-        index = cls()
+        """Rebuild an index from :meth:`export_state` output (no data scan).
+
+        The persisted structural configuration — shard count, sketch shape,
+        rare-token ceiling — is applied first, so the restored index routes
+        postings and generates candidates exactly like the saved one.
+        """
+        sketch_payload = payload.get("sketch")
+        index = cls(
+            shard_count=payload.get("shard_count", 1),
+            sketch=(
+                SketchConfig.from_payload(sketch_payload)
+                if sketch_payload is not None
+                else None
+            ),
+            rare_token_df=payload.get("rare_token_df", _RARE_TOKEN_DF),
+        )
         index.absorb_state(payload)
         return index
 
@@ -482,5 +685,6 @@ class CatalogProfileIndex:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CatalogProfileIndex(relations={self.relation_count}, "
-            f"attributes={self.attribute_count}, values={self.distinct_value_count})"
+            f"attributes={self.attribute_count}, values={self.distinct_value_count}, "
+            f"shards={self.shard_count}, sketch={self.sketch_enabled})"
         )

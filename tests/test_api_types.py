@@ -29,6 +29,7 @@ class TestAlignmentStrategy:
             "exhaustive",
             "view_based",
             "preferential",
+            "profile_blocked",
         }
 
     def test_coerce_accepts_members_strings_and_case(self):

@@ -1,0 +1,274 @@
+"""Registration-scaling invariants: sharding, sketches, parallel scoring.
+
+The scaling layers must be *invisible* to results: a sharded posting index
+(any shard count), the MinHash/LSH sketch tier, and the parallel matcher
+pool all have to reproduce the flat serial outputs exactly.  These tests pin
+that contract — mostly as hypothesis properties over randomly generated
+catalogs — plus the persistence of the scaling configuration itself.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alignment import ProfileBlockedAligner, chunk_evenly, score_pairs
+from repro.api import QService
+from repro.api.types import RegisterSourceRequest, ServiceConfig
+from repro.datasets.synthetic import make_community_source
+from repro.datastore.database import Catalog, DataSource
+from repro.graph.edges import set_edge_id_counter
+from repro.matching import ValueOverlapMatcher
+from repro.profiling import CatalogProfileIndex, SketchConfig, stable_shard
+
+# A small shared vocabulary so random catalogs actually overlap.
+_WORDS = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta")
+
+_rows = st.lists(
+    st.fixed_dictionaries(
+        {"a": st.sampled_from(_WORDS), "b": st.sampled_from(_WORDS)}
+    ),
+    min_size=1,
+    max_size=6,
+)
+_catalog_data = st.lists(_rows, min_size=2, max_size=5)
+
+
+def _build_tables(datasets):
+    tables = []
+    for i, rows in enumerate(datasets):
+        source = DataSource.build(
+            f"s{i}", {f"r{i}": ["a", "b"]}, data={f"r{i}": list(rows)}
+        )
+        tables.extend(source.tables())
+    return tables
+
+
+def _community_catalog(size: int = 6, communities: int = 2):
+    return [
+        make_community_source(f"c{i:02d}", community=i % communities, seed=i)
+        for i in range(size)
+    ]
+
+
+class TestShardRouting:
+    def test_stable_shard_is_deterministic_and_in_range(self):
+        for count in (1, 2, 7):
+            for key in ("x", "rel.attr", "a|b|3"):
+                shard = stable_shard(key, count)
+                assert shard == stable_shard(key, count)
+                assert 0 <= shard < count
+
+    @given(datasets=_catalog_data, shards=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_sharded_index_identical_to_flat(self, datasets, shards):
+        tables = _build_tables(datasets)
+        flat = CatalogProfileIndex.from_tables(tables)
+        sharded = CatalogProfileIndex.from_tables(tables, shard_count=shards)
+        assert sharded.shard_count == shards
+        for table in tables:
+            relation = table.schema.qualified_name
+            assert sharded.candidate_pairs(relation) == flat.candidate_pairs(relation)
+            for attribute in table.schema.attribute_names:
+                assert sharded.content_tfidf(relation, attribute) == flat.content_tfidf(
+                    relation, attribute
+                )
+        attrs = [
+            (t.schema.qualified_name, a)
+            for t in tables
+            for a in t.schema.attribute_names
+        ]
+        for rel_a, attr_a in attrs:
+            for rel_b, attr_b in attrs:
+                assert sharded.overlap(rel_a, attr_a, rel_b, attr_b) == flat.overlap(
+                    rel_a, attr_a, rel_b, attr_b
+                )
+
+    @given(datasets=_catalog_data, shards=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_sketch_tier_candidates_match_exact_tier(self, datasets, shards):
+        # On catalogs this small every token is rare, so the rare-token tier
+        # alone already covers all value-sharing pairs: the sketch pipeline
+        # must re-verify down to exactly the lossless posting-list answer.
+        tables = _build_tables(datasets)
+        sketched = CatalogProfileIndex.from_tables(
+            tables, shard_count=shards, sketch=SketchConfig(num_perm=16, bands=8)
+        )
+        flat = CatalogProfileIndex.from_tables(tables)
+        for table in tables:
+            relation = table.schema.qualified_name
+            assert sketched.candidate_pairs(relation, tier="sketch") == flat.candidate_pairs(
+                relation, tier="exact"
+            )
+
+    @given(
+        shards=st.integers(min_value=1, max_value=6),
+        num_perm=st.sampled_from([0, 8, 16]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_preserves_scaling_config(self, shards, num_perm):
+        tables = []
+        for source in _community_catalog(size=4):
+            tables.extend(source.tables())
+        sketch = SketchConfig(num_perm=num_perm, bands=num_perm // 2) if num_perm else None
+        index = CatalogProfileIndex.from_tables(
+            tables, shard_count=shards, sketch=sketch
+        )
+        payload = index.export_state()
+        restored = CatalogProfileIndex.from_state(json.loads(json.dumps(payload)))
+        assert restored.export_state() == payload
+        assert restored.shard_count == shards
+        assert restored.sketch_enabled == (sketch is not None)
+        assert restored.shard_sizes() == index.shard_sizes()
+        for table in tables:
+            relation = table.schema.qualified_name
+            assert restored.candidate_pairs(relation, tier="auto") == index.candidate_pairs(
+                relation, tier="auto"
+            )
+
+
+class TestPairMemoCap:
+    def test_pair_memo_respects_limit(self):
+        tables = []
+        for source in _community_catalog(size=8, communities=1):
+            tables.extend(source.tables())
+        index = CatalogProfileIndex.from_tables(tables, pair_memo_limit=3)
+        relations = [t.schema.qualified_name for t in tables]
+        for rel_a in relations:
+            for rel_b in relations:
+                if rel_a != rel_b:
+                    index.comparable_pair_count(rel_a, rel_b)
+        assert index.pair_memo_size <= 3
+
+    def test_pair_memo_limit_flows_from_service_config(self):
+        service = QService(
+            _community_catalog(size=4), config=ServiceConfig(pair_memo_limit=7)
+        )
+        assert service.profile_index.pair_memo_limit == 7
+
+
+class TestParallelScoring:
+    def test_chunk_evenly_partitions_in_order(self):
+        items = list(range(10))
+        chunks = chunk_evenly(items, 3)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+        assert chunk_evenly([], 4) == []
+        assert chunk_evenly(items, 100) == [[x] for x in items]
+
+    def test_parallel_scoring_matches_serial(self):
+        catalog = Catalog(_community_catalog(size=6, communities=2))
+        tables = catalog.all_tables()
+        pairs = [
+            (tables[i], tables[j])
+            for i in range(len(tables))
+            for j in range(i + 1, len(tables))
+        ]
+        serial_matcher = ValueOverlapMatcher()
+        serial, workers = score_pairs(serial_matcher, pairs, workers=1)
+        assert workers == 1
+        parallel_matcher = ValueOverlapMatcher()
+        parallel, workers = score_pairs(parallel_matcher, pairs, workers=4)
+        assert workers == 4
+        assert parallel == serial
+        assert (
+            parallel_matcher.counter.attribute_comparisons
+            == serial_matcher.counter.attribute_comparisons
+        )
+        assert (
+            parallel_matcher.counter.relation_pairs
+            == serial_matcher.counter.relation_pairs
+        )
+
+    def test_process_pool_scoring_matches_serial(self):
+        catalog = Catalog(_community_catalog(size=4, communities=1))
+        tables = catalog.all_tables()
+        pairs = [
+            (tables[i], tables[j])
+            for i in range(len(tables))
+            for j in range(i + 1, len(tables))
+        ]
+        serial, _ = score_pairs(ValueOverlapMatcher(), pairs, workers=1)
+        parallel, workers = score_pairs(
+            ValueOverlapMatcher(), pairs, workers=2, pool="process"
+        )
+        assert workers == 2
+        assert parallel == serial
+
+    def test_process_clones_drop_pure_cache_index_only(self):
+        from repro.alignment.parallel import _index_free_parity, detach_profile_index
+        from repro.matching import ContentTfIdfMatcher, MetadataMatcher
+
+        tables = []
+        for source in _community_catalog(size=3):
+            tables.extend(source.tables())
+        index = CatalogProfileIndex.from_tables(tables)
+        metadata = MetadataMatcher(profile_index=index)
+        # The index is a pure cache for metadata evidence: droppable.
+        assert _index_free_parity(metadata)
+        clone = detach_profile_index(metadata)
+        assert clone.profile_index is None
+        assert metadata.profile_index is index  # caller untouched
+        # tf-idf document frequencies depend on the index corpus: kept.
+        assert not _index_free_parity(ContentTfIdfMatcher(profile_index=index))
+
+
+class TestServiceIntegration:
+    def _register(self, config: ServiceConfig, strategy: str = "profile_blocked"):
+        set_edge_id_counter(0)
+        service = QService(_community_catalog(size=6, communities=2), config=config)
+        incoming = make_community_source("incoming", community=0, seed=99)
+        response = service.register_source(
+            RegisterSourceRequest(source=incoming, strategy=strategy, value_filter=True)
+        )
+        log = [
+            (c.source.qualified, c.target.qualified, c.confidence, c.matcher)
+            for c in response.alignment.correspondences
+        ] + [e.edge_id for e in response.alignment.edges_added]
+        return service, log
+
+    def test_scaling_knobs_do_not_change_registrations(self):
+        baseline = None
+        for config in (
+            ServiceConfig(),
+            ServiceConfig(profile_shards=4),
+            ServiceConfig(sketch_num_perm=16),
+            ServiceConfig(
+                profile_shards=4, sketch_num_perm=16, registration_workers=4
+            ),
+        ):
+            _, log = self._register(config)
+            if baseline is None:
+                baseline = log
+                assert log  # the community workload must actually align
+            else:
+                assert log == baseline
+
+    def test_profile_blocked_matches_exhaustive(self):
+        _, blocked = self._register(ServiceConfig(), strategy="profile_blocked")
+        _, exhaustive = self._register(ServiceConfig(), strategy="exhaustive")
+        assert blocked == exhaustive
+
+    def test_profile_blocked_requires_profile_index(self):
+        from repro.exceptions import AlignmentError
+
+        with pytest.raises(AlignmentError):
+            ProfileBlockedAligner(ValueOverlapMatcher(), profile_index=None)
+
+    def test_stats_surface_scaling_counters(self):
+        service, _ = self._register(
+            ServiceConfig(
+                profile_shards=4, sketch_num_perm=16, registration_workers=2
+            )
+        )
+        stats = service.stats()
+        assert stats.profile_shards == 4
+        assert stats.sketch_candidates > 0
+        assert stats.exact_candidates > 0
+        assert stats.exact_candidates <= stats.sketch_candidates
+        assert stats.pairs_scored > 0
+        assert stats.pool_workers == 2
+        assert stats.pair_memo_entries >= 0
