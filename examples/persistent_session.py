@@ -56,47 +56,52 @@ def answer_lines(service: QService, view_ref: str) -> list:
 def build_and_save(path: Path) -> list:
     """Phase 1: register sources, train on feedback, checkpoint the session."""
     dataset = build_interpro_go(include_foreign_keys=True)
-    service = QService(
+    # QService is a context manager: __exit__ closes the session (flushing
+    # any autosave journal and releasing the storage backend) even when a
+    # phase fails part-way.
+    with QService(
         sources=[dataset.interpro, dataset.go],
         config=ServiceConfig(top_k=5, top_y=2),
-    )
-    service.bootstrap_alignments(top_y=2)
-    info = service.create_view(QueryRequest(keywords=KEYWORDS, k=5))
-    print(f"view {info.view_id} over {list(info.keywords)}: {info.tree_count} trees")
-
-    answers = list(service.stream_answers(QueryRequest(view=info.view_id)))
-    if answers:
-        response = service.feedback(
-            FeedbackRequest(view=info.view_id, answer=answers[0], replay=2)
-        )
+    ) as service:
+        service.bootstrap_alignments(top_y=2)
+        info = service.create_view(QueryRequest(keywords=KEYWORDS, k=5))
         print(
-            f"feedback applied: {response.steps_processed} learner steps, "
-            f"weight change {response.weight_change:.4f}"
+            f"view {info.view_id} over {list(info.keywords)}: {info.tree_count} trees"
         )
 
-    report = service.save(path)
-    stats = service.stats()
-    print(
-        f"saved snapshot v{report.snapshot_version} to {path} "
-        f"({stats.sources} sources, {stats.views} view(s), "
-        f"{stats.learner_steps} learner steps)"
-    )
-    return answer_lines(service, info.view_id)
+        answers = list(service.stream_answers(QueryRequest(view=info.view_id)))
+        if answers:
+            response = service.feedback(
+                FeedbackRequest(view=info.view_id, answer=answers[0], replay=2)
+            )
+            print(
+                f"feedback applied: {response.steps_processed} learner steps, "
+                f"weight change {response.weight_change:.4f}"
+            )
+
+        report = service.save(path)
+        stats = service.stats()
+        print(
+            f"saved snapshot v{report.snapshot_version} to {path} "
+            f"({stats.sources} sources, {stats.views} view(s), "
+            f"{stats.learner_steps} learner steps)"
+        )
+        return answer_lines(service, info.view_id)
 
 
 def reopen_and_stream(path: Path) -> list:
     """Phase 2: warm-start from disk — no profiling, matching or alignment."""
-    service = QService.open(path)
-    stats = service.stats()
-    print(
-        f"reopened snapshot v{stats.snapshot_version}: {stats.sources} sources, "
-        f"{stats.views} view(s), {stats.learner_steps} learner steps restored"
-    )
-    view = service.views.latest()
-    lines = answer_lines(service, view.view_id)
-    for line in lines[:5]:
-        print("  " + line)
-    return lines
+    with QService.open(path) as service:
+        stats = service.stats()
+        print(
+            f"reopened snapshot v{stats.snapshot_version}: {stats.sources} sources, "
+            f"{stats.views} view(s), {stats.learner_steps} learner steps restored"
+        )
+        view = service.views.latest()
+        lines = answer_lines(service, view.view_id)
+        for line in lines[:5]:
+            print("  " + line)
+        return lines
 
 
 def main() -> None:

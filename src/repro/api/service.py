@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import fields as dataclass_fields
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..alignment.base import AlignmentResult, install_associations
 from ..alignment.registration import SourceRegistrar
@@ -40,10 +40,16 @@ from ..datastore.database import Catalog, DataSource
 from ..datastore.provenance import AnswerTuple
 from ..engine.context import ExecutionContext
 from ..exceptions import InvalidRequestError, RegistrationError
-from ..graph.query_graph import QueryGraphBuilder
+from ..graph.query_graph import QueryGraph, QueryGraphBuilder
 from ..graph.search_graph import SearchGraph
-from ..learning.feedback import FeedbackEvent, FeedbackLog
+from ..learning.feedback import (
+    AnswerAnnotation,
+    FeedbackEvent,
+    FeedbackGeneralizer,
+    FeedbackLog,
+)
 from ..learning.mira import OnlineLearner
+from ..learning.overlays import TenantRegistry, graph_with_weights
 from ..matching.base import BaseMatcher, Correspondence, resolve_matcher
 from ..matching.ensemble import MatcherEnsemble
 from ..matching.mad import MadMatcher
@@ -206,6 +212,14 @@ class QService:
         #: originating view's query graph per event; the shared weight
         #: vector makes every update visible to all views.
         self.learner = OnlineLearner(self.graph, k=self.config.top_k)
+        #: Per-tenant weight overlays over the shared base vector (created
+        #: on first use by a tenant-scoped query or feedback request).
+        self.tenants = TenantRegistry(self.graph.weights)
+        # (view_id, tenant) -> (base query-graph identity, tenant view).
+        # A tenant view shares the base view's expansion (same nodes, edge
+        # ids, signatures) but prices it under the tenant's overlay; it is
+        # rebuilt whenever the base view re-expands (object identity moves).
+        self._tenant_views: Dict[Tuple[str, str], Tuple[QueryGraph, RankedView]] = {}
         self._refreshes = 0
         self._refreshes_skipped = 0
         #: Registration-scaling counters (surfaced through :meth:`stats`).
@@ -395,6 +409,46 @@ class QService:
         self._refreshes += 1
         return True
 
+    def prepare_view(self, ref: Union[ViewRef, ViewRecord]) -> ViewInfo:
+        """Bring one view's *ranking* up to date without executing queries.
+
+        The solve-only analogue of a read's lazy sync: stale views re-solve
+        (re-expanding if the graph structure moved), current views are left
+        alone.  The serving layer calls this in its writer lane before
+        applying feedback, so annotation generalization always runs against
+        the current retained trees.
+        """
+        record = self.views.resolve(ref)
+        if self._is_stale(record):
+            record.view.prepare(rebuild_graph=self._needs_rebuild(record))
+            self._mark_synced(record)
+            self._refreshes += 1
+        else:
+            self._refreshes_skipped += 1
+        return self._info(record)
+
+    def prepare_views(self, structural_only: bool = True) -> int:
+        """Re-expand every view whose staleness demands it; returns the count.
+
+        With ``structural_only`` (the default) only views whose query-graph
+        *structure* is stale re-expand — the serving layer runs this in its
+        single writer lane after each mutation so that all query-graph
+        expansion (which consumes process-global edge ids) happens there,
+        never on a concurrent read.  Weight-only staleness needs no eager
+        work: rankings re-solve lazily under whatever weight vector prices
+        the next read.  ``structural_only=False`` also re-solves
+        weight-stale views (administrative warm-up).
+        """
+        prepared = 0
+        for record in self.views.records():
+            stale = self._needs_rebuild(record) if structural_only else self._is_stale(record)
+            if stale:
+                record.view.prepare(rebuild_graph=self._needs_rebuild(record))
+                self._mark_synced(record)
+                self._refreshes += 1
+                prepared += 1
+        return prepared
+
     def refresh_all_views(self, force: bool = False) -> int:
         """Pull every view up to date; returns how many actually refreshed.
 
@@ -414,10 +468,11 @@ class QService:
         """Ranked answers of a view as a lazy stream of pages.
 
         The read pulls the view's consistency (refreshing at most once if
-        stale), then streams: query execution happens page by page.
+        stale), then streams: query execution happens page by page.  A
+        ``tenant`` on the request ranks under that tenant's weight overlay.
         """
         record = self._record_for_query(request)
-        stream = self._synced_stream(record)
+        stream = self._request_stream(record, request)
         page_size = (
             request.page_size
             if request.page_size is not None
@@ -428,10 +483,15 @@ class QService:
     def stream_answers(self, request: QueryRequest) -> Iterator[AnswerTuple]:
         """Like :meth:`answers` but yielding raw answers without paging."""
         record = self._record_for_query(request)
-        stream = self._synced_stream(record)
+        stream = self._request_stream(record, request)
         if request.limit is not None:
             return itertools.islice(stream, request.limit)
         return stream
+
+    def _request_stream(self, record: ViewRecord, request: QueryRequest) -> Iterator[AnswerTuple]:
+        if request.tenant is None:
+            return self._synced_stream(record)
+        return self._tenant_stream(record, request.tenant)
 
     def _record_for_query(self, request: QueryRequest) -> ViewRecord:
         if request.view is not None:
@@ -472,6 +532,60 @@ class QService:
             self._refreshes_skipped += 1
         self._mark_synced(record)
         return stream
+
+    # ------------------------------------------------------------------
+    # Tenant overlays
+    # ------------------------------------------------------------------
+    def _tenant_stream(self, record: ViewRecord, tenant: str) -> Iterator[AnswerTuple]:
+        """A ranked stream priced under ``tenant``'s weight overlay.
+
+        The base view is first brought structurally up to date (its query
+        graph is the shared expansion the tenant view re-prices), then the
+        tenant view solves under the overlay.  The tenant view's own solve
+        state is keyed on the overlay's effective version — base-weight
+        movement and overlay movement both invalidate it.
+        """
+        stale = self._is_stale(record)
+        if stale:
+            record.view.prepare(rebuild_graph=self._needs_rebuild(record))
+            self._refreshes += 1
+        else:
+            self._refreshes_skipped += 1
+        self._mark_synced(record)
+        return self._tenant_view(record, tenant).stream_answers()
+
+    def _tenant_view(self, record: ViewRecord, tenant: str) -> RankedView:
+        """The cached tenant-priced twin of ``record``'s view.
+
+        Shares the base view's query-graph *topology* (same nodes, edge ids
+        and therefore tree signatures) through a structural graph clone
+        whose weight vector is the tenant's overlay.  Rebuilt whenever the
+        base view re-expands (the query-graph object identity moves).
+        """
+        base_view = record.view
+        key = (record.view_id, tenant)
+        cached = self._tenant_views.get(key)
+        if cached is not None and cached[0] is base_view.query_graph:
+            return cached[1]
+        overlay = self.tenants.overlay(tenant)
+        base_qg = base_view.query_graph
+        tenant_qg = QueryGraph(
+            graph=graph_with_weights(base_qg.graph, overlay),
+            keyword_nodes=dict(base_qg.keyword_nodes),
+            matches=list(base_qg.matches),
+        )
+        view = RankedView(
+            list(base_view.keywords),
+            self.catalog,
+            self.graph,
+            k=base_view.k,
+            builder=self._query_builder(),
+            answer_limit=self.config.answer_limit,
+            engine_context=self.engine_context,
+            query_graph=tenant_qg,
+        )
+        self._tenant_views[key] = (base_qg, view)
+        return view
 
     # ------------------------------------------------------------------
     # Registration of new sources
@@ -633,8 +747,14 @@ class QService:
         graph (whose weight vector is shared with the search graph, so all
         views see the adjusted costs on their next read — no view is
         refreshed here).
+
+        With a ``tenant`` on the request the learned update lands in that
+        tenant's weight overlay instead: the tenant's own ranking moves,
+        the shared base vector (and thus every other tenant) does not.
         """
         record = self.views.resolve(request.view)
+        if request.tenant is not None:
+            return self._tenant_feedback(record, request)
         event = record.view.annotate(request.answer, request.kind, other=request.other)
         self.feedback_log.add(event)
         results = self.learner.replay(
@@ -647,6 +767,42 @@ class QService:
             steps_processed=len(results),
             weight_change=sum(step.weight_change for step in results),
             weights_version=self.graph.weights.version,
+        )
+
+    def _tenant_feedback(self, record: ViewRecord, request: FeedbackRequest) -> FeedbackResponse:
+        """Apply feedback into one tenant's overlay.
+
+        The annotation is generalized against the union of the base view's
+        and the tenant view's retained trees (the answer may have been read
+        under either ranking — signatures agree because both price the same
+        expansion), then replayed through the shared learner with the
+        overlay as the ``weights=`` override.  The event still lands in the
+        session-wide feedback log for introspection and persistence.
+        """
+        profile = self.tenants.profile(request.tenant)
+        tenant_view = self._tenant_view(record, request.tenant)
+        tenant_view.prepare()
+        trees = record.view.trees_by_signature()
+        trees.update(tenant_view.trees_by_signature())
+        generalizer = FeedbackGeneralizer(tenant_view.terminals, trees)
+        event = generalizer.generalize(
+            AnswerAnnotation(answer=request.answer, kind=request.kind, other=request.other)
+        )
+        self.feedback_log.add(event)
+        results = self.learner.replay(
+            [event],
+            request.replay,
+            graph=record.view.query_graph.graph,
+            weights=profile.overlay,
+        )
+        profile.events_applied += len(results)
+        self._after_mutation()
+        return FeedbackResponse(
+            view_id=record.view_id,
+            events=(event,),
+            steps_processed=len(results),
+            weight_change=sum(step.weight_change for step in results),
+            weights_version=profile.overlay.version,
         )
 
     def apply_feedback_events(
@@ -862,6 +1018,10 @@ class QService:
             )
         self._refreshes = overlay.get("refreshes", 0)
         self._refreshes_skipped = overlay.get("refreshes_skipped", 0)
+        # Tenant overlays: sparse per-tenant weight deltas over the shared
+        # base vector, restored wholesale (no replay needed — the learned
+        # shadows are the durable artifact).
+        self.tenants.restore(overlay.get("tenants") or {})
         # Authoritative counters last: the replay above moved versions as a
         # side effect; the saved values make staleness checks and future
         # edge-id allocation agree exactly with the session that saved.
@@ -914,6 +1074,7 @@ class QService:
             pairs_scored=self._pairs_scored,
             pool_workers=self._pool_workers,
             pair_memo_entries=self.profile_index.pair_memo_size,
+            tenants=len(self.tenants),
         )
 
     def close(self) -> None:
@@ -935,3 +1096,11 @@ class QService:
         ):
             self.save()
         self.catalog.close()
+
+    def __enter__(self) -> "QService":
+        """Context-manager entry: the session itself."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Context-manager exit: delegate to :meth:`close` (idempotent)."""
+        self.close()

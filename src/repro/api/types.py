@@ -73,6 +73,14 @@ class ServiceConfig:
     registration_pool: str = "thread"
     #: LRU cap on the profile index's schema-fingerprint pair memo.
     pair_memo_limit: int = 4096
+    #: Serving-layer knobs (see :mod:`repro.service`): size of the
+    #: concurrent read pool of a :class:`~repro.service.server.QServer`;
+    #: 0 = one reader per CPU.
+    read_workers: int = 4
+    #: Bound on the serving layer's single-writer mutation queue; writes
+    #: beyond it fail fast with
+    #: :class:`~repro.exceptions.ServiceOverloadedError`.
+    write_queue_limit: int = 64
 
 
 @dataclass(frozen=True)
@@ -97,6 +105,10 @@ class QueryRequest:
         Answers per page (defaults to the session config).
     limit:
         Cap on the total number of answers streamed.
+    tenant:
+        Optional tenant name: answers are ranked under that tenant's
+        weight overlay (shared base weights plus the tenant's learned
+        deltas) instead of the shared base vector.
     """
 
     keywords: Tuple[str, ...] = ()
@@ -105,6 +117,7 @@ class QueryRequest:
     name: Optional[str] = None
     page_size: Optional[int] = None
     limit: Optional[int] = None
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "keywords", tuple(self.keywords))
@@ -198,6 +211,10 @@ class FeedbackRequest:
         For PREFERRED_OVER, the answer that should rank lower.
     replay:
         How many times the generalized event is applied in a row.
+    tenant:
+        Optional tenant name: the learned update lands in that tenant's
+        weight overlay, personalizing their ranking without perturbing the
+        shared base weights.
     """
 
     view: ViewRef
@@ -205,6 +222,7 @@ class FeedbackRequest:
     kind: AnnotationKind = AnnotationKind.VALID
     other: Optional[AnswerTuple] = None
     replay: int = 1
+    tenant: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -270,3 +288,5 @@ class SystemStats:
     pairs_scored: int = 0
     pool_workers: int = 1
     pair_memo_entries: int = 0
+    #: Tenants with a weight overlay in this session (0 = single-tenant).
+    tenants: int = 0

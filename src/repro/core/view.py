@@ -375,6 +375,15 @@ class RankedView:
     # ------------------------------------------------------------------
     # Feedback
     # ------------------------------------------------------------------
+    def trees_by_signature(self) -> Dict[str, SteinerTree]:
+        """Tree signature → retained tree of the last solve (a copy).
+
+        The multi-tenant feedback path merges this base map with the trees
+        of a tenant-priced re-solve so annotations on answers produced under
+        *either* ranking can be generalized.
+        """
+        return dict(self._trees_by_signature)
+
     def feedback_generalizer(self) -> FeedbackGeneralizer:
         """A generalizer mapping this view's answer annotations to tree feedback."""
         return FeedbackGeneralizer(self.terminals, dict(self._trees_by_signature))

@@ -21,6 +21,7 @@ the Q system calls).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -88,25 +89,74 @@ class SteinerNetworkCache:
         self._entries: "OrderedDict[int, Tuple[SearchGraph, Tuple[int, int], SteinerNetwork]]" = (
             OrderedDict()
         )
+        # The LRU bookkeeping (move_to_end + popitem) is not safe under the
+        # GIL alone; the serving layer shares one cache across its whole
+        # read pool, so all lookups serialize on this lock.  Network builds
+        # happen inside the critical section too: duplicate concurrent
+        # builds of the same (graph, versions) snapshot would waste far more
+        # time than the brief exclusion costs.
+        self._lock = threading.Lock()
         self.hits = 0
         self.builds = 0
+        #: Networks derived from a cached donor's topology instead of built
+        #: from scratch (the per-tenant overlay fast path).
+        self.rescores = 0
 
     def network(self, graph: SearchGraph) -> SteinerNetwork:
         """The cached snapshot of ``graph``, rebuilt iff its versions moved."""
         versions = (graph.weights.version, graph.structure_version)
         key = id(graph)
-        entry = self._entries.get(key)
-        if entry is not None and entry[0] is graph and entry[1] == versions:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] is graph and entry[1] == versions:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[2]
+            network = self._rescore_from_donor(graph)
+            if network is None:
+                network = SteinerNetwork(graph)
+                self.builds += 1
+            else:
+                self.rescores += 1
+            self._entries[key] = (graph, versions, network)
             self._entries.move_to_end(key)
-            self.hits += 1
-            return entry[2]
-        network = SteinerNetwork(graph)
-        self._entries[key] = (graph, versions, network)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-        self.builds += 1
-        return network
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            return network
+
+    def _rescore_from_donor(self, graph: SearchGraph) -> Optional[SteinerNetwork]:
+        """A snapshot derived from a topology twin already in the cache.
+
+        Applies to graphs priced under an
+        :class:`~repro.learning.overlays.OverlayWeightVector` (duck-typed
+        via its ``base`` / ``shadow_dict`` surface): when the cache holds a
+        current network for a structural twin priced under the overlay's
+        *base* vector, the tenant network shares that donor's topology and
+        re-prices only the overlay's shadowed features, instead of
+        re-indexing every node and re-deriving every edge cost.  Twinhood is
+        verified by edge-object identity — the exact sharing
+        :func:`~repro.learning.overlays.graph_with_weights` guarantees — so
+        a false positive is impossible, merely a missed fast path.
+        """
+        weights = graph.weights
+        base = getattr(weights, "base", None)
+        shadow_of = getattr(weights, "shadow_dict", None)
+        if base is None or shadow_of is None:
+            return None
+        target = (base.version, graph.structure_version)
+        edges = graph.edges()
+        for donor_graph, donor_versions, donor_network in self._entries.values():
+            if donor_graph.weights is not base or donor_versions != target:
+                continue
+            donor_edges = donor_graph.edges()
+            if len(donor_edges) != len(edges):
+                continue
+            if any(a is not b for a, b in zip(edges, donor_edges)):
+                continue
+            return donor_network.rescored(
+                graph, changed_features=frozenset(shadow_of())
+            )
+        return None
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -155,6 +155,26 @@ class RegistrationError(QError):
     """Raised when registration of a new data source fails."""
 
 
+class ServiceOverloadedError(QError):
+    """Raised when the serving layer's bounded writer queue is full.
+
+    The concurrent server (:mod:`repro.service`) funnels every mutation —
+    registrations, feedback, removals — through a single-writer queue so
+    readers never observe a half-applied change.  The queue is bounded to
+    provide backpressure: once ``write_queue_limit`` mutations are pending,
+    further writes fail fast with this error instead of piling up behind a
+    registration burst.  Reads are never rejected; they do not enter the
+    queue at all.
+    """
+
+    def __init__(self, pending: int, limit: int) -> None:
+        super().__init__(
+            f"write queue is full ({pending} pending, limit {limit}); retry later"
+        )
+        self.pending = pending
+        self.limit = limit
+
+
 class SnapshotError(QError):
     """Raised by the session persistence layer (:mod:`repro.persist`).
 

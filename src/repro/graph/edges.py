@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -40,10 +41,13 @@ class EdgeKind(enum.Enum):
 
 
 _edge_counter = itertools.count()
+_edge_counter_lock = threading.Lock()
 
 
 def _next_edge_id(kind: EdgeKind, u: str, v: str) -> str:
-    return f"{kind.value}:{u}|{v}#{next(_edge_counter)}"
+    with _edge_counter_lock:
+        sequence = next(_edge_counter)
+    return f"{kind.value}:{u}|{v}#{sequence}"
 
 
 def edge_id_counter() -> int:
@@ -56,14 +60,26 @@ def edge_id_counter() -> int:
     would.  Peeking is implemented as consume-and-rebind so it also works
     when a test has installed a plain ``itertools.count`` by hand (the
     historical replay-parity hook, which keeps working unchanged).
+
+    The counter is process-global mutable state, so every touch point —
+    allocation, peek, restore — serializes on one lock; the concurrent
+    serving layer funnels all graph mutation through a single writer, but
+    independent :class:`~repro.api.service.QService` instances in one
+    process may still allocate ids from different threads.
     """
-    value = next(_edge_counter)
-    set_edge_id_counter(value)
+    with _edge_counter_lock:
+        value = next(_edge_counter)
+        _rebind_edge_counter(value)
     return value
 
 
 def set_edge_id_counter(value: int) -> None:
     """Restart the process-global edge-id counter at ``value``."""
+    with _edge_counter_lock:
+        _rebind_edge_counter(value)
+
+
+def _rebind_edge_counter(value: int) -> None:
     global _edge_counter
     _edge_counter = itertools.count(value)
 

@@ -333,22 +333,38 @@ class SearchGraph:
 
         existing = self.find_edges(u, v, EdgeKind.ASSOCIATION)
         if existing:
+            # Copy-on-write merge: build a *new* Edge carrying the merged
+            # features/metadata and swap it into this graph's edge container
+            # under the same id.  Graph copies made before the merge (e.g.
+            # published read-snapshots of the serving layer) keep the old
+            # Edge object in their own containers, so concurrent readers
+            # never observe a half-merged edge.
             edge = existing[0]
             features = edge.features
+            merged_meta = dict(edge.metadata)
+            merged_meta["matchers"] = dict(merged_meta.get("matchers", {}))  # type: ignore[arg-type]
             for matcher_name, confidence in confidences.items():
                 features = features.with_feature(matcher_feature(matcher_name), float(confidence))
                 self._ensure_matcher_weight(matcher_name)
-                edge.metadata.setdefault("matchers", {})
-                edge.metadata["matchers"][matcher_name] = float(confidence)  # type: ignore[index]
+                merged_meta["matchers"][matcher_name] = float(confidence)  # type: ignore[index]
             if metadata:
-                edge.metadata.update(metadata)
-            edge.features = features
+                merged_meta.update(metadata)
+            merged = Edge(
+                edge_id=edge.edge_id,
+                u=edge.u,
+                v=edge.v,
+                kind=edge.kind,
+                features=features,
+                fixed_cost=edge.fixed_cost,
+                metadata=merged_meta,
+            )
+            self._edges[edge.edge_id] = merged
             # Merging confidences changes the edge's cost without touching
             # the weight vector; bump the structure version so version-based
             # staleness checks (incremental refresh, lazy pull-based views)
             # see that graph content moved.
             self.structure_version += 1
-            return edge
+            return merged
 
         edge = Edge.create(u, v, EdgeKind.ASSOCIATION, metadata=dict(metadata or {}))
         edge.metadata["matchers"] = dict(confidences)

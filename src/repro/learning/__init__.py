@@ -21,6 +21,12 @@ from .feedback import (
     FeedbackLog,
 )
 from .loss import normalized_edge_loss, symmetric_edge_loss, zero_one_loss
+from .overlays import (
+    OverlayWeightVector,
+    TenantProfile,
+    TenantRegistry,
+    graph_with_weights,
+)
 from .mira import (
     FeedbackStepResult,
     LinearConstraint,
@@ -39,6 +45,10 @@ __all__ = [
     "FeedbackStepResult",
     "LinearConstraint",
     "OnlineLearner",
+    "OverlayWeightVector",
+    "TenantProfile",
+    "TenantRegistry",
+    "graph_with_weights",
     "hildreth_solve",
     "normalized_edge_loss",
     "symmetric_edge_loss",

@@ -162,7 +162,10 @@ class OnlineLearner:
     # Single feedback step
     # ------------------------------------------------------------------
     def process(
-        self, event: FeedbackEvent, graph: Optional[SearchGraph] = None
+        self,
+        event: FeedbackEvent,
+        graph: Optional[SearchGraph] = None,
+        weights: Optional[WeightVector] = None,
     ) -> FeedbackStepResult:
         """Apply one feedback event, updating the graph's weights in place.
 
@@ -172,8 +175,20 @@ class OnlineLearner:
         *query* graph of whichever view produced each event — the feedback
         terminals are keyword nodes that exist only there, while the weight
         vector is shared so every view observes the update.
+
+        ``weights`` optionally overrides the weight vector the step reads
+        *and writes* — the multi-tenant overlay path.  The event is then
+        solved and applied against a structural clone of ``graph`` priced
+        under ``weights`` (typically an
+        :class:`~repro.learning.overlays.OverlayWeightVector`), so a
+        tenant's feedback personalizes that vector without ever touching
+        the graph's shared base weights.
         """
         graph = graph if graph is not None else self.graph
+        if weights is not None and weights is not graph.weights:
+            from .overlays import graph_with_weights
+
+            graph = graph_with_weights(graph, weights)
         terminals = [t for t in event.terminals if graph.has_node(t)]
         if not terminals:
             raise LearningError("feedback event references no terminals present in the graph")
@@ -230,16 +245,20 @@ class OnlineLearner:
     # Streams of feedback
     # ------------------------------------------------------------------
     def process_stream(
-        self, events: Iterable[FeedbackEvent], graph: Optional[SearchGraph] = None
+        self,
+        events: Iterable[FeedbackEvent],
+        graph: Optional[SearchGraph] = None,
+        weights: Optional[WeightVector] = None,
     ) -> List[FeedbackStepResult]:
         """Apply a sequence of feedback events in order."""
-        return [self.process(event, graph=graph) for event in events]
+        return [self.process(event, graph=graph, weights=weights) for event in events]
 
     def replay(
         self,
         events: Sequence[FeedbackEvent],
         repetitions: int,
         graph: Optional[SearchGraph] = None,
+        weights: Optional[WeightVector] = None,
     ) -> List[FeedbackStepResult]:
         """Apply ``events`` ``repetitions`` times in a row (feedback replay).
 
@@ -249,5 +268,5 @@ class OnlineLearner:
         """
         results: List[FeedbackStepResult] = []
         for _ in range(max(repetitions, 0)):
-            results.extend(self.process_stream(events, graph=graph))
+            results.extend(self.process_stream(events, graph=graph, weights=weights))
         return results

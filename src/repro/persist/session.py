@@ -91,7 +91,12 @@ def view_record_payload(record, base_graph) -> Dict[str, object]:
 
 def overlay_payload(service) -> Dict[str, object]:
     """The always-rewritten small tail state of one session."""
+    # Duck-typed like everything else here: the tenant registry exists on
+    # multi-tenant-capable services; older/simpler session objects without
+    # one persist an empty mapping.
+    tenants = getattr(service, "tenants", None)
     return {
+        "tenants": tenants.export_state() if tenants is not None else {},
         "edge_id_counter": edge_id_counter(),
         "weights_version": service.graph.weights.version,
         "structure_version": service.graph.structure_version,

@@ -1,0 +1,428 @@
+"""Concurrent multi-tenant serving front end over one :class:`QService`.
+
+:class:`QServer` splits the service's traffic into two lanes:
+
+* **Reads** — queries, answer streams, stats — run concurrently on a thread
+  pool.  Each read grabs the current :class:`~repro.service.snapshots.ReadSnapshot`
+  reference once and answers entirely against it, so reads never block on
+  writes, never observe a half-applied mutation, and two reads of the same
+  (view, tenant) on one snapshot share a single solve.
+* **Writes** — feedback, source registration/removal, view creation — are
+  serialized through one bounded queue drained by a single writer thread.
+  After each *successful* write the writer re-expands structurally stale
+  views (so all edge-id-consuming expansion happens in the writer lane) and
+  publishes a fresh snapshot **before** completing the write's future: by
+  the time a caller observes its write finished, every new read sees it.
+
+The queue bound is the backpressure contract: when ``write_queue_limit``
+writes are already pending, further writes fail fast with
+:class:`~repro.exceptions.ServiceOverloadedError` instead of queuing
+unboundedly — readers are unaffected (they never enter the queue), and
+admitted writes retain FIFO fairness.  A failed write publishes nothing:
+its snapshot never exists, and its future carries the exception.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..datastore.provenance import AnswerTuple
+from ..exceptions import InvalidRequestError, ServiceOverloadedError
+from ..api.streaming import paginate
+from ..api.types import (
+    AnswerPage,
+    FeedbackRequest,
+    QueryRequest,
+    RegisterSourceRequest,
+    ViewInfo,
+)
+from .snapshots import ReadSnapshot, SnapshotCounters
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """One snapshot-isolated query answer: the data plus its provenance.
+
+    ``snapshot_id`` identifies the exact service state (= number of writes
+    applied before capture) the answers were priced and executed against —
+    the handle the load harness's isolation oracle replays.
+    """
+
+    view_id: str
+    view_name: str
+    snapshot_id: int
+    tenant: Optional[str]
+    answers: Tuple[AnswerTuple, ...]
+    page_size: int
+
+    def pages(self) -> Iterator[AnswerPage]:
+        """The answers re-chunked into the service's page shape."""
+        return paginate(self.answers, self.view_id, self.page_size)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Aggregate counters of one serving front end."""
+
+    snapshot_id: int
+    reads_served: int
+    writes_applied: int
+    writes_failed: int
+    writes_rejected: int
+    snapshots_published: int
+    pinned_materializations: int
+    pinned_carryovers: int
+    queue_depth: int
+    read_workers: int
+    write_queue_limit: int
+
+
+class _WriteOp:
+    __slots__ = ("fn", "kind", "tag", "future")
+
+    def __init__(self, fn: Callable[[], object], kind: str, tag: Optional[str]) -> None:
+        self.fn = fn
+        self.kind = kind
+        self.tag = tag
+        self.future: Future = Future()
+
+
+class QServer:
+    """Thread-pooled, snapshot-isolated serving layer over a session.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.api.service.QService` to serve.  The server owns
+        its mutation discipline from construction on: apply writes through
+        the server, not directly on the service.
+    read_workers:
+        Size of the concurrent read pool; ``0`` = one per CPU.  Defaults to
+        ``service.config.read_workers``.
+    write_queue_limit:
+        Bound of the single-writer mutation queue.  Defaults to
+        ``service.config.write_queue_limit``.
+
+    Every read/write has a ``submit_*`` form returning a
+    :class:`concurrent.futures.Future` (asyncio-friendly via
+    ``asyncio.wrap_future``) and a blocking convenience form.
+    """
+
+    def __init__(
+        self,
+        service,
+        read_workers: Optional[int] = None,
+        write_queue_limit: Optional[int] = None,
+    ) -> None:
+        self._service = service
+        workers = (
+            read_workers
+            if read_workers is not None
+            else getattr(service.config, "read_workers", 4)
+        )
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise InvalidRequestError(f"read_workers must be >= 0, got {workers}")
+        limit = (
+            write_queue_limit
+            if write_queue_limit is not None
+            else getattr(service.config, "write_queue_limit", 64)
+        )
+        if limit < 1:
+            raise InvalidRequestError(f"write_queue_limit must be >= 1, got {limit}")
+        self.read_workers = workers
+        self.write_queue_limit = limit
+
+        self._counters = SnapshotCounters()
+        self._stats_lock = threading.Lock()
+        self._reads_served = 0
+        self._writes_applied = 0
+        self._writes_failed = 0
+        self._writes_rejected = 0
+        self._snapshots_published = 0
+        #: ``(kind, tag)`` of every applied write, in apply order — the
+        #: exact serial schedule an isolation oracle must replay.
+        self.write_log: List[Tuple[str, Optional[str]]] = []
+
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=limit)
+        # Initial publish happens before any reader or writer exists, so
+        # snapshot 0 is the pristine service state.
+        service.prepare_views(structural_only=True)
+        self._snapshot = ReadSnapshot.capture(
+            service, 0, previous=None, counters=self._counters
+        )
+        self._snapshots_published = 1
+        self._read_pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="qserve-read"
+        )
+        self._writer = threading.Thread(
+            target=self._writer_loop, name="qserve-writer", daemon=True
+        )
+        self._writer.start()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def submit_query(self, request: QueryRequest) -> "Future[ReadResult]":
+        """Schedule a snapshot-isolated read; returns its future."""
+        self._check_open()
+        return self._read_pool.submit(self._read, request)
+
+    def query(self, request: QueryRequest) -> ReadResult:
+        """Blocking form of :meth:`submit_query`."""
+        return self.submit_query(request).result()
+
+    def snapshot(self) -> ReadSnapshot:
+        """The currently published snapshot (advanced by each write)."""
+        return self._snapshot
+
+    def stats(self) -> ServerStats:
+        with self._stats_lock:
+            reads = self._reads_served
+            applied = self._writes_applied
+            failed = self._writes_failed
+            rejected = self._writes_rejected
+            published = self._snapshots_published
+        with self._counters.lock:
+            materializations = self._counters.materializations
+            carryovers = self._counters.carryovers
+        return ServerStats(
+            snapshot_id=self._snapshot.snapshot_id,
+            reads_served=reads,
+            writes_applied=applied,
+            writes_failed=failed,
+            writes_rejected=rejected,
+            snapshots_published=published,
+            pinned_materializations=materializations,
+            pinned_carryovers=carryovers,
+            queue_depth=self._queue.qsize(),
+            read_workers=self.read_workers,
+            write_queue_limit=self.write_queue_limit,
+        )
+
+    def _read(self, request: QueryRequest) -> ReadResult:
+        snapshot = self._snapshot
+        ref = request.view
+        if ref is not None and not isinstance(ref, str):
+            raise InvalidRequestError(
+                "QServer resolves views by id or name; pass a string reference"
+            )
+        sv = snapshot.resolve(ref, request.keywords, request.name)
+        if sv is None:
+            if not request.keywords:
+                raise InvalidRequestError(
+                    "QueryRequest needs keywords or a view reference"
+                )
+            # Unknown keywords: view creation is a write.  Route it through
+            # the writer lane, then read against the post-create snapshot.
+            info = self._ensure_view(request)
+            snapshot = self._snapshot
+            sv = snapshot.resolve(info.view_id, (), None)
+            if sv is None:  # pragma: no cover - a concurrent remove raced us
+                raise InvalidRequestError(
+                    f"view {info.view_id} vanished before its first read"
+                )
+        if request.k is not None and sv.k != request.k:
+            raise InvalidRequestError(
+                f"view {sv.name!r} ({sv.view_id}) has k={sv.k}; the request "
+                f"asked for k={request.k} — omit k to read the existing "
+                "ranking, or create a view under another name"
+            )
+        answers = snapshot.answers_for(sv, request.tenant)
+        if request.limit is not None:
+            answers = answers[: request.limit]
+        page_size = (
+            request.page_size
+            if request.page_size is not None
+            else self._service.config.default_page_size
+        )
+        with self._stats_lock:
+            self._reads_served += 1
+        return ReadResult(
+            view_id=sv.view_id,
+            view_name=sv.name,
+            snapshot_id=snapshot.snapshot_id,
+            tenant=request.tenant,
+            answers=answers,
+            page_size=page_size,
+        )
+
+    def _ensure_view(self, request: QueryRequest) -> ViewInfo:
+        name = request.name or " ".join(request.keywords)
+        create = QueryRequest(keywords=request.keywords, k=request.k, name=name)
+
+        def fn() -> ViewInfo:
+            # Two readers may race to create the same view; the second
+            # becomes a cheap no-op in the writer lane.
+            if self._service.views.find_by_name(name) is not None:
+                return self._service.prepare_view(name)
+            return self._service.create_view(create, materialize=False)
+
+        return self._enqueue(fn, "create_view", name).result()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def submit_feedback(
+        self, request: FeedbackRequest, tag: Optional[str] = None
+    ) -> Future:
+        """Queue one feedback application (base weights or tenant overlay)."""
+
+        def fn():
+            # Generalization must run against trees solved under the
+            # current weights — writer-lane prepare, never a reader's.
+            self._service.prepare_view(request.view)
+            return self._service.feedback(request)
+
+        return self._enqueue(fn, "feedback", tag)
+
+    def feedback(self, request: FeedbackRequest, tag: Optional[str] = None):
+        return self.submit_feedback(request, tag=tag).result()
+
+    def submit_register(
+        self, request: RegisterSourceRequest, tag: Optional[str] = None
+    ) -> Future:
+        """Queue a source registration."""
+        return self._enqueue(
+            lambda: self._service.register_source(request),
+            "register",
+            tag if tag is not None else request.source.name,
+        )
+
+    def register(self, request: RegisterSourceRequest, tag: Optional[str] = None):
+        return self.submit_register(request, tag=tag).result()
+
+    def submit_remove(self, name: str, tag: Optional[str] = None) -> Future:
+        """Queue a source removal."""
+        return self._enqueue(
+            lambda: self._service.remove_source(name),
+            "remove",
+            tag if tag is not None else name,
+        )
+
+    def remove(self, name: str, tag: Optional[str] = None):
+        return self.submit_remove(name, tag=tag).result()
+
+    def submit_create_view(
+        self, request: QueryRequest, tag: Optional[str] = None
+    ) -> Future:
+        """Queue explicit view creation (reads auto-create on demand too)."""
+        return self._enqueue(
+            lambda: self._service.create_view(request, materialize=False),
+            "create_view",
+            tag if tag is not None else (request.name or " ".join(request.keywords)),
+        )
+
+    def create_view(self, request: QueryRequest, tag: Optional[str] = None) -> ViewInfo:
+        return self.submit_create_view(request, tag=tag).result()
+
+    def submit_mutation(
+        self, fn: Callable[[], object], kind: str = "custom", tag: Optional[str] = None
+    ) -> Future:
+        """Queue an arbitrary mutation of the underlying service.
+
+        ``fn`` runs in the writer lane with full mutation rights; a new
+        snapshot publishes after it returns.  This is the extension point
+        for administrative operations (and for tests that need to hold the
+        writer lane busy).
+        """
+        return self._enqueue(fn, kind, tag)
+
+    def _enqueue(self, fn: Callable[[], object], kind: str, tag: Optional[str]) -> Future:
+        self._check_open()
+        op = _WriteOp(fn, kind, tag)
+        try:
+            self._queue.put_nowait(op)
+        except queue.Full:
+            with self._stats_lock:
+                self._writes_rejected += 1
+            raise ServiceOverloadedError(
+                pending=self._queue.qsize(), limit=self.write_queue_limit
+            ) from None
+        return op.future
+
+    def _writer_loop(self) -> None:
+        while True:
+            op = self._queue.get()
+            if op is _SENTINEL:
+                break
+            if not op.future.set_running_or_notify_cancel():
+                continue
+            try:
+                result = op.fn()
+            except BaseException as exc:
+                # A failed write publishes nothing: no snapshot, no log
+                # entry — readers never see any partial effect it may have
+                # had beyond the service's own exception guarantees.
+                with self._stats_lock:
+                    self._writes_failed += 1
+                op.future.set_exception(exc)
+                continue
+            self.write_log.append((op.kind, op.tag))
+            try:
+                self._publish()
+            except BaseException as exc:  # pragma: no cover - capture bug
+                op.future.set_exception(exc)
+                continue
+            # Publish-before-complete: once the caller sees the future
+            # resolve, every subsequent read is guaranteed a snapshot that
+            # includes this write.
+            op.future.set_result(result)
+
+    def _publish(self) -> None:
+        # All structurally stale views re-expand here, in the single writer
+        # thread — query-graph expansion consumes process-global edge ids,
+        # so it must never run on a concurrent reader.
+        self._service.prepare_views(structural_only=True)
+        with self._stats_lock:
+            self._writes_applied += 1
+            snapshot_id = self._writes_applied
+        self._snapshot = ReadSnapshot.capture(
+            self._service,
+            snapshot_id,
+            previous=self._snapshot,
+            counters=self._counters,
+        )
+        with self._stats_lock:
+            self._snapshots_published += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InvalidRequestError("QServer is closed")
+
+    def close(self) -> None:
+        """Drain pending writes, stop both lanes.  Idempotent.
+
+        Writes already admitted to the queue are applied before the writer
+        stops (their futures resolve); the underlying service stays open —
+        closing the session itself remains the caller's job.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(_SENTINEL)
+        self._writer.join()
+        self._read_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QServer":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

@@ -1,0 +1,335 @@
+"""Copy-on-publish read snapshots for the concurrent serving layer.
+
+The lazy service already pins every view to a ``(weights.version,
+structure_version)`` staleness key; this module turns that pinning into
+real *snapshot objects*.  After each applied mutation the single writer
+captures a :class:`ReadSnapshot`: a frozen copy of the weight vector, the
+set of registered views (each holding its immutable query-graph expansion),
+and the per-tenant overlay shadows at that instant.  Readers grab the
+current snapshot reference once and answer entirely against it, so a query
+never blocks on a registration and never observes a half-applied mutation —
+the next snapshot simply replaces the reference.
+
+What makes the frozen state cheap is that everything heavyweight is shared
+structurally, never copied:
+
+* node/edge objects are immutable once published (the search graph's
+  association merge is copy-on-write), so a snapshot's graphs share them;
+* a view's query-graph object is replaced wholesale on re-expansion, never
+  mutated, so the snapshot can hold the object itself;
+* the weight copy is one dict copy, and tenant shadows are sparse deltas.
+
+Reads *materialize at most once* per (view, tenant) per snapshot: the first
+reader builds a transient :class:`~repro.core.view.RankedView` priced under
+the frozen weights (or the tenant's frozen overlay) and publishes the
+materialized answer tuple under a per-entry event; concurrent readers of
+the same key wait for it instead of re-solving.  When a mutation could not
+have changed a (view, tenant) ranking — e.g. tenant feedback for a
+*different* tenant — the next snapshot carries the materialized answers
+over instead of recomputing them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..core.view import RankedView
+from ..datastore.provenance import AnswerTuple
+from ..engine.context import ExecutionContext
+from ..exceptions import UnknownViewError
+from ..graph.features import WeightVector
+from ..graph.query_graph import QueryGraph
+from ..learning.overlays import OverlayWeightVector, graph_with_weights
+
+
+class SnapshotView:
+    """One view as captured by a snapshot: immutable expansion + ranking key."""
+
+    __slots__ = ("view_id", "name", "keywords", "k", "query_graph")
+
+    def __init__(
+        self,
+        view_id: str,
+        name: str,
+        keywords: Tuple[str, ...],
+        k: int,
+        query_graph: QueryGraph,
+    ) -> None:
+        self.view_id = view_id
+        self.name = name
+        self.keywords = keywords
+        self.k = k
+        #: The live view's expansion *object* at capture time.  Expansions
+        #: are replaced wholesale on rebuild (never mutated in place), so
+        #: holding the object pins exactly the structure this snapshot saw.
+        self.query_graph = query_graph
+
+
+class SnapshotCounters:
+    """Materialization/carry-over totals shared across a server's snapshots.
+
+    Per-snapshot counts die with their snapshot; the server hands every
+    capture the same counters object so totals stay exact even for reads
+    that land on an already-retired snapshot.
+    """
+
+    __slots__ = ("lock", "materializations", "carryovers")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.materializations = 0
+        self.carryovers = 0
+
+
+class _PinnedRead:
+    """Materialization slot for one (view, tenant) on one snapshot."""
+
+    __slots__ = ("event", "answers", "error", "carry_key")
+
+    def __init__(self, carry_key: Tuple[object, int]) -> None:
+        self.event = threading.Event()
+        self.answers: Optional[Tuple[AnswerTuple, ...]] = None
+        self.error: Optional[BaseException] = None
+        #: (query-graph object, effective weights version) the answers are
+        #: valid for; the next snapshot carries the entry over iff its own
+        #: key for the same (view, tenant) is identical.
+        self.carry_key = carry_key
+
+
+class ReadSnapshot:
+    """An immutable view of one service state, safe for concurrent reads."""
+
+    def __init__(
+        self,
+        snapshot_id: int,
+        catalog,
+        weights: WeightVector,
+        weights_version: int,
+        structure_version: int,
+        views: Dict[str, SnapshotView],
+        names: Dict[str, str],
+        tenants: Dict[str, Tuple[Dict[str, float], int]],
+        context: ExecutionContext,
+        answer_limit: Optional[int],
+        counters: Optional[SnapshotCounters] = None,
+    ) -> None:
+        self.snapshot_id = snapshot_id
+        self.catalog = catalog
+        self.weights = weights
+        self.weights_version = weights_version
+        self.structure_version = structure_version
+        self.views = views
+        self.names = names
+        self.tenants = tenants
+        self.context = context
+        self.answer_limit = answer_limit
+        self._pinned: Dict[Tuple[str, Optional[str]], _PinnedRead] = {}
+        self._lock = threading.Lock()
+        self._counters = counters
+        #: Materializations and carry-overs observed on this snapshot alone
+        #: (``counters``, when given, accumulates the cross-snapshot totals).
+        self.materializations = 0
+        self.carryovers = 0
+
+    # ------------------------------------------------------------------
+    # Capture / publish
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        service,
+        snapshot_id: int,
+        previous: Optional["ReadSnapshot"] = None,
+        counters: Optional[SnapshotCounters] = None,
+    ) -> "ReadSnapshot":
+        """Freeze ``service``'s current state (writer lane only).
+
+        The caller must have completed all structural view preparation
+        (:meth:`~repro.api.service.QService.prepare_views`) first, so every
+        captured query graph reflects the current graph structure.
+        """
+        weights_version = service.graph.weights.version
+        structure_version = service.graph.structure_version
+        frozen = service.graph.weights.copy()
+        # WeightVector.copy() resets the mutation counter; restore it so
+        # version-keyed caches (Steiner networks, view solve states) treat
+        # the frozen vector exactly like the live one it mirrors.
+        frozen.version = weights_version
+
+        views: Dict[str, SnapshotView] = {}
+        names: Dict[str, str] = {}
+        for record in service.views.records():
+            view = record.view
+            sv = SnapshotView(
+                view_id=record.view_id,
+                name=record.name,
+                keywords=tuple(view.keywords),
+                k=view.k,
+                query_graph=view.query_graph,
+            )
+            views[record.view_id] = sv
+            names[record.name] = record.view_id
+
+        tenants = {
+            name: (
+                service.tenants.overlay(name).shadow_dict(),
+                service.tenants.overlay(name).local_version,
+            )
+            for name in service.tenants.names()
+        }
+
+        # Scan/join caches survive weight-only mutations (they cache joined
+        # rows, not costs); a structural change starts from a fresh context
+        # exactly like the live service's registration invalidation.
+        if previous is not None and previous.structure_version == structure_version:
+            context = previous.context
+        else:
+            context = ExecutionContext(service.catalog)
+
+        snapshot = cls(
+            snapshot_id=snapshot_id,
+            catalog=service.catalog,
+            weights=frozen,
+            weights_version=weights_version,
+            structure_version=structure_version,
+            views=views,
+            names=names,
+            tenants=tenants,
+            context=context,
+            answer_limit=service.config.answer_limit,
+            counters=counters,
+        )
+        if previous is not None:
+            snapshot._carry_over(previous)
+        return snapshot
+
+    def _carry_over(self, previous: "ReadSnapshot") -> None:
+        """Adopt still-valid materialized answers from the prior snapshot."""
+        with previous._lock:
+            entries = dict(previous._pinned)
+        for (view_id, tenant), entry in entries.items():
+            if not entry.event.is_set() or entry.error is not None:
+                continue
+            sv = self.views.get(view_id)
+            if sv is None:
+                continue
+            if entry.carry_key == self._carry_key(sv, tenant):
+                carried = _PinnedRead(entry.carry_key)
+                carried.answers = entry.answers
+                carried.event.set()
+                self._pinned[(view_id, tenant)] = carried
+                self.carryovers += 1
+                if self._counters is not None:
+                    with self._counters.lock:
+                        self._counters.carryovers += 1
+
+    def _carry_key(self, sv: SnapshotView, tenant: Optional[str]) -> Tuple[object, int]:
+        return (sv.query_graph, self._effective_version(tenant))
+
+    def _effective_version(self, tenant: Optional[str]) -> int:
+        if tenant is None:
+            return self.weights_version
+        _, local_version = self.tenants.get(tenant, ({}, 0))
+        return self.weights_version + local_version
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(self, ref: Optional[str], keywords: Tuple[str, ...], name: Optional[str]) -> Optional[SnapshotView]:
+        """The snapshot view a query request addresses, or ``None``.
+
+        ``ref`` may be a view id or a view name (the same strings the live
+        registry resolves); with no ``ref``, the request's explicit name or
+        joined keywords are looked up.  Returns ``None`` when the view does
+        not exist *on this snapshot* — the server then routes view creation
+        through the writer lane.
+        """
+        if ref is not None:
+            sv = self.views.get(ref)
+            if sv is not None:
+                return sv
+            view_id = self.names.get(ref)
+            if view_id is not None:
+                return self.views.get(view_id)
+            raise UnknownViewError(ref, tuple(self.names))
+        if not keywords:
+            return None
+        lookup = name or " ".join(keywords)
+        view_id = self.names.get(lookup)
+        return self.views.get(view_id) if view_id is not None else None
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def answers_for(
+        self, sv: SnapshotView, tenant: Optional[str] = None
+    ) -> Tuple[AnswerTuple, ...]:
+        """Materialized ranked answers of one view under one tenant's weights.
+
+        Solved and executed at most once per (view, tenant) on this
+        snapshot; concurrent readers of the same key wait on the first
+        reader's event instead of duplicating the work.
+        """
+        key = (sv.view_id, tenant)
+        with self._lock:
+            entry = self._pinned.get(key)
+            creator = entry is None
+            if creator:
+                entry = _PinnedRead(self._carry_key(sv, tenant))
+                self._pinned[key] = entry
+                self.materializations += 1
+        if creator and self._counters is not None:
+            with self._counters.lock:
+                self._counters.materializations += 1
+        if creator:
+            try:
+                entry.answers = self._materialize(sv, tenant)
+            except BaseException as exc:  # propagate to every waiter
+                entry.error = exc
+                raise
+            finally:
+                entry.event.set()
+        else:
+            entry.event.wait()
+            if entry.error is not None:
+                raise entry.error
+        assert entry.answers is not None
+        return entry.answers
+
+    def _materialize(self, sv: SnapshotView, tenant: Optional[str]) -> Tuple[AnswerTuple, ...]:
+        weights = self._weights_for(tenant)
+        frozen_qg = QueryGraph(
+            graph=graph_with_weights(sv.query_graph.graph, weights),
+            keyword_nodes=dict(sv.query_graph.keyword_nodes),
+            matches=list(sv.query_graph.matches),
+        )
+        view = RankedView(
+            list(sv.keywords),
+            self.catalog,
+            frozen_qg.graph,
+            k=sv.k,
+            answer_limit=self.answer_limit,
+            engine_context=self.context,
+            query_graph=frozen_qg,
+        )
+        return tuple(view.stream_answers())
+
+    def _weights_for(self, tenant: Optional[str]) -> WeightVector:
+        if tenant is None:
+            return self.weights
+        shadow, local_version = self.tenants.get(tenant, ({}, 0))
+        # A tenant unseen at capture time reads base-ranked answers (an
+        # empty overlay) — exactly what its first live read would see.
+        return OverlayWeightVector(self.weights, shadow=shadow, local_version=local_version)
+
+    def pinned_count(self) -> int:
+        """How many (view, tenant) materialization slots exist."""
+        with self._lock:
+            return len(self._pinned)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReadSnapshot(id={self.snapshot_id}, views={len(self.views)}, "
+            f"w={self.weights_version}, s={self.structure_version})"
+        )

@@ -20,7 +20,7 @@ bit-identical to the seed implementation.
 from __future__ import annotations
 
 import heapq
-from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import DisconnectedTerminalsError, SteinerError
 from ..graph.search_graph import SearchGraph
@@ -55,6 +55,53 @@ class SteinerNetwork:
             cost = self.edge_costs[idx]
             self.adjacency[u].append((v, idx, cost))
             self.adjacency[v].append((u, idx, cost))
+
+    # ------------------------------------------------------------------
+    # Topology-sharing rescore
+    # ------------------------------------------------------------------
+    def rescored(
+        self,
+        graph: SearchGraph,
+        changed_features: "Optional[AbstractSet[str]]" = None,
+    ) -> "SteinerNetwork":
+        """A snapshot of ``graph`` that reuses this network's topology.
+
+        ``graph`` must be a structural twin of this snapshot's graph — same
+        nodes and the *same edge objects* in the same order (the shape
+        :func:`~repro.learning.overlays.graph_with_weights` produces for
+        per-tenant pricing) — differing only in its weight vector.  The
+        caller is responsible for that guarantee; the engine's network cache
+        verifies it by edge-object identity before calling here.
+
+        The integer index maps are shared outright (they depend only on
+        topology).  Costs are re-derived under ``graph``'s weights; with
+        ``changed_features`` given — e.g. a tenant overlay's sparse shadow —
+        only edges carrying at least one changed feature are re-priced, and
+        every other edge keeps this snapshot's cost verbatim.  For a sparse
+        overlay that turns an O(edges) pass of feature dot products into a
+        handful, which is what makes per-tenant solving cheap at scale.
+        """
+        clone = object.__new__(SteinerNetwork)
+        clone.graph = graph
+        clone.node_ids = self.node_ids
+        clone.node_index = self.node_index
+        clone.edge_ids = self.edge_ids
+        clone.edge_index = self.edge_index
+        if changed_features is None:
+            costs = [graph.edge_cost_by_id(eid) for eid in self.edge_ids]
+        else:
+            costs = list(self.edge_costs)
+            if changed_features:
+                for idx, eid in enumerate(self.edge_ids):
+                    edge = graph.edge(eid)
+                    if not changed_features.isdisjoint(edge.features):
+                        costs[idx] = graph.edge_cost(edge)
+        clone.edge_costs = costs
+        clone.adjacency = [
+            [(neighbor, edge_idx, costs[edge_idx]) for neighbor, edge_idx, _ in entries]
+            for entries in self.adjacency
+        ]
+        return clone
 
     # ------------------------------------------------------------------
     # Conversions
