@@ -1,28 +1,41 @@
 """Typed error surface of the service API.
 
-All errors derive from :class:`~repro.exceptions.QError` (the library-wide
-base), so existing ``except QError`` handlers keep working; the classes
-re-exported here are the ones the typed API raises on bad requests.  They
-are *defined* in :mod:`repro.exceptions` to keep the hierarchy in one
-module (lower layers such as :mod:`repro.matching` raise them too, without
-importing ``repro.api``).
+All errors derive from :class:`~repro.exceptions.ReproError` (the
+library-wide base, historically named ``QError``), so existing ``except
+QError`` handlers keep working; the classes re-exported here are the ones
+the typed API and the serving layer raise.  They are *defined* in
+:mod:`repro.exceptions` to keep the hierarchy in one module (lower layers
+such as :mod:`repro.matching` raise them too, without importing
+``repro.api``).
 """
 
 from __future__ import annotations
 
 from ..exceptions import (
+    DeadlineExceededError,
     InvalidRequestError,
     QError,
     RegistrationError,
+    ReproError,
+    ServerClosedError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+    TransientStorageError,
     UnknownMatcherError,
     UnknownStrategyError,
     UnknownViewError,
 )
 
 __all__ = [
+    "DeadlineExceededError",
     "InvalidRequestError",
     "QError",
     "RegistrationError",
+    "ReproError",
+    "ServerClosedError",
+    "ServiceOverloadedError",
+    "ServiceUnavailableError",
+    "TransientStorageError",
     "UnknownMatcherError",
     "UnknownStrategyError",
     "UnknownViewError",

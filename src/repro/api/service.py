@@ -30,6 +30,7 @@ deferred until the stream reaches each query's answers.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import fields as dataclass_fields
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -225,6 +226,16 @@ class QService:
         #: Registration-scaling counters (surfaced through :meth:`stats`).
         self._pairs_scored = 0
         self._pool_workers = 1
+        #: At-most-once bookkeeping for the serving layer's retrying writer
+        #: lane: idempotency keys of applied mutations (insertion-ordered,
+        #: bounded) plus the key of the mutation currently being applied.
+        #: A key lands in :attr:`_applied_ops` the moment its mutation is
+        #: complete in memory — *before* the autosave — so a retry after a
+        #: failed persistence attempt never re-applies.  Keys (not results)
+        #: are persisted in the session overlay.
+        self._applied_ops: "OrderedDict[str, object]" = OrderedDict()
+        self._applied_ops_limit = 1024
+        self._pending_op_key: Optional[str] = None
 
     def _init_persistence(self, autosave) -> None:
         self._persistence: Optional[SessionPersistence] = None
@@ -1022,6 +1033,10 @@ class QService:
         # base vector, restored wholesale (no replay needed — the learned
         # shadows are the durable artifact).
         self.tenants.restore(overlay.get("tenants") or {})
+        # Applied idempotency keys: results are not durable, the keys are —
+        # a writer-lane retry resubmitted after a reopen still no-ops.
+        for key in overlay.get("applied_ops", ()):
+            self._record_applied_op(key, None)
         # Authoritative counters last: the replay above moved versions as a
         # side effect; the saved values make staleness checks and future
         # edge-id allocation agree exactly with the session that saved.
@@ -1030,13 +1045,57 @@ class QService:
         set_edge_id_counter(overlay["edge_id_counter"])
 
     def _after_mutation(self) -> None:
-        """Autosave hook, called at the end of every mutating service call."""
+        """Autosave hook, called at the end of every mutating service call.
+
+        When the serving layer armed an idempotency key for this mutation
+        (:meth:`begin_op`), the key is recorded as applied *before* the
+        autosave: if persistence fails past this point, the mutation itself
+        landed, and the writer lane's retry must not re-apply it.
+        """
+        key = self._pending_op_key
+        if key is not None:
+            self._pending_op_key = None
+            self._record_applied_op(key, None)
         if self._autosave and not getattr(self, "_in_autosave", False):
             self._in_autosave = True
             try:
                 self.save()
             finally:
                 self._in_autosave = False
+
+    # ------------------------------------------------------------------
+    # Idempotency keys (serving-layer writer lane)
+    # ------------------------------------------------------------------
+    def begin_op(self, key: Optional[str]) -> None:
+        """Arm ``key`` as the idempotency key of the next mutation."""
+        self._pending_op_key = key
+
+    def end_op(self) -> None:
+        """Disarm any pending idempotency key (attempt finished)."""
+        self._pending_op_key = None
+
+    def op_applied(self, key: Optional[str]) -> bool:
+        """Whether a mutation under ``key`` already landed in this session."""
+        return key is not None and key in self._applied_ops
+
+    def op_result(self, key: str):
+        """The recorded result of an applied op (``None`` if unknown).
+
+        Results live only in memory; after a restore the key itself is the
+        durable fact and the result degrades to ``None``.
+        """
+        return self._applied_ops.get(key)
+
+    def record_op_result(self, key: Optional[str], result) -> None:
+        """Attach ``result`` to an applied op for idempotent returns."""
+        if key is not None:
+            self._record_applied_op(key, result)
+
+    def _record_applied_op(self, key: str, result) -> None:
+        self._applied_ops[key] = result
+        self._applied_ops.move_to_end(key)
+        while len(self._applied_ops) > self._applied_ops_limit:
+            self._applied_ops.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -81,6 +81,13 @@ class ServiceConfig:
     #: beyond it fail fast with
     #: :class:`~repro.exceptions.ServiceOverloadedError`.
     write_queue_limit: int = 64
+    #: Writer-lane retry policy for transient storage faults (SQLite
+    #: locked/busy, injected I/O errors): total attempts including the
+    #: first (1 = never retry), base backoff delay, and the backoff cap.
+    #: See :mod:`repro.faults.retry` and the README "Failure model".
+    write_retry_attempts: int = 3
+    write_retry_base_delay_s: float = 0.005
+    write_retry_max_delay_s: float = 0.1
 
 
 @dataclass(frozen=True)
@@ -109,6 +116,13 @@ class QueryRequest:
         Optional tenant name: answers are ranked under that tenant's
         weight overlay (shared base weights plus the tenant's learned
         deltas) instead of the shared base vector.
+    deadline_ms:
+        Optional cooperative deadline for the read, in milliseconds.  The
+        solve/execute layers poll a :class:`~repro.faults.budget.Budget` at
+        their branch points; expiry yields a typed
+        :class:`~repro.exceptions.DeadlineExceededError` or — once partial
+        answers exist — a truncated result the serving layer flags
+        ``degraded=True``.
     """
 
     keywords: Tuple[str, ...] = ()
@@ -118,6 +132,7 @@ class QueryRequest:
     page_size: Optional[int] = None
     limit: Optional[int] = None
     tenant: Optional[str] = None
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "keywords", tuple(self.keywords))

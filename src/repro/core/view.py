@@ -29,7 +29,8 @@ from ..datastore.database import Catalog
 from ..datastore.provenance import AnswerTuple
 from ..engine.context import ExecutionContext
 from ..engine.executor import PlanExecutor, project_answer, ranked_union, union_column_plan
-from ..exceptions import QueryError
+from ..exceptions import DeadlineExceededError, QueryError
+from ..faults.budget import Budget
 from ..graph.query_graph import QueryGraph, QueryGraphBuilder
 from ..graph.search_graph import SearchGraph
 from ..learning.feedback import (
@@ -192,7 +193,7 @@ class RankedView:
         self._solve_state = None
 
     def _ensure_solved(
-        self, rebuild_graph: bool = False
+        self, rebuild_graph: bool = False, budget: Optional[Budget] = None
     ) -> Tuple[List[SteinerTree], List[GeneratedQuery], RefreshStats]:
         """Bring trees and generated queries up to date without executing them.
 
@@ -200,6 +201,12 @@ class RankedView:
         terminals and ``k`` are all unchanged since the last solve.  Also
         drops the per-signature answer cache when the shared engine context
         was structurally invalidated (e.g. source registration).
+
+        A ``budget`` makes the solve deadline-aware.  If it expires
+        mid-enumeration the partial tree list is *used* for this read but
+        never *recorded* as the view's authoritative solve state — the next
+        unbudgeted read re-solves in full, so a deadline can never poison
+        the ranking other readers (or the feedback generalizer) see.
         """
         if rebuild_graph:
             self.rebuild_query_graph()
@@ -216,10 +223,17 @@ class RankedView:
             trees = self.state.trees
             queries = self.state.queries
         else:
-            trees = self.solver.solve(graph, terminals, self.k) if terminals else []
+            trees = (
+                self.solver.solve(graph, terminals, self.k, budget=budget)
+                if terminals
+                else []
+            )
             generator = QueryGenerator(graph)
             queries = generator.generate_all(trees)
-            self._solve_state = solve_state
+            if budget is not None and budget.truncated:
+                self._solve_state = None
+            else:
+                self._solve_state = solve_state
             stats.solver_runs = 1
 
         if self.engine_context.generation != self._cache_generation:
@@ -249,7 +263,9 @@ class RankedView:
         self.refresh_count += 1
         return self.state
 
-    def prepare(self, rebuild_graph: bool = False) -> ViewState:
+    def prepare(
+        self, rebuild_graph: bool = False, budget: Optional[Budget] = None
+    ) -> ViewState:
         """Bring trees and queries up to date *without* executing queries.
 
         The solve-only half of :meth:`refresh`: the ranking (Steiner trees,
@@ -257,7 +273,7 @@ class RankedView:
         is left unmaterialized — the streaming read path executes queries
         lazily, and :meth:`answers` re-materializes on demand.
         """
-        trees, queries, stats = self._ensure_solved(rebuild_graph)
+        trees, queries, stats = self._ensure_solved(rebuild_graph, budget=budget)
         if stats.solver_runs:
             # The ranking changed; previously materialized answers are no
             # longer authoritative.
@@ -267,7 +283,9 @@ class RankedView:
         self.refresh_count += 1
         return self.state
 
-    def stream_answers(self, rebuild_graph: bool = False) -> Iterator[AnswerTuple]:
+    def stream_answers(
+        self, rebuild_graph: bool = False, budget: Optional[Budget] = None
+    ) -> Iterator[AnswerTuple]:
         """Ranked answers as a lazy iterator (the pull-based read path).
 
         The Steiner solve (which determines the ranking) happens eagerly at
@@ -283,8 +301,17 @@ class RankedView:
         unified column set, which
         :func:`~repro.engine.executor.union_column_plan` derives from the
         queries' output labels without executing anything.
+
+        With a ``budget``, expiry between (or inside) query executions stops
+        the stream at a query boundary and marks the budget truncated; every
+        already-yielded answer remains exact.  A query interrupted mid-
+        execution caches nothing, and a truncated solve is never recorded as
+        the view's solve state (see :meth:`_ensure_solved`), so degraded
+        reads cannot contaminate later full reads.  Expiry before the first
+        answer propagates as
+        :class:`~repro.exceptions.DeadlineExceededError`.
         """
-        self.prepare(rebuild_graph)
+        self.prepare(rebuild_graph, budget=budget)
         stats = self.last_refresh
         ordered = sorted(self.state.queries, key=lambda g: g.query.cost)
         columns, mappings = union_column_plan([g.query for g in ordered])
@@ -295,7 +322,17 @@ class RankedView:
             for generated, mapping in zip(ordered, mappings):
                 if limit is not None and yielded >= limit:
                     return
-                for answer in self._answers_for(generated, stats):
+                if budget is not None and budget.expired():
+                    budget.mark_truncated("stream")
+                    return
+                try:
+                    answers = self._answers_for(generated, stats, budget=budget)
+                except DeadlineExceededError:
+                    if yielded == 0:
+                        raise
+                    budget.mark_truncated("stream")  # type: ignore[union-attr]
+                    return
+                for answer in answers:
                     yield project_answer(answer, generated.query, mapping, columns)
                     yielded += 1
                     if limit is not None and yielded >= limit:
@@ -303,14 +340,20 @@ class RankedView:
 
         return _generate()
 
-    def _answers_for(self, generated: GeneratedQuery, stats: RefreshStats) -> List[AnswerTuple]:
+    def _answers_for(
+        self,
+        generated: GeneratedQuery,
+        stats: RefreshStats,
+        budget: Optional[Budget] = None,
+    ) -> List[AnswerTuple]:
         """Execute one generated query, or replay its cached answers.
 
         Cache entries are keyed by tree signature and validated against the
         data versions of every table the query touches, so table mutations
         invalidate naturally.  On reuse the answers are re-priced to the
         query's current cost (feedback moves tree costs without changing
-        which tuples join).
+        which tuples join).  An execution aborted by a deadline raises
+        before the cache write, so partial results are never cached.
         """
         versions = self._table_versions(generated.query)
         cached = self._answer_cache.get(generated.signature)
@@ -321,7 +364,7 @@ class RankedView:
             # the current query cost stamped on values and provenance) and
             # never mutates its inputs.
             return cached.answers
-        answers = self.executor.execute(generated.query)
+        answers = self.executor.execute(generated.query, budget=budget)
         self._answer_cache[generated.signature] = _CachedAnswers(versions, answers)
         self._answer_cache.move_to_end(generated.signature)
         while len(self._answer_cache) > self.max_cached_queries:

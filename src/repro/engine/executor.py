@@ -26,9 +26,12 @@ truncations of a cross-product blow-up.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..datastore.database import Catalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.budget import Budget
 from ..datastore.provenance import AnswerTuple, TupleProvenance
 from ..datastore.query import ConjunctiveQuery
 from ..datastore.table import Row
@@ -58,7 +61,12 @@ class PlanExecutor:
     # ------------------------------------------------------------------
     # Single-query execution
     # ------------------------------------------------------------------
-    def execute(self, query: ConjunctiveQuery, limit: Optional[int] = None) -> List[AnswerTuple]:
+    def execute(
+        self,
+        query: ConjunctiveQuery,
+        limit: Optional[int] = None,
+        budget: "Optional[Budget]" = None,
+    ) -> List[AnswerTuple]:
         """Execute one conjunctive query; answers carry provenance.
 
         When the catalog's storage backend supports SQL pushdown and every
@@ -67,12 +75,20 @@ class PlanExecutor:
         :mod:`repro.storage.pushdown`); otherwise the planned Python join
         engine below executes it, with per-relation scan pushdown still
         applying where the backend offers it.
+
+        With a ``budget``, the plan loop checks it per step and raises
+        :class:`~repro.exceptions.DeadlineExceededError` on expiry; a query
+        has no meaningful partial result, so callers (the view's streaming
+        union) decide whether already-executed *sibling* queries constitute
+        a degraded answer set.
         """
+        if budget is not None:
+            budget.check("executor")
         pushed = self.context.try_pushdown_query(query, limit)
         if pushed is not None:
             return pushed
         plan = self.planner.plan(query)
-        partials = self._run_plan(plan, limit)
+        partials = self._run_plan(plan, limit, budget=budget)
         if not partials:
             return []
         # Canonical output order: ascending row ids along the query's atom
@@ -86,12 +102,19 @@ class PlanExecutor:
             answers = answers[:limit]
         return answers
 
-    def _run_plan(self, plan: QueryPlan, limit: Optional[int]) -> List[Tuple[Row, ...]]:
+    def _run_plan(
+        self,
+        plan: QueryPlan,
+        limit: Optional[int],
+        budget: "Optional[Budget]" = None,
+    ) -> List[Tuple[Row, ...]]:
         """Run the plan's steps; partials are row tuples in step order."""
         context = self.context
         position = {step.alias: i for i, step in enumerate(plan.steps)}
         partials: List[Tuple[Row, ...]] = [()]
         for step in plan.steps:
+            if budget is not None:
+                budget.check("executor")
             if not partials:
                 return []
             if step.is_cross_product:

@@ -1,16 +1,33 @@
 """Exception hierarchy for the Q reproduction library.
 
-Every error raised by the library derives from :class:`QError` so that
-callers can catch library-specific failures without masking programming
-errors such as :class:`TypeError` or :class:`KeyError` raised by misuse of
-Python itself.
+Every error raised by the library derives from :class:`ReproError` (whose
+historical name :data:`QError` remains an alias) so that callers can catch
+library-specific failures without masking programming errors such as
+:class:`TypeError` or :class:`KeyError` raised by misuse of Python itself.
+
+Each class carries a ``retryable`` flag: ``True`` means the condition is
+expected to clear on its own (a momentarily locked SQLite database, a full
+write queue, a server in degraded mode awaiting :meth:`recover`), so an
+identical retry of the failed operation is safe and reasonable.  The
+serving layer's writer lane keys its backoff-and-retry policy off this flag
+— see :mod:`repro.faults.retry` and the README error table.
 """
 
 from __future__ import annotations
 
 
-class QError(Exception):
+class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
+
+    #: Whether an identical retry of the failed operation may succeed once
+    #: the (transient) condition clears.  Errors describing caller mistakes
+    #: or permanent state keep the ``False`` default.
+    retryable: bool = False
+
+
+#: Historical name of :class:`ReproError`; kept as a true alias so existing
+#: ``except QError`` handlers and subclasses are unaffected.
+QError = ReproError
 
 
 class SchemaError(QError):
@@ -50,6 +67,20 @@ class StorageError(QError):
     backend, scanning a relation that was never created, or handing a
     SQLite-backed relation a value type the backend cannot round-trip.
     """
+
+
+class TransientStorageError(StorageError):
+    """A storage failure expected to clear on retry (locked / busy / injected).
+
+    The fault classifier (:func:`repro.faults.retry.classify_storage_error`)
+    wraps recognizably transient backend failures — SQLite ``database is
+    locked`` / ``database table is locked`` / ``busy``, and injected I/O
+    faults from the test harness — in this type so the serving layer's
+    writer lane knows an identical retry with backoff is warranted.  The
+    original failure rides on ``__cause__``.
+    """
+
+    retryable = True
 
 
 class GraphError(QError):
@@ -167,12 +198,68 @@ class ServiceOverloadedError(QError):
     queue at all.
     """
 
+    retryable = True
+
     def __init__(self, pending: int, limit: int) -> None:
         super().__init__(
             f"write queue is full ({pending} pending, limit {limit}); retry later"
         )
         self.pending = pending
         self.limit = limit
+
+
+class DeadlineExceededError(QError):
+    """Raised when a read's deadline expired before any answer materialized.
+
+    Deadlines are enforced *cooperatively*: the request's
+    :class:`~repro.faults.budget.Budget` is polled at the Steiner solver's
+    branch points (per Dijkstra pop batch, per DP subset, per expansion) and
+    at the executor's per-query boundaries.  When the budget expires after
+    at least one ranked answer exists, the read returns a partial
+    :class:`~repro.service.server.ReadResult` flagged ``degraded=True``
+    instead of raising; this error means the deadline was too tight to
+    produce even that.
+    """
+
+    def __init__(self, deadline_ms: float, elapsed_ms: float, where: str = "") -> None:
+        suffix = f" in {where}" if where else ""
+        super().__init__(
+            f"deadline of {deadline_ms:g} ms exceeded after "
+            f"{elapsed_ms:.3f} ms{suffix}"
+        )
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = elapsed_ms
+        self.where = where
+
+
+class ServiceUnavailableError(QError):
+    """Raised for writes while a :class:`~repro.service.server.QServer` is degraded.
+
+    A non-transient storage failure flips the server into read-only degraded
+    mode: reads keep serving the last published snapshot, but pending and
+    new writes fail fast with this error until :meth:`QServer.recover`
+    revalidates the backend.  Retryable by definition — the caller may retry
+    after recovery.
+    """
+
+    retryable = True
+
+    def __init__(self, reason: str = "server is in degraded read-only mode") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class ServerClosedError(InvalidRequestError):
+    """Raised for requests to a closed server, and used by the bounded drain.
+
+    ``QServer.close(timeout=...)`` fails writes still queued behind a wedged
+    writer with this error instead of blocking forever.  Subclasses
+    :class:`InvalidRequestError` so pre-existing ``except`` handlers for
+    requests against a closed server keep working.
+    """
+
+    def __init__(self, message: str = "QServer is closed") -> None:
+        super().__init__(message)
 
 
 class SnapshotError(QError):

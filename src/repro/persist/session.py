@@ -115,6 +115,10 @@ def overlay_payload(service) -> Dict[str, object]:
         ],
         "refreshes": service._refreshes,
         "refreshes_skipped": service._refreshes_skipped,
+        # Idempotency keys of applied mutations (serving-layer writer lane):
+        # keys only — results are in-memory conveniences.  Duck-typed so
+        # session objects predating the fault-tolerant server persist [].
+        "applied_ops": list(getattr(service, "_applied_ops", None) or ()),
     }
 
 

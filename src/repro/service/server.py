@@ -20,19 +20,54 @@ writes are already pending, further writes fail fast with
 unboundedly — readers are unaffected (they never enter the queue), and
 admitted writes retain FIFO fairness.  A failed write publishes nothing:
 its snapshot never exists, and its future carries the exception.
+
+Failure model (see README "Failure model")
+------------------------------------------
+The writer lane is *supervised*: no exception escapes it silently.
+
+* **Transient storage faults** (SQLite ``locked``/``busy``, injected I/O
+  errors) are classified by :func:`repro.faults.retry.classify_storage_error`
+  and retried with exponential backoff + jitter under the session config's
+  ``write_retry_*`` knobs.  Each write carries an idempotency key recorded
+  by the service *before* its autosave, so a retry after a partially
+  applied attempt never double-applies; the process-global edge-id counter
+  is rewound before a retry whose previous attempt did not land, keeping
+  retries invisible to tree signatures and the isolation oracle.
+* **Non-transient storage faults** flip the server into read-only
+  *degraded* mode: reads keep serving the last published snapshot, pending
+  and new writes fail fast with
+  :class:`~repro.exceptions.ServiceUnavailableError`, and
+  :meth:`QServer.recover` revalidates the backend before lifting the mode.
+* **Deadlines** — a read carrying ``deadline_ms`` polls a cooperative
+  :class:`~repro.faults.budget.Budget` through solve and execution; expiry
+  yields :class:`~repro.exceptions.DeadlineExceededError`, or a partial
+  :class:`ReadResult` flagged ``degraded=True`` once answers exist.
+* **Shutdown** — :meth:`QServer.close` accepts a ``timeout``; writes still
+  queued when it elapses fail with
+  :class:`~repro.exceptions.ServerClosedError` instead of blocking the
+  caller forever.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import queue
 import threading
+import uuid
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from ..datastore.provenance import AnswerTuple
-from ..exceptions import InvalidRequestError, ServiceOverloadedError
+from ..exceptions import (
+    InvalidRequestError,
+    ServerClosedError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+    SnapshotError,
+    StorageError,
+)
 from ..api.streaming import paginate
 from ..api.types import (
     AnswerPage,
@@ -41,9 +76,19 @@ from ..api.types import (
     RegisterSourceRequest,
     ViewInfo,
 )
+from ..faults.budget import Budget
+from ..faults.retry import RetryPolicy, classify_storage_error, is_transient
+from ..graph.edges import edge_id_counter, set_edge_id_counter
 from .snapshots import ReadSnapshot, SnapshotCounters
 
 _SENTINEL = object()
+
+#: Server health states (:meth:`QServer.health`): ``healthy`` → writes
+#: accepted; ``degraded`` → read-only until :meth:`QServer.recover`;
+#: ``closed`` → both lanes stopped.
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+CLOSED = "closed"
 
 
 @dataclass(frozen=True)
@@ -53,6 +98,12 @@ class ReadResult:
     ``snapshot_id`` identifies the exact service state (= number of writes
     applied before capture) the answers were priced and executed against —
     the handle the load harness's isolation oracle replays.
+
+    ``degraded`` marks a deadline-truncated read: the request's budget
+    expired after at least one answer materialized, so ``answers`` is a
+    valid *prefix* of the full ranking (complete trees only), not the whole
+    ranking.  Degraded answers are never cached or carried over — a later
+    unbudgeted read of the same view recomputes the full result.
     """
 
     view_id: str
@@ -61,6 +112,7 @@ class ReadResult:
     tenant: Optional[str]
     answers: Tuple[AnswerTuple, ...]
     page_size: int
+    degraded: bool = False
 
     def pages(self) -> Iterator[AnswerPage]:
         """The answers re-chunked into the service's page shape."""
@@ -85,16 +137,39 @@ class ServerStats:
     queue_depth: int
     read_workers: int
     write_queue_limit: int
+    health: str = HEALTHY
+    writes_retried: int = 0
+    writes_cancelled: int = 0
+    reads_degraded: int = 0
 
 
 class _WriteOp:
-    __slots__ = ("fn", "kind", "tag", "future")
+    __slots__ = ("fn", "kind", "tag", "op_key", "future")
 
-    def __init__(self, fn: Callable[[], object], kind: str, tag: Optional[str]) -> None:
+    def __init__(
+        self,
+        fn: Callable[[], object],
+        kind: str,
+        tag: Optional[str],
+        op_key: Optional[str] = None,
+    ) -> None:
         self.fn = fn
         self.kind = kind
         self.tag = tag
+        #: Idempotency key recorded by the service when the mutation lands
+        #: (before autosave), so a retry never double-applies.
+        self.op_key = op_key
         self.future: Future = Future()
+
+    def cancel(self) -> bool:
+        """Cancel the op if the writer has not picked it up yet.
+
+        Thin alias for ``future.cancel()``: once the writer calls
+        ``set_running_or_notify_cancel`` the op is committed and this
+        returns ``False``.  A successfully cancelled op is skipped (and
+        counted) when the writer dequeues it.
+        """
+        return self.future.cancel()
 
 
 class QServer:
@@ -112,6 +187,10 @@ class QServer:
     write_queue_limit:
         Bound of the single-writer mutation queue.  Defaults to
         ``service.config.write_queue_limit``.
+    retry_policy:
+        Writer-lane retry policy for transient storage faults.  Defaults to
+        a policy built from the session config's ``write_retry_*`` knobs;
+        tests inject one with a fake ``sleep``/``rng`` for determinism.
 
     Every read/write has a ``submit_*`` form returning a
     :class:`concurrent.futures.Future` (asyncio-friendly via
@@ -123,6 +202,7 @@ class QServer:
         service,
         read_workers: Optional[int] = None,
         write_queue_limit: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self._service = service
         workers = (
@@ -143,17 +223,34 @@ class QServer:
             raise InvalidRequestError(f"write_queue_limit must be >= 1, got {limit}")
         self.read_workers = workers
         self.write_queue_limit = limit
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                max_attempts=getattr(service.config, "write_retry_attempts", 3),
+                base_delay_s=getattr(service.config, "write_retry_base_delay_s", 0.005),
+                max_delay_s=getattr(service.config, "write_retry_max_delay_s", 0.1),
+            )
+        self._retry_policy = retry_policy
 
         self._counters = SnapshotCounters()
         self._stats_lock = threading.Lock()
         self._reads_served = 0
+        self._reads_degraded = 0
         self._writes_applied = 0
         self._writes_failed = 0
         self._writes_rejected = 0
+        self._writes_retried = 0
+        self._writes_cancelled = 0
         self._snapshots_published = 0
+        self._health = HEALTHY
+        self._last_fault: Optional[BaseException] = None
         #: ``(kind, tag)`` of every applied write, in apply order — the
         #: exact serial schedule an isolation oracle must replay.
         self.write_log: List[Tuple[str, Optional[str]]] = []
+
+        # Idempotency keys are unique per server incarnation; the per-op
+        # suffix keeps them readable in journals and fault-harness dumps.
+        self._op_prefix = uuid.uuid4().hex[:8]
+        self._op_seq = itertools.count(1)
 
         self._closed = False
         self._close_lock = threading.Lock()
@@ -174,16 +271,130 @@ class QServer:
         self._writer.start()
 
     # ------------------------------------------------------------------
+    # Health / supervision
+    # ------------------------------------------------------------------
+    def health(self) -> str:
+        """``"healthy"``, ``"degraded"`` (read-only) or ``"closed"``."""
+        if self._closed:
+            return CLOSED
+        with self._stats_lock:
+            return self._health
+
+    def last_fault(self) -> Optional[BaseException]:
+        """The failure that degraded the server, if it is degraded."""
+        with self._stats_lock:
+            return self._last_fault
+
+    def recover(self) -> str:
+        """Revalidate the backend and lift degraded mode.  Returns health.
+
+        Probes the storage backend (a cheap metadata read) and, when the
+        session is persistent, its session store.  A failing probe leaves
+        the server degraded and raises
+        :class:`~repro.exceptions.ServiceUnavailableError` carrying the
+        probe failure as its cause.
+        """
+        self._check_open()
+        with self._stats_lock:
+            if self._health == HEALTHY:
+                return HEALTHY
+        service = self._service
+        try:
+            backend = getattr(service.catalog, "backend", None)
+            if backend is not None:
+                backend.relation_keys()
+            persistence = getattr(service, "_persistence", None)
+            if persistence is not None:
+                persistence.store.entry_count()
+        except Exception as exc:
+            raise ServiceUnavailableError(
+                f"recovery probe failed; server stays degraded: {exc}"
+            ) from exc
+        with self._stats_lock:
+            self._health = HEALTHY
+            self._last_fault = None
+        return HEALTHY
+
+    def _degrade(self, exc: BaseException) -> None:
+        """Flip to read-only mode and fail everything still queued."""
+        with self._stats_lock:
+            self._health = DEGRADED
+            self._last_fault = exc
+        failed = self._drain_queue(
+            lambda: ServiceUnavailableError(
+                f"server degraded to read-only after a storage failure: {exc}"
+            )
+        )
+        if failed:
+            with self._stats_lock:
+                self._writes_failed += failed
+
+    def _drain_queue(self, make_error: Callable[[], BaseException]) -> int:
+        """Fail every op still queued; returns how many were failed.
+
+        Runs either on the writer thread itself (degrade path) or after the
+        writer is confirmed dead/wedged (:meth:`close` timeout path), so it
+        never races the writer's own ``get``.  A sentinel encountered while
+        draining is re-queued so a still-alive writer eventually exits.
+        """
+        failed = 0
+        sentinel_seen = False
+        while True:
+            try:
+                op = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if op is _SENTINEL:
+                sentinel_seen = True
+                continue
+            if op.future.set_running_or_notify_cancel():
+                op.future.set_exception(make_error())
+                failed += 1
+            else:
+                with self._stats_lock:
+                    self._writes_cancelled += 1
+        if sentinel_seen:
+            try:
+                self._queue.put_nowait(_SENTINEL)
+            except queue.Full:  # pragma: no cover - queue refilled mid-drain
+                pass
+        return failed
+
+    def _is_fatal_storage_failure(self, exc: BaseException) -> bool:
+        """Non-transient storage/persistence failures degrade the server.
+
+        Plain operational errors (a malformed request surfacing late, a
+        matcher bug) fail only their own op — the service state is still
+        trustworthy, so the server stays healthy.
+        """
+        classified = classify_storage_error(exc)
+        return isinstance(classified, (StorageError, SnapshotError)) and not is_transient(
+            classified
+        )
+
+    # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def submit_query(self, request: QueryRequest) -> "Future[ReadResult]":
-        """Schedule a snapshot-isolated read; returns its future."""
+    def submit_query(
+        self, request: QueryRequest, deadline_ms: Optional[float] = None
+    ) -> "Future[ReadResult]":
+        """Schedule a snapshot-isolated read; returns its future.
+
+        ``deadline_ms`` (or ``request.deadline_ms``) arms a cooperative
+        budget over the read's solve/execute work; see :class:`ReadResult`
+        for the partial-answer contract.  The budget's clock starts when
+        the read *runs*, not while it waits for a pool slot.
+        """
         self._check_open()
+        if deadline_ms is not None:
+            request = replace(request, deadline_ms=deadline_ms)
         return self._read_pool.submit(self._read, request)
 
-    def query(self, request: QueryRequest) -> ReadResult:
+    def query(
+        self, request: QueryRequest, deadline_ms: Optional[float] = None
+    ) -> ReadResult:
         """Blocking form of :meth:`submit_query`."""
-        return self.submit_query(request).result()
+        return self.submit_query(request, deadline_ms=deadline_ms).result()
 
     def snapshot(self) -> ReadSnapshot:
         """The currently published snapshot (advanced by each write)."""
@@ -192,10 +403,14 @@ class QServer:
     def stats(self) -> ServerStats:
         with self._stats_lock:
             reads = self._reads_served
+            degraded_reads = self._reads_degraded
             applied = self._writes_applied
             failed = self._writes_failed
             rejected = self._writes_rejected
+            retried = self._writes_retried
+            cancelled = self._writes_cancelled
             published = self._snapshots_published
+            health = CLOSED if self._closed else self._health
         with self._counters.lock:
             materializations = self._counters.materializations
             carryovers = self._counters.carryovers
@@ -211,9 +426,18 @@ class QServer:
             queue_depth=self._queue.qsize(),
             read_workers=self.read_workers,
             write_queue_limit=self.write_queue_limit,
+            health=health,
+            writes_retried=retried,
+            writes_cancelled=cancelled,
+            reads_degraded=degraded_reads,
         )
 
     def _read(self, request: QueryRequest) -> ReadResult:
+        budget = (
+            Budget.from_deadline_ms(request.deadline_ms)
+            if request.deadline_ms is not None
+            else None
+        )
         snapshot = self._snapshot
         ref = request.view
         if ref is not None and not isinstance(ref, str):
@@ -241,7 +465,12 @@ class QServer:
                 f"asked for k={request.k} — omit k to read the existing "
                 "ranking, or create a view under another name"
             )
-        answers = snapshot.answers_for(sv, request.tenant)
+        if budget is not None:
+            # Time spent waiting on the writer lane (view creation) counts
+            # against the deadline too.
+            budget.check("read")
+        answers = snapshot.answers_for(sv, request.tenant, budget=budget)
+        degraded = budget is not None and budget.truncated
         if request.limit is not None:
             answers = answers[: request.limit]
         page_size = (
@@ -251,6 +480,8 @@ class QServer:
         )
         with self._stats_lock:
             self._reads_served += 1
+            if degraded:
+                self._reads_degraded += 1
         return ReadResult(
             view_id=sv.view_id,
             view_name=sv.name,
@@ -258,6 +489,7 @@ class QServer:
             tenant=request.tenant,
             answers=answers,
             page_size=page_size,
+            degraded=degraded,
         )
 
     def _ensure_view(self, request: QueryRequest) -> ViewInfo:
@@ -330,20 +562,44 @@ class QServer:
         return self.submit_create_view(request, tag=tag).result()
 
     def submit_mutation(
-        self, fn: Callable[[], object], kind: str = "custom", tag: Optional[str] = None
+        self,
+        fn: Callable[[], object],
+        kind: str = "custom",
+        tag: Optional[str] = None,
+        op_key: Optional[str] = None,
     ) -> Future:
         """Queue an arbitrary mutation of the underlying service.
 
         ``fn`` runs in the writer lane with full mutation rights; a new
         snapshot publishes after it returns.  This is the extension point
         for administrative operations (and for tests that need to hold the
-        writer lane busy).
+        writer lane busy).  ``op_key`` overrides the auto-generated
+        idempotency key — resubmitting with the same key after an ambiguous
+        failure is guaranteed at-most-once application.
         """
-        return self._enqueue(fn, kind, tag)
+        return self._enqueue(fn, kind, tag, op_key=op_key)
 
-    def _enqueue(self, fn: Callable[[], object], kind: str, tag: Optional[str]) -> Future:
+    def _enqueue(
+        self,
+        fn: Callable[[], object],
+        kind: str,
+        tag: Optional[str],
+        op_key: Optional[str] = None,
+    ) -> Future:
         self._check_open()
-        op = _WriteOp(fn, kind, tag)
+        with self._stats_lock:
+            degraded = self._health != HEALTHY
+            fault = self._last_fault
+        if degraded:
+            with self._stats_lock:
+                self._writes_rejected += 1
+            raise ServiceUnavailableError(
+                f"server is in degraded read-only mode (cause: {fault}); "
+                "call recover() before writing"
+            )
+        if op_key is None:
+            op_key = f"{self._op_prefix}-{next(self._op_seq)}"
+        op = _WriteOp(fn, kind, tag, op_key=op_key)
         try:
             self._queue.put_nowait(op)
         except queue.Full:
@@ -360,9 +616,36 @@ class QServer:
             if op is _SENTINEL:
                 break
             if not op.future.set_running_or_notify_cancel():
+                # Cancelled while queued (op.cancel()); skip silently.
+                with self._stats_lock:
+                    self._writes_cancelled += 1
+                continue
+            with self._stats_lock:
+                degraded = self._health != HEALTHY
+                fault = self._last_fault
+            if degraded:
+                # Ops admitted in the race window around a degrade fail
+                # fast, exactly like ops that were queued behind the fault.
+                with self._stats_lock:
+                    self._writes_failed += 1
+                op.future.set_exception(
+                    ServiceUnavailableError(
+                        f"server degraded to read-only after a storage "
+                        f"failure: {fault}"
+                    )
+                )
                 continue
             try:
-                result = op.fn()
+                result = self._apply_with_retry(op)
+            except (KeyboardInterrupt, SystemExit) as exc:
+                # Interpreter-level interrupts must not be swallowed: fail
+                # the in-flight op, degrade (failing queued ops), then let
+                # the interrupt kill the writer thread.
+                with self._stats_lock:
+                    self._writes_failed += 1
+                op.future.set_exception(exc)
+                self._degrade(exc)
+                raise
             except BaseException as exc:
                 # A failed write publishes nothing: no snapshot, no log
                 # entry — readers never see any partial effect it may have
@@ -370,17 +653,81 @@ class QServer:
                 with self._stats_lock:
                     self._writes_failed += 1
                 op.future.set_exception(exc)
+                if self._is_fatal_storage_failure(exc):
+                    self._degrade(exc)
                 continue
             self.write_log.append((op.kind, op.tag))
             try:
                 self._publish()
-            except BaseException as exc:  # pragma: no cover - capture bug
+            except (KeyboardInterrupt, SystemExit) as exc:
                 op.future.set_exception(exc)
+                self._degrade(exc)
+                raise
+            except BaseException as exc:
+                # Supervision: a snapshot-capture failure means the publish
+                # pipeline is suspect — fail the op and degrade rather than
+                # silently serving a stale snapshot as if the write landed.
+                with self._stats_lock:
+                    self._writes_failed += 1
+                op.future.set_exception(exc)
+                self._degrade(exc)
                 continue
             # Publish-before-complete: once the caller sees the future
             # resolve, every subsequent read is guaranteed a snapshot that
             # includes this write.
             op.future.set_result(result)
+
+    def _apply_with_retry(self, op: _WriteOp):
+        """Run one write, retrying transient storage faults with backoff.
+
+        At-most-once semantics ride on the op's idempotency key: the
+        service records the key the moment the mutation lands in memory
+        (before its autosave), so an attempt that fails *after* that point
+        — e.g. a journal append hitting a locked database — is not
+        re-applied; the retry just returns.  For attempts that failed
+        *before* landing, the process-global edge-id counter is rewound so
+        the retry allocates identical edge ids: retries stay invisible to
+        tree signatures, snapshots, and the isolation oracle's replay.
+        """
+        service = self._service
+        policy = self._retry_policy
+        delays = policy.delays_s()
+        idempotent = op.op_key is not None and hasattr(service, "op_applied")
+        while True:
+            if idempotent and service.op_applied(op.op_key):
+                return service.op_result(op.op_key)
+            saved_edge_counter = edge_id_counter()
+            if idempotent:
+                service.begin_op(op.op_key)
+            try:
+                result = op.fn()
+            except Exception as exc:
+                classified = classify_storage_error(exc)
+                if not is_transient(classified):
+                    raise
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    # Retries exhausted: surface the transient classification
+                    # (original failure on __cause__) and fail this op only —
+                    # the condition is by definition expected to clear, so
+                    # the server stays healthy for later writes.  Re-raise
+                    # the *failure*, never the StopIteration.
+                    if classified is exc:
+                        raise exc
+                    raise classified from exc
+                if not (idempotent and service.op_applied(op.op_key)):
+                    set_edge_id_counter(saved_edge_counter)
+                with self._stats_lock:
+                    self._writes_retried += 1
+                policy.sleep(delay)
+            else:
+                if idempotent:
+                    service.record_op_result(op.op_key, result)
+                return result
+            finally:
+                if idempotent:
+                    service.end_op()
 
     def _publish(self) -> None:
         # All structurally stale views re-expand here, in the single writer
@@ -404,22 +751,52 @@ class QServer:
     # ------------------------------------------------------------------
     def _check_open(self) -> None:
         if self._closed:
-            raise InvalidRequestError("QServer is closed")
+            raise ServerClosedError()
 
-    def close(self) -> None:
+    def close(self, timeout: Optional[float] = None) -> bool:
         """Drain pending writes, stop both lanes.  Idempotent.
 
-        Writes already admitted to the queue are applied before the writer
-        stops (their futures resolve); the underlying service stays open —
-        closing the session itself remains the caller's job.
+        Without ``timeout`` (the default), blocks until every admitted
+        write is applied — their futures resolve — exactly like before.
+        With a ``timeout`` (seconds), waits at most that long for the
+        writer to drain; writes still queued when it elapses fail with
+        :class:`~repro.exceptions.ServerClosedError` so no caller blocks
+        forever behind a wedged writer.  Returns ``True`` when the writer
+        drained cleanly, ``False`` when the timeout elapsed first.  The
+        underlying service stays open — closing the session itself remains
+        the caller's job.
         """
         with self._close_lock:
-            if self._closed:
-                return
+            already = self._closed
             self._closed = True
-        self._queue.put(_SENTINEL)
-        self._writer.join()
+        if already:
+            return not self._writer.is_alive()
+        if timeout is None:
+            # Unbounded close: wait for queue space like the writer's
+            # callers do — the writer is draining, so this always lands.
+            self._queue.put(_SENTINEL)
+        else:
+            try:
+                self._queue.put(_SENTINEL, timeout=timeout)
+            except queue.Full:
+                # Queue saturated behind a wedged writer; the drain below
+                # fails the queued ops and re-posts the sentinel.
+                pass
+        self._writer.join(timeout)
+        clean = not self._writer.is_alive()
+        if not clean:
+            failed = self._drain_queue(lambda: ServerClosedError(
+                "QServer closed before this write was applied"
+            ))
+            if failed:
+                with self._stats_lock:
+                    self._writes_failed += failed
+            try:
+                self._queue.put_nowait(_SENTINEL)
+            except queue.Full:  # pragma: no cover - refilled mid-drain
+                pass
         self._read_pool.shutdown(wait=True)
+        return clean
 
     def __enter__(self) -> "QServer":
         return self

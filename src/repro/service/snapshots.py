@@ -38,6 +38,7 @@ from ..core.view import RankedView
 from ..datastore.provenance import AnswerTuple
 from ..engine.context import ExecutionContext
 from ..exceptions import UnknownViewError
+from ..faults.budget import Budget
 from ..graph.features import WeightVector
 from ..graph.query_graph import QueryGraph
 from ..learning.overlays import OverlayWeightVector, graph_with_weights
@@ -263,15 +264,32 @@ class ReadSnapshot:
     # Reads
     # ------------------------------------------------------------------
     def answers_for(
-        self, sv: SnapshotView, tenant: Optional[str] = None
+        self,
+        sv: SnapshotView,
+        tenant: Optional[str] = None,
+        budget: Optional[Budget] = None,
     ) -> Tuple[AnswerTuple, ...]:
         """Materialized ranked answers of one view under one tenant's weights.
 
         Solved and executed at most once per (view, tenant) on this
         snapshot; concurrent readers of the same key wait on the first
         reader's event instead of duplicating the work.
+
+        A deadline-bearing read (``budget`` given) never *creates* a pinned
+        slot: a budget can truncate the materialization, and a partial
+        answer set must not become the answers every later reader of this
+        (view, tenant) receives — nor an entry the next snapshot carries
+        over.  It reuses an already-completed slot for free, and otherwise
+        materializes privately under its budget.
         """
         key = (sv.view_id, tenant)
+        if budget is not None:
+            with self._lock:
+                entry = self._pinned.get(key)
+            if entry is not None and entry.event.is_set() and entry.error is None:
+                assert entry.answers is not None
+                return entry.answers
+            return self._materialize(sv, tenant, budget=budget)
         with self._lock:
             entry = self._pinned.get(key)
             creator = entry is None
@@ -297,7 +315,12 @@ class ReadSnapshot:
         assert entry.answers is not None
         return entry.answers
 
-    def _materialize(self, sv: SnapshotView, tenant: Optional[str]) -> Tuple[AnswerTuple, ...]:
+    def _materialize(
+        self,
+        sv: SnapshotView,
+        tenant: Optional[str],
+        budget: Optional[Budget] = None,
+    ) -> Tuple[AnswerTuple, ...]:
         weights = self._weights_for(tenant)
         frozen_qg = QueryGraph(
             graph=graph_with_weights(sv.query_graph.graph, weights),
@@ -313,7 +336,7 @@ class ReadSnapshot:
             engine_context=self.context,
             query_graph=frozen_qg,
         )
-        return tuple(view.stream_answers())
+        return tuple(view.stream_answers(budget=budget))
 
     def _weights_for(self, tenant: Optional[str]) -> WeightVector:
         if tenant is None:

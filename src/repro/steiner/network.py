@@ -20,11 +20,25 @@ bit-identical to the seed implementation.
 from __future__ import annotations
 
 import heapq
-from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..exceptions import DisconnectedTerminalsError, SteinerError
 from ..graph.search_graph import SearchGraph
 from .tree import SteinerTree, validate_terminals
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.budget import Budget
 
 _EMPTY: FrozenSet[int] = frozenset()
 
@@ -122,7 +136,10 @@ class SteinerNetwork:
     # Dijkstra over the snapshot
     # ------------------------------------------------------------------
     def _dijkstra(
-        self, source: int, excluded: AbstractSet[int]
+        self,
+        source: int,
+        excluded: AbstractSet[int],
+        budget: "Optional[Budget]" = None,
     ) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
         """Distances and predecessor ``(node, edge)`` pairs from ``source``."""
         INF = float("inf")
@@ -132,6 +149,8 @@ class SteinerNetwork:
         predecessors: Dict[int, Tuple[int, int]] = {}
         heap: List[Tuple[float, str, int]] = [(0.0, node_ids[source], source)]
         while heap:
+            if budget is not None:
+                budget.tick("dijkstra")
             dist, _, node = heapq.heappop(heap)
             if dist > distances.get(node, INF):
                 continue
@@ -181,7 +200,10 @@ class SteinerNetwork:
         return memo
 
     def _shortest_path_tree(
-        self, terminals: Sequence[str], excluded: AbstractSet[int]
+        self,
+        terminals: Sequence[str],
+        excluded: AbstractSet[int],
+        budget: "Optional[Budget]" = None,
     ) -> SteinerTree:
         """Two-terminal special case: the tree is a minimum-cost path.
 
@@ -202,6 +224,8 @@ class SteinerNetwork:
         predecessors: Dict[int, Tuple[int, int]] = {}
         heap: List[Tuple[float, str, int]] = [(0.0, node_ids[source], source)]
         while heap:
+            if budget is not None:
+                budget.tick("shortest-path")
             dist, _, node = heapq.heappop(heap)
             if dist > distances.get(node, INF):
                 continue
@@ -229,6 +253,7 @@ class SteinerNetwork:
         terminals: Sequence[str],
         excluded: AbstractSet[int] = _EMPTY,
         max_terminals: int = 8,
+        budget: "Optional[Budget]" = None,
     ) -> SteinerTree:
         """Minimum-cost Steiner tree over ``terminals``, skipping ``excluded`` edges.
 
@@ -236,6 +261,10 @@ class SteinerNetwork:
         ``exact_steiner_tree``, minus the per-call graph copies and cost
         recomputation.  Two-terminal queries — the dominant case for keyword
         pairs — short-circuit to a single early-exit shortest-path search.
+        With a ``budget``, the inner loops poll it and abort the solve with
+        :class:`~repro.exceptions.DeadlineExceededError` once it expires —
+        a partially run DP yields no usable tree, so there is no partial
+        return at this level.
         """
         terminals = validate_terminals(self.graph, terminals)
         if len(terminals) > max_terminals:
@@ -245,7 +274,7 @@ class SteinerNetwork:
         if len(terminals) == 1:
             return SteinerTree(frozenset(), frozenset(terminals), 0.0)
         if len(terminals) == 2:
-            return self._shortest_path_tree(terminals, excluded)
+            return self._shortest_path_tree(terminals, excluded, budget=budget)
 
         node_ids = self.node_ids
         node_count = len(node_ids)
@@ -263,7 +292,7 @@ class SteinerNetwork:
         # Base cases: singleton subsets = shortest path from the terminal.
         for position, terminal in enumerate(terminal_list):
             mask = 1 << position
-            distances, predecessors = self._dijkstra(terminal, excluded)
+            distances, predecessors = self._dijkstra(terminal, excluded, budget=budget)
             paths = self._all_path_edge_sets(predecessors)
             costs = dp_cost[mask]
             edges = dp_edges[mask]
@@ -275,6 +304,8 @@ class SteinerNetwork:
         for subset in subsets:
             if bin(subset).count("1") < 2:
                 continue
+            if budget is not None:
+                budget.check("dreyfus-wagner")
             costs = dp_cost[subset]
             edges = dp_edges[subset]
             # Merge step: combine two disjoint terminal subsets at a node.
@@ -308,6 +339,8 @@ class SteinerNetwork:
                     heapq.heappush(heap, (cost, node_ids[v], v))
             predecessors: Dict[int, Tuple[int, int]] = {}
             while heap:
+                if budget is not None:
+                    budget.tick("dreyfus-wagner-grow")
                 dist, _, node = heapq.heappop(heap)
                 if dist > current.get(node, INF):
                     continue
@@ -336,7 +369,10 @@ class SteinerNetwork:
     # Approximate solver (Kou–Markowsky–Berman distance network)
     # ------------------------------------------------------------------
     def approximate_tree(
-        self, terminals: Sequence[str], excluded: AbstractSet[int] = _EMPTY
+        self,
+        terminals: Sequence[str],
+        excluded: AbstractSet[int] = _EMPTY,
+        budget: "Optional[Budget]" = None,
     ) -> SteinerTree:
         """2-approximate Steiner tree, skipping ``excluded`` edges."""
         terminals = validate_terminals(self.graph, terminals)
@@ -345,7 +381,9 @@ class SteinerNetwork:
 
         shortest: Dict[str, Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]] = {}
         for terminal in terminals:
-            shortest[terminal] = self._dijkstra(self.node_index[terminal], excluded)
+            shortest[terminal] = self._dijkstra(
+                self.node_index[terminal], excluded, budget=budget
+            )
 
         # Terminal distance network (and the connectivity check).
         pairs: List[Tuple[float, str, str]] = []
@@ -389,16 +427,22 @@ class SteinerNetwork:
         terminals: Sequence[str],
         excluded: AbstractSet[int] = _EMPTY,
         exact_terminal_limit: int = 5,
+        budget: "Optional[Budget]" = None,
     ) -> SteinerTree:
         """Exact DP for few terminals, distance-network approximation otherwise."""
         if len(set(terminals)) <= exact_terminal_limit:
             try:
-                return self.exact_tree(terminals, excluded, max_terminals=exact_terminal_limit)
+                return self.exact_tree(
+                    terminals,
+                    excluded,
+                    max_terminals=exact_terminal_limit,
+                    budget=budget,
+                )
             except DisconnectedTerminalsError:
                 raise
             except SteinerError:
                 pass  # solver-capability failure: fall back to the approximation
-        return self.approximate_tree(terminals, excluded)
+        return self.approximate_tree(terminals, excluded, budget=budget)
 
 
 def prune_to_tree(graph: SearchGraph, edge_ids: Set[str], terminals: Sequence[str]) -> Set[str]:

@@ -28,10 +28,15 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from ..exceptions import SteinerError
+from typing import TYPE_CHECKING
+
+from ..exceptions import DeadlineExceededError, SteinerError
 from ..graph.search_graph import SearchGraph
 from .network import SteinerNetwork
 from .tree import SteinerTree, validate_terminals
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.budget import Budget
 
 SolverFn = Callable[[SearchGraph, Sequence[str]], SteinerTree]
 
@@ -69,8 +74,23 @@ class KBestSteiner:
     max_expansions: int = 200
     network_cache: Optional[object] = None
 
-    def solve(self, graph: SearchGraph, terminals: Sequence[str], k: int) -> List[SteinerTree]:
-        """Return up to ``k`` distinct Steiner trees in nondecreasing cost order."""
+    def solve(
+        self,
+        graph: SearchGraph,
+        terminals: Sequence[str],
+        k: int,
+        budget: "Optional[Budget]" = None,
+    ) -> List[SteinerTree]:
+        """Return up to ``k`` distinct Steiner trees in nondecreasing cost order.
+
+        With a ``budget``, the enumeration is deadline-aware: the budget is
+        polled before/inside every base solve and at each branching
+        expansion.  Expiry before the *first* tree exists raises
+        :class:`~repro.exceptions.DeadlineExceededError`; expiry after that
+        stops branching, drains already-solved candidates off the heap (they
+        are complete, valid trees), marks the budget truncated, and returns
+        the partial list — possibly fewer than ``k`` trees.
+        """
         if k < 1:
             raise ValueError("k must be >= 1")
         terminals = validate_terminals(graph, terminals)
@@ -84,11 +104,15 @@ class KBestSteiner:
         def base_solve(excluded_edge_ids: FrozenSet[str]) -> SteinerTree:
             if network is not None:
                 return network.default_tree(
-                    terminals, excluded=network.edge_indexes(excluded_edge_ids)
+                    terminals,
+                    excluded=network.edge_indexes(excluded_edge_ids),
+                    budget=budget,
                 )
             reduced = self._graph_without(graph, excluded_edge_ids)
             return self.solver(reduced, terminals)  # type: ignore[misc]
 
+        if budget is not None:
+            budget.check("k-best-steiner")
         try:
             best = base_solve(frozenset())
         except SteinerError:  # including DisconnectedTerminalsError
@@ -117,10 +141,20 @@ class KBestSteiner:
             for edge_id in sorted(tree.edge_ids):
                 if expansions >= self.max_expansions:
                     break
+                if budget is not None and budget.expired():
+                    # Stop branching; the outer loop keeps draining fully
+                    # solved candidates already on the heap.
+                    budget.mark_truncated("k-best-steiner")
+                    break
                 expansions += 1
                 new_excluded = excluded | {edge_id}
                 try:
                     candidate = base_solve(new_excluded)
+                except DeadlineExceededError:
+                    # Expired mid-re-solve: at least one tree exists, so the
+                    # enumeration degrades to a partial result.
+                    budget.mark_truncated("k-best-steiner")  # type: ignore[union-attr]
+                    break
                 except SteinerError:
                     continue
                 # Re-cost against the original graph (costs are identical,

@@ -29,6 +29,12 @@ def pytest_configure(config):
         "(scan/join-index counters) that SQL pushdown legitimately bypasses; "
         "skipped when REPRO_BACKEND selects a pushdown-capable backend",
     )
+    config.addinivalue_line(
+        "markers",
+        "fault_injection: deterministic fault-injection tests (scripted "
+        "FaultPlan schedules, injected clocks — no timing dependence); they "
+        "run in the tier-1 matrix on every backend",
+    )
 
 
 def pytest_runtest_setup(item):

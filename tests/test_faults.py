@@ -1,0 +1,681 @@
+"""Fault-tolerance tests: deadlines, retry/backoff, degraded mode, injection.
+
+Everything here is deterministic: fault schedules are scripted
+:class:`~repro.faults.FaultPlan` rules, budgets run on injected clocks, and
+retry policies use injected ``sleep``/``rng`` — no test depends on wall
+time racing real work.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.api import QService, QueryRequest, ServiceConfig
+from repro.exceptions import (
+    DeadlineExceededError,
+    InvalidRequestError,
+    ServerClosedError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+    StorageError,
+    TransientStorageError,
+)
+from repro.faults import (
+    Budget,
+    FaultPlan,
+    FaultRule,
+    FaultyBackend,
+    InjectedFaultError,
+    RetryPolicy,
+    classify_storage_error,
+    is_transient,
+    wrap_session_store,
+)
+from repro.datastore.csvio import source_from_dict, source_to_dict
+from repro.service import QServer
+from repro.storage import MemoryBackend
+
+pytestmark = pytest.mark.fault_injection
+
+
+def _gbco_service(gbco_dataset):
+    """A bootstrap-aligned session over a *clone* of the GBCO catalog.
+
+    Cloning matters: attaching the shared fixture's tables to a
+    service-owned backend would leave them dangling when that backend
+    closes at the end of the test.
+    """
+    service = QService(
+        sources=[
+            source_from_dict(source_to_dict(source))
+            for source in gbco_dataset.catalog
+        ]
+    )
+    service.bootstrap_alignments()
+    return service
+
+
+# ----------------------------------------------------------------------
+# Budget (cooperative deadlines, injected clock)
+# ----------------------------------------------------------------------
+class _StepClock:
+    """A manual clock: the test moves time, the budget only reads it."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestBudget:
+    def test_check_raises_typed_error_after_expiry(self):
+        clock = _StepClock()
+        budget = Budget(deadline_s=1.0, clock=clock)
+        budget.check("early")  # not expired: no raise
+        clock.now = 2.0
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            budget.check("solver")
+        assert excinfo.value.deadline_ms == 1000.0
+        assert excinfo.value.elapsed_ms == 2000.0
+        assert excinfo.value.where == "solver"
+        assert "solver" in str(excinfo.value)
+
+    def test_tick_polls_the_clock_on_a_stride(self):
+        clock = _StepClock()
+        budget = Budget(deadline_s=0.5, clock=clock)
+        clock.now = 1.0  # already expired, but ticks are lazy
+        for _ in range(63):
+            budget.tick("loop")  # strides 1..63 never read the clock
+        with pytest.raises(DeadlineExceededError):
+            budget.tick("loop")  # the 64th does
+
+    def test_mark_truncated_records_partial_result(self):
+        budget = Budget.from_deadline_ms(250.0, clock=_StepClock())
+        assert budget.deadline_ms == 250.0
+        assert not budget.truncated
+        budget.mark_truncated("stream")
+        assert budget.truncated
+        assert budget.where == "stream"
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(deadline_s=-1.0)
+
+    def test_zero_deadline_expires_immediately(self):
+        budget = Budget(deadline_s=0.0, clock=_StepClock())
+        assert budget.expired()
+
+
+# ----------------------------------------------------------------------
+# Classification + retry policy
+# ----------------------------------------------------------------------
+class TestClassification:
+    def test_sqlite_locked_is_transient(self):
+        exc = sqlite3.OperationalError("database is locked")
+        classified = classify_storage_error(exc)
+        assert isinstance(classified, TransientStorageError)
+        assert classified.__cause__ is exc
+        assert is_transient(exc)
+
+    def test_wrapped_sqlite_lock_recognized_through_cause_chain(self):
+        try:
+            try:
+                raise sqlite3.OperationalError("database table is locked: t")
+            except sqlite3.OperationalError as inner:
+                raise StorageError("backend write failed") from inner
+        except StorageError as outer:
+            classified = classify_storage_error(outer)
+        assert isinstance(classified, TransientStorageError)
+
+    def test_non_transient_errors_pass_through_unchanged(self):
+        exc = sqlite3.OperationalError("no such table: frob")
+        assert classify_storage_error(exc) is exc
+        assert not is_transient(exc)
+        runtime = RuntimeError("boom")
+        assert classify_storage_error(runtime) is runtime
+        assert not is_transient(runtime)
+
+    def test_injected_faults_classify_by_kind(self):
+        assert is_transient(TransientStorageError("injected"))
+        assert not is_transient(InjectedFaultError("injected"))
+
+
+class TestRetryPolicy:
+    def test_delays_are_exponential_capped_and_jitter_free_at_zero(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.01, max_delay_s=0.05, jitter=0.0
+        )
+        assert list(policy.delays_s()) == [0.01, 0.02, 0.04, 0.05]
+
+    def test_run_retries_transient_then_succeeds(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, jitter=0.0, sleep=sleeps.append)
+        attempts = []
+
+        def flaky():
+            attempts.append(len(attempts))
+            if len(attempts) < 3:
+                raise TransientStorageError("locked")
+            return "ok"
+
+        assert policy.run(flaky) == "ok"
+        assert len(attempts) == 3
+        assert len(sleeps) == 2
+
+    def test_run_raises_after_exhausting_attempts(self):
+        policy = RetryPolicy(max_attempts=2, sleep=lambda _s: None)
+        with pytest.raises(TransientStorageError):
+            policy.run(lambda: (_ for _ in ()).throw(TransientStorageError("locked")))
+
+    def test_run_does_not_retry_non_transient(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise InjectedFaultError("disk gone")
+
+        policy = RetryPolicy(max_attempts=5, sleep=lambda _s: None)
+        with pytest.raises(InjectedFaultError):
+            policy.run(broken)
+        assert len(attempts) == 1
+
+
+# ----------------------------------------------------------------------
+# Fault plans + backend wrapper
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_rule_fires_on_schedule_and_disarms(self):
+        rule = FaultRule(op="scan", after=2, every=2, times=2)
+        fired = []
+        for call in range(1, 8):
+            if rule.should_fire(call):
+                rule.fired += 1
+                fired.append(call)
+        assert fired == [2, 4]  # disarmed after `times` firings
+
+    def test_plan_counts_per_op_and_enable_resets(self):
+        plan = FaultPlan(rules=[FaultRule(op="scan", error="transient", after=2)])
+        plan.on_call("scan")  # call 1: passes
+        with pytest.raises(TransientStorageError):
+            plan.on_call("scan")  # call 2: fires
+        assert plan.faults_fired() == 1
+        plan.on_call("insert_rows")  # other ops have their own counters
+        plan.enable()  # reset
+        plan.on_call("scan")  # counts restart at 1
+        assert plan.faults_fired() == 0
+
+    def test_disabled_plan_is_a_no_op(self):
+        plan = FaultPlan(rules=[FaultRule(op="scan")], active=False)
+        plan.on_call("scan")
+        assert plan.faults_fired() == 0
+
+
+def test_faulty_backend_injects_on_nth_call_and_delegates_otherwise():
+    plan = FaultPlan(rules=[FaultRule(op="scan", error="fatal", after=2)])
+    backend = FaultyBackend(MemoryBackend(), plan)
+    backend.create_relation("t", None)
+    backend.insert_rows("t", [("a",), ("b",)])
+    assert len(backend.scan("t")) == 2  # first scan passes
+    with pytest.raises(InjectedFaultError):
+        backend.scan("t")  # second fires
+    plan.disable()
+    assert len(backend.scan("t")) == 2
+    assert backend.kind == "memory"
+    assert backend.relation_keys() == ("t",)
+
+
+# ----------------------------------------------------------------------
+# Serving layer: helpers
+# ----------------------------------------------------------------------
+def _fast_policy():
+    """A retry policy that never really sleeps (still counts retries)."""
+    return RetryPolicy(max_attempts=3, jitter=0.0, sleep=lambda _s: None)
+
+
+def _server(mini_catalog, plan=None, **kwargs):
+    backend = FaultyBackend(MemoryBackend(), plan) if plan is not None else None
+    service = QService(
+        sources=list(mini_catalog),
+        config=ServiceConfig(write_queue_limit=8),
+        backend=backend,
+    )
+    server = QServer(service, retry_policy=_fast_policy(), **kwargs)
+    return service, server
+
+
+# ----------------------------------------------------------------------
+# Writer lane: retry with backoff
+# ----------------------------------------------------------------------
+def test_writer_retries_transient_fault_and_applies_once(mini_catalog):
+    plan = FaultPlan(
+        rules=[FaultRule(op="scan", error="transient", times=1)], active=False
+    )
+    service, server = _server(mini_catalog, plan=plan)
+    backend = service.catalog.backend
+    key = backend.relation_keys()[0]
+    applications = []
+
+    def mutate():
+        rows = backend.scan(key)  # first attempt: injected transient error
+        applications.append(len(rows))
+        return len(rows)
+
+    with service, server:
+        plan.enable()
+        result = server.submit_mutation(mutate, kind="probe").result(timeout=30)
+        plan.disable()
+        assert result > 0
+        assert applications == [result]  # applied exactly once
+        stats = server.stats()
+        assert stats.writes_retried == 1
+        assert stats.writes_applied == 1
+        assert stats.writes_failed == 0
+        assert stats.health == "healthy"
+        assert ("probe", None) in server.write_log
+
+
+def test_writer_fails_op_but_stays_healthy_when_retries_exhaust(mini_catalog):
+    plan = FaultPlan(
+        rules=[FaultRule(op="scan", error="transient", times=None)], active=False
+    )
+    service, server = _server(mini_catalog, plan=plan)
+    backend = service.catalog.backend
+    key = backend.relation_keys()[0]
+    with service, server:
+        plan.enable()
+        future = server.submit_mutation(lambda: backend.scan(key), kind="probe")
+        with pytest.raises(TransientStorageError):
+            future.result(timeout=30)
+        plan.disable()
+        stats = server.stats()
+        assert stats.writes_failed == 1
+        assert stats.writes_retried == 2  # max_attempts=3 -> two retries
+        assert stats.health == "healthy"  # transient exhaustion != fatal
+        # The lane still works.
+        assert server.submit_mutation(lambda: "ok", kind="noop").result(30) == "ok"
+
+
+# ----------------------------------------------------------------------
+# Degraded read-only mode + recovery
+# ----------------------------------------------------------------------
+def test_fatal_storage_fault_degrades_then_recovers(mini_catalog):
+    plan = FaultPlan(
+        rules=[FaultRule(op="scan", error="fatal", times=1)], active=False
+    )
+    service, server = _server(mini_catalog, plan=plan)
+    backend = service.catalog.backend
+    key = backend.relation_keys()[0]
+    with service, server:
+        baseline = server.query(QueryRequest(keywords=("kinase", "binding")))
+        plan.enable()
+        future = server.submit_mutation(lambda: backend.scan(key), kind="probe")
+        with pytest.raises(InjectedFaultError):
+            future.result(timeout=30)
+        assert server.health() == "degraded"
+        assert isinstance(server.last_fault(), InjectedFaultError)
+
+        # Writes fail fast; reads keep serving the published snapshot.
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            server.submit_mutation(lambda: "nope", kind="late")
+        assert excinfo.value.retryable
+        still = server.query(QueryRequest(view=baseline.view_id))
+        assert still.answers == baseline.answers
+        assert still.snapshot_id == baseline.snapshot_id
+
+        # Backend back to normal (rule disarmed after 1 firing): recover.
+        assert server.recover() == "healthy"
+        assert server.last_fault() is None
+        assert server.submit_mutation(lambda: "ok", kind="noop").result(30) == "ok"
+        assert server.stats().health == "healthy"
+
+
+def test_recover_fails_and_stays_degraded_while_fault_persists(mini_catalog):
+    plan = FaultPlan(
+        rules=[
+            FaultRule(op="scan", error="fatal", times=1),
+            FaultRule(op="relation_keys", error="fatal", times=1),
+        ],
+        active=False,
+    )
+    service, server = _server(mini_catalog, plan=plan)
+    backend = service.catalog.backend
+    key = backend.relation_keys()[0]
+    with service, server:
+        plan.enable()
+        # relation_keys rule fires on the recovery probe, not this lookup:
+        # counters reset at enable(), and the rule disarms after one firing.
+        future = server.submit_mutation(lambda: backend.scan(key), kind="probe")
+        with pytest.raises(InjectedFaultError):
+            future.result(timeout=30)
+        assert server.health() == "degraded"
+        with pytest.raises(ServiceUnavailableError):
+            server.recover()  # probe hits the relation_keys fault
+        assert server.health() == "degraded"
+        assert server.recover() == "healthy"  # fault cleared (times=1)
+
+
+def test_degraded_mode_drains_queued_writes_with_typed_errors(mini_catalog):
+    plan = FaultPlan(
+        rules=[FaultRule(op="scan", error="fatal", times=1)], active=False
+    )
+    service, server = _server(mini_catalog, plan=plan)
+    backend = service.catalog.backend
+    key = backend.relation_keys()[0]
+    with service, server:
+        gate = threading.Event()
+        release = threading.Event()
+
+        def blocker():
+            gate.set()
+            release.wait(timeout=30)
+            return backend.scan(key)  # fatal once released
+
+        blocked = server.submit_mutation(blocker, kind="block")
+        assert gate.wait(timeout=10)
+        queued = [server.submit_mutation(lambda: "q", kind="queued") for _ in range(3)]
+        plan.enable()
+        release.set()
+        with pytest.raises(InjectedFaultError):
+            blocked.result(timeout=30)
+        for future in queued:
+            with pytest.raises(ServiceUnavailableError):
+                future.result(timeout=30)
+        assert server.health() == "degraded"
+        assert server.stats().writes_failed == 4
+
+
+# ----------------------------------------------------------------------
+# Idempotency: a retry after a partially applied write never double-applies
+# ----------------------------------------------------------------------
+def test_autosave_fault_after_apply_does_not_double_apply(mini_catalog, tmp_path):
+    path = tmp_path / "session.json"
+    service = QService(sources=list(mini_catalog), autosave=path)
+    service.save()  # create the persistence layer, then wrap its store
+    plan = FaultPlan(
+        rules=[FaultRule(op="append_entry", error="transient", times=1)],
+        active=False,
+    )
+    wrap_session_store(service, plan)
+    server = QServer(service, retry_policy=_fast_policy())
+    with service, server:
+        plan.enable()
+        # The mutation lands in memory, then its autosave journal append
+        # fails transiently; the writer retry must observe the recorded
+        # idempotency key and skip re-execution.
+        server.create_view(QueryRequest(keywords=("kinase",), name="only-once"))
+        plan.disable()
+        assert [r.name for r in service.views.records()].count("only-once") == 1
+        stats = server.stats()
+        assert stats.writes_retried == 1
+        assert stats.writes_applied == 1
+        assert stats.health == "healthy"
+        assert len(service._applied_ops) == 1
+        applied_key = next(iter(service._applied_ops))
+        assert service.op_applied(applied_key)
+        # A later successful save persists the key; reopening restores it.
+        service.save()
+    reopened = QService.open(path)
+    with reopened:
+        assert reopened.op_applied(applied_key)
+        assert [r.name for r in reopened.views.records()].count("only-once") == 1
+
+
+def test_retry_of_unapplied_attempt_reuses_edge_ids(mini_catalog):
+    """A failed-before-apply attempt must not burn edge ids (oracle replay)."""
+    from repro.graph.edges import edge_id_counter
+
+    plan = FaultPlan(
+        rules=[FaultRule(op="scan", error="transient", times=2)], active=False
+    )
+    service, server = _server(mini_catalog, plan=plan)
+    backend = service.catalog.backend
+    key = backend.relation_keys()[0]
+    with service, server:
+        before = edge_id_counter()
+        plan.enable()
+        server.submit_mutation(lambda: backend.scan(key), kind="probe").result(30)
+        plan.disable()
+        # Two failed attempts allocated nothing (scan burns no edge ids),
+        # and the rewind kept the counter exactly where the one successful
+        # application left it.
+        assert edge_id_counter() == before
+        assert server.stats().writes_retried == 2
+
+
+# ----------------------------------------------------------------------
+# Deadlines end to end
+# ----------------------------------------------------------------------
+def test_zero_deadline_read_raises_typed_error(gbco_dataset):
+    keywords = gbco_dataset.query_log[2].keywords
+    service = _gbco_service(gbco_dataset)
+    with service, QServer(service) as server:
+        warm = server.query(QueryRequest(keywords=keywords))
+        assert len(warm.answers) > 0
+        with pytest.raises(DeadlineExceededError):
+            server.query(QueryRequest(view=warm.view_id, tenant="t0"), deadline_ms=0.0)
+        # The failed deadline read polluted nothing: the same (view,
+        # tenant) still materializes in full afterwards.
+        full = server.query(QueryRequest(view=warm.view_id, tenant="t0"))
+        assert not full.degraded
+        assert len(full.answers) == len(warm.answers)
+
+
+def test_generous_deadline_read_is_exact_and_not_degraded(gbco_dataset):
+    keywords = gbco_dataset.query_log[2].keywords
+    service = _gbco_service(gbco_dataset)
+    with service, QServer(service) as server:
+        free = server.query(QueryRequest(keywords=keywords))
+        bounded = server.query(QueryRequest(view=free.view_id), deadline_ms=60_000.0)
+        assert bounded.answers == free.answers
+        assert not bounded.degraded
+        stats = server.stats()
+        assert stats.reads_degraded == 0
+
+
+def test_stream_truncates_at_query_boundary_and_marks_budget(gbco_dataset):
+    """Expiry mid-stream keeps already-yielded answers and flags truncation."""
+    keywords = gbco_dataset.query_log[2].keywords
+    service = _gbco_service(gbco_dataset)
+    with service:
+        info = service.create_view(QueryRequest(keywords=keywords), materialize=False)
+        record = service.views.resolve(info.view_id)
+        full = list(record.view.stream_answers())
+        assert len(full) > 1
+
+        clock = _StepClock()
+        budget = Budget(deadline_s=100.0, clock=clock)
+        stream = record.view.stream_answers(budget=budget)
+        first = next(stream)
+        clock.now = 1000.0  # expire between query executions
+        rest = list(stream)
+        assert budget.truncated
+        assert budget.where == "stream"
+        partial = [first] + rest
+        assert 1 <= len(partial) < len(full)
+        # Every yielded answer is a prefix-exact match of the full read.
+        assert [a.values for a in partial] == [a.values for a in full[: len(partial)]]
+
+        # Truncated state was never cached: a fresh full read is complete.
+        assert len(list(record.view.stream_answers())) == len(full)
+
+
+def test_budgeted_reads_never_pin_partial_answers(gbco_dataset):
+    keywords = gbco_dataset.query_log[2].keywords
+    service = _gbco_service(gbco_dataset)
+    with service, QServer(service) as server:
+        # Create through the writer lane only — no read yet, so the
+        # published snapshot has no pinned materialization for the view.
+        info = server.create_view(QueryRequest(keywords=keywords))
+        fresh = server.snapshot()
+        sv = fresh.resolve(info.view_id, (), None)
+        assert sv is not None
+        assert fresh.pinned_count() == 0
+
+        clock = _StepClock()
+        budget = Budget(deadline_s=100.0, clock=clock)
+        answers = fresh.answers_for(sv, budget=budget)
+        assert len(answers) > 0
+        # The budgeted materialization left no pinned slot behind …
+        assert fresh.pinned_count() == 0
+        # … so the unbudgeted read materializes (and pins) the real thing.
+        pinned = fresh.answers_for(sv)
+        assert fresh.pinned_count() == 1
+        assert pinned == answers
+
+
+def test_solver_returns_partial_tree_list_on_expiry(gbco_dataset):
+    """KBestSteiner drains complete candidates instead of raising mid-way."""
+    from repro.steiner.network import SteinerNetwork
+    from repro.steiner.topk import KBestSteiner
+
+    keywords = gbco_dataset.query_log[2].keywords
+    service = _gbco_service(gbco_dataset)
+    with service:
+        info = service.create_view(QueryRequest(keywords=keywords), materialize=False)
+        view = service.views.resolve(info.view_id).view
+        view.prepare()
+        graph = view.query_graph.graph
+        terminals = list(view.query_graph.keyword_nodes.values())
+        # A custom solver takes the legacy protocol: the budget is polled
+        # only in the enumerator's own loop, so its clock reads are exactly
+        # countable — read 1 at construction, read 2 at the pre-solve
+        # check, read 3+ in the branching loop.
+        solver = KBestSteiner(solver=lambda g, t: SteinerNetwork(g).default_tree(t))
+        full = solver.solve(graph, terminals, k=5)
+        assert len(full) >= 2
+
+        # Expired-before-first-solve: typed error.
+        with pytest.raises(DeadlineExceededError):
+            solver.solve(graph, terminals, k=5, budget=Budget(0.0, clock=_StepClock()))
+
+        # Expiry armed right after the first base solve: partial, truncated.
+        reads = {"n": 0}
+
+        def clock() -> float:
+            reads["n"] += 1
+            return 0.0 if reads["n"] <= 2 else 1000.0
+
+        budget = Budget(deadline_s=100.0, clock=clock)
+        partial = solver.solve(graph, terminals, k=5, budget=budget)
+        assert budget.truncated
+        assert 1 <= len(partial) < len(full)
+        assert [t.cost for t in partial] == [t.cost for t in full[: len(partial)]]
+
+
+# ----------------------------------------------------------------------
+# Backpressure fields + fast-fail on both backends (satellite)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", [None, "sqlite"])
+def test_overload_error_carries_pending_and_limit(mini_catalog, backend):
+    with QService(sources=list(mini_catalog), backend=backend) as service:
+        with QServer(service, read_workers=2, write_queue_limit=3) as server:
+            gate = threading.Event()
+            release = threading.Event()
+
+            def blocker():
+                gate.set()
+                release.wait(timeout=30)
+
+            blocked = server.submit_mutation(blocker, kind="block")
+            assert gate.wait(timeout=10)
+            fillers = [
+                server.submit_mutation(lambda: None, kind="fill") for _ in range(3)
+            ]
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                server.submit_mutation(lambda: None, kind="overflow")
+            assert excinfo.value.limit == 3
+            assert excinfo.value.pending == 3
+            assert excinfo.value.retryable  # callers may back off and retry
+            assert server.stats().writes_rejected == 1
+            release.set()
+            blocked.result(timeout=30)
+            for filler in fillers:
+                filler.result(timeout=30)
+            assert server.stats().writes_failed == 0
+
+
+# ----------------------------------------------------------------------
+# Cancellation, bounded close, interrupt propagation (satellites)
+# ----------------------------------------------------------------------
+def test_queued_write_can_be_cancelled_before_writer_picks_it_up(mini_catalog):
+    service, server = _server(mini_catalog)
+    with service, server:
+        gate = threading.Event()
+        release = threading.Event()
+
+        def blocker():
+            gate.set()
+            release.wait(timeout=30)
+            return "done"
+
+        blocked = server.submit_mutation(blocker, kind="block")
+        assert gate.wait(timeout=10)
+        doomed = server.submit_mutation(lambda: "never", kind="doomed")
+        assert doomed.cancel()  # still queued: cancellable
+        release.set()
+        assert blocked.result(timeout=30) == "done"
+        marker = server.submit_mutation(lambda: "after", kind="after")
+        assert marker.result(timeout=30) == "after"
+        assert doomed.cancelled()
+        stats = server.stats()
+        assert stats.writes_cancelled == 1
+        assert ("doomed", None) not in server.write_log
+
+
+def test_close_timeout_fails_still_queued_ops_with_typed_error(mini_catalog):
+    service, server = _server(mini_catalog)
+    release = threading.Event()
+    gate = threading.Event()
+
+    def wedge():
+        gate.set()
+        release.wait(timeout=60)
+        return "unwedged"
+
+    wedged = server.submit_mutation(wedge, kind="wedge")
+    assert gate.wait(timeout=10)
+    stuck = [server.submit_mutation(lambda: "stuck", kind="stuck") for _ in range(2)]
+    assert server.close(timeout=0.2) is False  # writer still wedged
+    for future in stuck:
+        with pytest.raises(ServerClosedError):
+            future.result(timeout=5)
+    # Closed servers reject everything with the typed (still
+    # InvalidRequestError-compatible) error.
+    with pytest.raises(InvalidRequestError, match="closed"):
+        server.submit_mutation(lambda: None)
+    with pytest.raises(ServerClosedError):
+        server.query(QueryRequest(keywords=("kinase",)))
+    assert server.health() == "closed"
+    release.set()  # unwedge: the in-flight op completes, writer exits
+    assert wedged.result(timeout=30) == "unwedged"
+    assert server.close() is True  # idempotent; writer has drained now
+    service.close()
+
+
+def test_keyboard_interrupt_escapes_the_writer_lane(mini_catalog):
+    service, server = _server(mini_catalog)
+    interrupts = []
+    previous_hook = threading.excepthook
+    threading.excepthook = lambda args: interrupts.append(args.exc_type)
+    try:
+        future = server.submit_mutation(
+            lambda: (_ for _ in ()).throw(KeyboardInterrupt()), kind="interrupt"
+        )
+        with pytest.raises(KeyboardInterrupt):
+            future.result(timeout=30)
+        server._writer.join(timeout=10)
+        # The interrupt was re-raised (killing the writer thread), not
+        # swallowed like an ordinary op failure.
+        assert not server._writer.is_alive()
+        assert interrupts == [KeyboardInterrupt]
+        assert server.health() == "degraded"
+        with pytest.raises(ServiceUnavailableError):
+            server.submit_mutation(lambda: None)
+    finally:
+        threading.excepthook = previous_hook
+        server.close(timeout=1.0)
+        service.close()
