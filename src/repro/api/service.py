@@ -196,6 +196,21 @@ class QService:
         self.matchers: List[BaseMatcher] = (
             list(matchers) if matchers else [MetadataMatcher(), MadMatcher()]
         )
+        #: Backend-persisted posting tables (``_repro_postings_*``): on a
+        #: posting-capable backend the profile index's value/token posting
+        #: lists and tf-idf vectors live inside the catalog database, so a
+        #: warm open serves candidate generation by indexed SQL instead of
+        #: rebuilding postings in memory.  ``sync`` here is a no-op when
+        #: the saved tables already describe the current index epoch — the
+        #: warm-open fast path.
+        self._posting_store = None
+        backend = catalog.backend
+        if backend is not None and getattr(backend, "supports_posting_tables", False):
+            from ..storage.postings import PostingStore
+
+            self._posting_store = PostingStore(backend)
+            self.profile_index.attach_posting_store(self._posting_store)
+            self._posting_store.sync(self.profile_index)
         self.ensemble = MatcherEnsemble(
             self.matchers, top_y=self.config.top_y, profile_index=self.profile_index
         )
@@ -499,6 +514,38 @@ class QService:
             return itertools.islice(stream, request.limit)
         return stream
 
+    def answers_page(self, request: QueryRequest) -> Tuple[AnswerTuple, ...]:
+        """One random-access k-best page of a view's ranked answers.
+
+        The ``LIMIT``/``OFFSET`` read: ``request.offset`` positions the
+        window, ``request.page_size`` (default: the session's page size)
+        bounds it.  On a window-capable backend the page is computed by a
+        single windowed SELECT — ranking, tie-breaking and pagination run
+        inside the database; elsewhere the Python ranked union slices.
+        Either way the page equals the corresponding slice of a full
+        :meth:`stream_answers` read.  A ``tenant`` prices the page under
+        that tenant's overlay (always on the Python path).
+        """
+        record = self._record_for_query(request)
+        page_size = (
+            request.page_size
+            if request.page_size is not None
+            else self.config.default_page_size
+        )
+        stale = self._is_stale(record)
+        if stale:
+            record.view.prepare(rebuild_graph=self._needs_rebuild(record))
+            self._refreshes += 1
+        else:
+            self._refreshes_skipped += 1
+        self._mark_synced(record)
+        view = (
+            record.view
+            if request.tenant is None
+            else self._tenant_view(record, request.tenant)
+        )
+        return tuple(view.answers_page(limit=page_size, offset=request.offset))
+
     def _request_stream(self, record: ViewRecord, request: QueryRequest) -> Iterator[AnswerTuple]:
         if request.tenant is None:
             return self._synced_stream(record)
@@ -594,6 +641,11 @@ class QService:
             answer_limit=self.config.answer_limit,
             engine_context=self.engine_context,
             query_graph=tenant_qg,
+            # Tenant overlays re-price the shared expansion per read; keep
+            # their reads on the per-query Python path (fallback by
+            # construction) instead of batching overlay-priced costs into
+            # the shared windowed round trip.
+            allow_window_pushdown=False,
         )
         self._tenant_views[key] = (base_qg, view)
         return view
@@ -1056,6 +1108,12 @@ class QService:
         if key is not None:
             self._pending_op_key = None
             self._record_applied_op(key, None)
+        if self._posting_store is not None:
+            # Keep the backend posting tables in lockstep with the index
+            # (no-op while the saved epoch is current), and do it before
+            # the autosave so a checkpointed database is always internally
+            # consistent: snapshot epoch == posting-table epoch.
+            self._posting_store.sync(self.profile_index)
         if self._autosave and not getattr(self, "_in_autosave", False):
             self._in_autosave = True
             try:
@@ -1134,6 +1192,15 @@ class QService:
             pool_workers=self._pool_workers,
             pair_memo_entries=self.profile_index.pair_memo_size,
             tenants=len(self.tenants),
+            pushdown_scans=self.engine_context.statistics.pushdown_scans,
+            pushdown_queries=self.engine_context.statistics.pushdown_queries,
+            pushdown_union_queries=(
+                self.engine_context.statistics.pushdown_union_queries
+            ),
+            posting_builds=self.profile_index.posting_builds,
+            posting_syncs=(
+                self._posting_store.syncs if self._posting_store is not None else 0
+            ),
         )
 
     def close(self) -> None:

@@ -112,6 +112,10 @@ class QueryRequest:
         Answers per page (defaults to the session config).
     limit:
         Cap on the total number of answers streamed.
+    offset:
+        Starting rank of a random-access page read
+        (:meth:`~repro.api.service.QService.answers_page` only; the
+        streaming reads always start at rank 0).
     tenant:
         Optional tenant name: answers are ranked under that tenant's
         weight overlay (shared base weights plus the tenant's learned
@@ -131,6 +135,7 @@ class QueryRequest:
     name: Optional[str] = None
     page_size: Optional[int] = None
     limit: Optional[int] = None
+    offset: int = 0
     tenant: Optional[str] = None
     deadline_ms: Optional[float] = None
 
@@ -305,3 +310,15 @@ class SystemStats:
     pair_memo_entries: int = 0
     #: Tenants with a weight overlay in this session (0 = single-tenant).
     tenants: int = 0
+    #: Storage-pushdown counters (0 on backends without the capability):
+    #: per-relation filtered scans, whole-query SELECTs, and windowed
+    #: ranked-union round trips (one per batch, however many view queries
+    #: it carried) served inside the backend instead of the Python engine.
+    pushdown_scans: int = 0
+    pushdown_queries: int = 0
+    pushdown_union_queries: int = 0
+    #: Posting persistence: full in-memory posting rebuilds the profile
+    #: index performed (0 across a warm open served by current posting
+    #: tables) and posting-table rewrites pushed to the backend.
+    posting_builds: int = 0
+    posting_syncs: int = 0

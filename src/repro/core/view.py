@@ -105,6 +105,11 @@ class RankedView:
         Q system passes one so all views share scan/join-index caches.
     max_cached_queries:
         Bound on the per-signature answer cache (LRU eviction).
+    allow_window_pushdown:
+        Whether reads may use the backend's windowed ranked-union pushdown
+        (one SELECT per cold union read).  The service layer disables it for
+        tenant-overlay views: their repricing runs on the Python engine by
+        construction.
     """
 
     def __init__(
@@ -118,12 +123,14 @@ class RankedView:
         engine_context: Optional[ExecutionContext] = None,
         max_cached_queries: int = 64,
         query_graph: Optional[QueryGraph] = None,
+        allow_window_pushdown: bool = True,
     ) -> None:
         self.keywords = list(keywords)
         self.catalog = catalog
         self.base_graph = graph
         self.k = k
         self.answer_limit = answer_limit
+        self.allow_window_pushdown = allow_window_pushdown
         self.builder = builder or QueryGraphBuilder(catalog)
         # A restored session injects the view's previously expanded query
         # graph (same keyword/value nodes, same edge ids) instead of
@@ -251,10 +258,18 @@ class RankedView:
         Incrementality: the Steiner solve is skipped when edge weights and
         graph structure are unchanged; per-query answers are reused whenever
         a tree with the same signature was already executed against the same
-        table versions.
+        table versions.  On a window-capable backend, every cache-missing
+        query is executed by **one** windowed backend round trip
+        (:meth:`_prime_answer_cache`) instead of per-query SELECTs.
         """
         trees, queries, stats = self._ensure_solved(rebuild_graph)
-        pairs = [(g.query, self._answers_for(g, stats)) for g in queries]
+        primed = self._prime_answer_cache(queries, stats)
+        pairs = []
+        for generated in queries:
+            answers_for = primed.get(generated.signature) if primed else None
+            if answers_for is None:
+                answers_for = self._answers_for(generated, stats)
+            pairs.append((generated.query, answers_for))
         answers = ranked_union(pairs, limit=self.answer_limit)
 
         self.state = ViewState(trees=trees, queries=queries, answers=answers)
@@ -292,6 +307,10 @@ class RankedView:
         call time, but query *execution* is deferred: each generated query
         runs only when the iterator reaches its answers, so a consumer that
         stops after the first page never pays for the remaining queries.
+        (On a window-capable backend the first pull instead executes every
+        cache-missing query in one windowed SELECT — a single snapshot
+        round trip, so a publish landing mid-stream cannot split the
+        result across two data versions.)
         Yielded answers are identical — same values, costs, provenance and
         order — to :meth:`refresh`'s :func:`~repro.engine.executor.ranked_union`
         output: queries are streamed in ascending cost order (every answer
@@ -318,6 +337,12 @@ class RankedView:
         limit = self.answer_limit
 
         def _generate() -> Iterator[AnswerTuple]:
+            # Budgeted (deadline-bounded) reads stay on the per-query lazy
+            # path by construction: the windowed batch is one indivisible
+            # round trip with no query-boundary truncation points.
+            primed = None if budget is not None else self._prime_answer_cache(
+                ordered, stats
+            )
             yielded = 0
             for generated, mapping in zip(ordered, mappings):
                 if limit is not None and yielded >= limit:
@@ -326,7 +351,11 @@ class RankedView:
                     budget.mark_truncated("stream")
                     return
                 try:
-                    answers = self._answers_for(generated, stats, budget=budget)
+                    answers = (
+                        primed.get(generated.signature) if primed else None
+                    )
+                    if answers is None:
+                        answers = self._answers_for(generated, stats, budget=budget)
                 except DeadlineExceededError:
                     if yielded == 0:
                         raise
@@ -371,6 +400,100 @@ class RankedView:
             self._answer_cache.popitem(last=False)
         stats.queries_executed += 1
         return answers
+
+    def _prime_answer_cache(
+        self, queries: Sequence[GeneratedQuery], stats: RefreshStats
+    ) -> Optional[Dict[str, List[AnswerTuple]]]:
+        """Batch-execute every cache-missing query in one windowed SELECT.
+
+        The cold-read half of the windowed ranked-union pushdown: instead
+        of one backend round trip per cache miss, all missing queries run
+        as branches of a single windowed ``UNION ALL``
+        (:meth:`~repro.engine.context.ExecutionContext.try_pushdown_union_raw`)
+        and their raw answers — byte-identical to per-query execution —
+        land in the per-signature cache.  Returns ``{signature: answers}``
+        for the fetched queries (already counted in
+        ``stats.queries_executed``; a primed query ran, inside one shared
+        SELECT, so it is *executed*, never *reused*), or ``None`` when the
+        pushdown is unavailable, the union is ineligible, or nothing is
+        missing — callers then proceed exactly as before the windowed path
+        existed.
+        """
+        if not self.allow_window_pushdown or not queries:
+            return None
+        if self.engine_context.window_pushdown is None:
+            return None
+        missing: List[Tuple[GeneratedQuery, Tuple[Tuple[str, object, int], ...]]] = []
+        for generated in queries:
+            versions = self._table_versions(generated.query)
+            cached = self._answer_cache.get(generated.signature)
+            if cached is None or cached.table_versions != versions:
+                missing.append((generated, versions))
+        if not missing:
+            return None
+        fetched = self.engine_context.try_pushdown_union_raw(
+            [generated.query for generated, _ in missing]
+        )
+        if fetched is None:
+            return None
+        primed: Dict[str, List[AnswerTuple]] = {}
+        for (generated, versions), answers in zip(missing, fetched):
+            self._answer_cache[generated.signature] = _CachedAnswers(versions, answers)
+            self._answer_cache.move_to_end(generated.signature)
+            stats.queries_executed += 1
+            primed[generated.signature] = answers
+        while len(self._answer_cache) > self.max_cached_queries:
+            self._answer_cache.popitem(last=False)
+        return primed
+
+    def answers_page(
+        self, limit: Optional[int] = None, offset: int = 0
+    ) -> List[AnswerTuple]:
+        """One k-best page of the ranked answers (``LIMIT``/``OFFSET``).
+
+        On a window-capable backend the page is computed by one windowed
+        SELECT — cost ordering, tie-breaking and pagination all run inside
+        the database; otherwise (or for an ineligible union) the Python
+        ranked union materializes and slices.  Either way the page equals
+        ``answers()[offset : offset + limit]``: the window never reaches
+        past the view's ``answer_limit`` cap, an ``offset`` past the last
+        answer yields ``[]``, and ``limit=0`` is rejected — a page must be
+        able to hold an answer (use :meth:`answers` for a full read).
+        """
+        if limit is not None and limit < 1:
+            raise QueryError("answers_page limit must be at least 1")
+        if offset < 0:
+            raise QueryError("answers_page offset must not be negative")
+        self.prepare()
+        stats = self.last_refresh
+        queries = self.state.queries
+        cap = self.answer_limit
+        if cap is not None:
+            if offset >= cap:
+                return []
+            window = cap - offset
+            effective = window if limit is None else min(limit, window)
+        else:
+            effective = limit
+        if self.allow_window_pushdown and queries:
+            ordered = sorted(queries, key=lambda g: g.query.cost)
+            plain = [generated.query for generated in ordered]
+            columns, mappings = union_column_plan(plain)
+            pushed = self.engine_context.try_pushdown_union_ranked(
+                plain, columns, mappings, limit=effective, offset=offset
+            )
+            if pushed is not None:
+                return pushed
+        primed = self._prime_answer_cache(queries, stats)
+        pairs = []
+        for generated in queries:
+            answers_for = primed.get(generated.signature) if primed else None
+            if answers_for is None:
+                answers_for = self._answers_for(generated, stats)
+            pairs.append((generated.query, answers_for))
+        all_answers = ranked_union(pairs, limit=cap)
+        end = None if effective is None else offset + effective
+        return all_answers[offset:end]
 
     def _table_versions(self, query) -> Tuple[Tuple[str, object, int], ...]:
         entries = []

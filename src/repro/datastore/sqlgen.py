@@ -52,8 +52,46 @@ def _quote_identifier(name: str) -> str:
 quote_identifier = _quote_identifier
 
 
+@dataclass(frozen=True)
+class PushdownDialect:
+    """How one backend spells the *exact*-dialect SQL the pushdown emits.
+
+    The exact dialect guarantees answer parity by calling the library's own
+    canonicalize / match functions *inside* the database; which names those
+    functions are registered under — and which SQL features the server
+    offers — is a property of the backend.  Bundling them here lets the
+    pushdown compilers (:mod:`repro.storage.pushdown`,
+    :mod:`repro.storage.windowed`) render for any backend that registers
+    the functions, instead of hard-coding the SQLite spelling.
+    """
+
+    #: Dialect identifier (matches the backend's ``kind``).
+    name: str = "sqlite"
+    #: Name of the registered canonicalizer UDF (one text argument).
+    canon_function: str = "repro_canon"
+    #: Name of the registered matcher UDF (``mode, needle, value`` → 0/1).
+    match_function: str = "repro_match"
+    #: Whether the server evaluates ``ROW_NUMBER()``/``RANK()`` windows —
+    #: the prerequisite of the windowed ranked-union pushdown.
+    supports_window_functions: bool = True
+
+    def canon(self, column_sql: str) -> str:
+        """The canonical form of a column expression, as SQL."""
+        return f"{self.canon_function}({column_sql})"
+
+
+#: The dialect of :class:`~repro.storage.sqlite.SqliteBackend` (window
+#: functions ship with SQLite ≥ 3.25) and the default everywhere a dialect
+#: is not passed explicitly.
+SQLITE_DIALECT = PushdownDialect()
+
+
 def exact_condition(
-    mode: str, value: str, column_sql: str, params: List[object]
+    mode: str,
+    value: str,
+    column_sql: str,
+    params: List[object],
+    functions: PushdownDialect = SQLITE_DIALECT,
 ) -> str:
     """One selection condition in the *exact* (backend-function) dialect.
 
@@ -63,13 +101,15 @@ def exact_condition(
     canonical needle matches nothing: ``x = NULL`` is never true), and
     shaped so SQLite can serve it from the ``repro_canon(column)``
     expression indexes the backend builds.  The other modes call the
-    backend-registered matcher function ``repro_match``.
+    backend-registered matcher function ``repro_match``.  ``functions``
+    scopes the spelling of both calls to the target backend's
+    :class:`PushdownDialect`.
     """
     if mode == "equals":
         params.append(canonicalize(value))
-        return f"repro_canon({column_sql}) = ?"
+        return f"{functions.canon(column_sql)} = ?"
     params.extend([mode, value])
-    return f"repro_match(?, ?, {column_sql}) = 1"
+    return f"{functions.match_function}(?, ?, {column_sql}) = 1"
 
 
 def _quote_literal(value: str) -> str:
@@ -90,6 +130,7 @@ def selection_condition(
     column_sql: str,
     params: Optional[List[object]] = None,
     dialect: str = "portable",
+    functions: PushdownDialect = SQLITE_DIALECT,
 ) -> str:
     """Render one selection predicate as a SQL condition.
 
@@ -109,11 +150,16 @@ def selection_condition(
         ``"exact"`` — the backend-function dialect (see
         :func:`exact_condition`); byte-identical semantics to the Python
         engine's predicate evaluation.
+    functions:
+        The :class:`PushdownDialect` scoping the exact dialect's function
+        names to the target backend (ignored by ``"portable"``).
     """
     if dialect == "exact":
         if params is None:
             raise QueryError("the exact dialect requires parameterized rendering")
-        return exact_condition(predicate.mode, predicate.value, column_sql, params)
+        return exact_condition(
+            predicate.mode, predicate.value, column_sql, params, functions
+        )
     if dialect != "portable":
         raise QueryError(f"unknown SQL dialect {dialect!r}")
     if predicate.mode == "equals":

@@ -21,6 +21,7 @@ the Q system calls).
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -37,6 +38,19 @@ from .predicates import CompiledPredicate
 PredicatesKey = Tuple[object, ...]
 
 
+def window_pushdown_enabled() -> bool:
+    """Whether the ``REPRO_WINDOW_PUSHDOWN`` switch permits the windowed path.
+
+    ``off`` / ``0`` / ``false`` / ``no`` disable the windowed ranked-union
+    pushdown (reads fall back to the Python :func:`ranked_union` even on a
+    window-capable backend); anything else — including unset — enables it.
+    The CI backend matrix runs a disabled leg so the fallback path stays
+    exercised.
+    """
+    flag = os.environ.get("REPRO_WINDOW_PUSHDOWN", "").strip().lower()
+    return flag not in ("off", "0", "false", "no")
+
+
 @dataclass
 class ContextStatistics:
     """Operational counters, mostly for tests and benchmarks."""
@@ -51,6 +65,9 @@ class ContextStatistics:
     pushdown_scans: int = 0
     #: Whole conjunctive queries answered natively by the storage backend.
     pushdown_queries: int = 0
+    #: Whole ranked unions answered by one windowed backend SELECT (each is
+    #: a single round trip covering every branch query of a view read).
+    pushdown_union_queries: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -62,6 +79,7 @@ class ContextStatistics:
             "invalidations": self.invalidations,
             "pushdown_scans": self.pushdown_scans,
             "pushdown_queries": self.pushdown_queries,
+            "pushdown_union_queries": self.pushdown_union_queries,
         }
 
 
@@ -202,11 +220,23 @@ class ExecutionContext:
         #: Whole-query SQL pushdown handle, present iff the catalog's
         #: storage backend supports it (see :mod:`repro.storage.pushdown`).
         self.pushdown = None
+        #: Windowed ranked-union pushdown handle, present iff the backend
+        #: additionally supports window functions and the
+        #: ``REPRO_WINDOW_PUSHDOWN`` switch is not off
+        #: (see :mod:`repro.storage.windowed`).
+        self.window_pushdown = None
         backend = getattr(catalog, "backend", None)
         if backend is not None and backend.supports_sql_pushdown:
             from ..storage.pushdown import SqlPushdown
 
             self.pushdown = SqlPushdown(backend)
+            if (
+                getattr(backend, "supports_window_pushdown", False)
+                and window_pushdown_enabled()
+            ):
+                from ..storage.windowed import WindowedUnionPushdown
+
+                self.window_pushdown = WindowedUnionPushdown(backend)
 
     # ------------------------------------------------------------------
     # SQL pushdown
@@ -225,6 +255,43 @@ class ExecutionContext:
             return None
         answers = self.pushdown.execute(self.catalog, query)
         self.statistics.pushdown_queries += 1
+        return answers
+
+    def try_pushdown_union_raw(self, queries):
+        """Raw per-query answers of a whole union batch, or ``None``.
+
+        One windowed backend round trip covering every query; ``result[i]``
+        is byte-identical to executing ``queries[i]`` alone.  The ranked
+        view uses this to prime its per-signature answer cache on a cold
+        refresh.  Returns ``None`` (caller falls back to per-query
+        execution) when the windowed pushdown is unavailable or ineligible.
+        """
+        if self.window_pushdown is None or not self.window_pushdown.can_execute(
+            self.catalog, queries
+        ):
+            return None
+        results = self.window_pushdown.fetch_raw(self.catalog, queries)
+        self.statistics.pushdown_union_queries += 1
+        return results
+
+    def try_pushdown_union_ranked(
+        self, queries, unified_columns, mappings, limit=None, offset: int = 0
+    ):
+        """One ranked, paginated union page from the backend, or ``None``.
+
+        ``queries``/``mappings`` must be in ascending-cost union order (from
+        :func:`~repro.engine.executor.union_column_plan`).  The returned
+        page is byte-identical to the corresponding slice of the Python
+        :func:`~repro.engine.executor.ranked_union`.
+        """
+        if self.window_pushdown is None or not self.window_pushdown.can_execute(
+            self.catalog, queries
+        ):
+            return None
+        answers = self.window_pushdown.execute_ranked(
+            self.catalog, queries, unified_columns, mappings, limit=limit, offset=offset
+        )
+        self.statistics.pushdown_union_queries += 1
         return answers
 
     # ------------------------------------------------------------------

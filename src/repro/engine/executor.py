@@ -249,6 +249,15 @@ def ranked_union(
     returned, priced at the query's *current* cost (a cached answer may have
     been executed under an older tree cost; feedback moves costs without
     changing which tuples join, so only the price is re-stamped).
+
+    Ranking is a k-way merge, not a sort: ``ordered`` ascends by query cost
+    and :func:`project_answer` prices every answer of a query at exactly
+    that query's cost, so each per-query block is a cost-homogeneous sorted
+    run and the ascending-cost concatenation of the blocks *is* the merge
+    of the k runs — the global ``sort`` this replaced re-derived the same
+    order in O(n log n).  Tie order is identical to the former stable
+    sort's: equal-cost answers keep query order (stable ``sorted`` over the
+    pairs), then per-query emission order.
     """
     ordered = sorted(pairs, key=lambda pair: pair[0].cost)
     unified_columns, mappings = union_column_plan([q for q, _ in ordered], compatible)
@@ -257,7 +266,6 @@ def ranked_union(
         for (query, answers), column_mapping in zip(ordered, mappings)
         for answer in answers
     ]
-    all_answers.sort(key=lambda a: a.cost)
     if limit is not None:
         all_answers = all_answers[:limit]
     return all_answers

@@ -30,6 +30,7 @@ themselves cheaply.
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -119,6 +120,20 @@ class CatalogProfileIndex:
         #: and pairs surviving exact re-verification, cumulative.
         self.sketch_candidates_generated = 0
         self.exact_candidates_kept = 0
+        #: Posting laziness.  A freshly built index installs postings
+        #: eagerly (``_postings_ready`` stays ``True``); a state restore
+        #: (:meth:`absorb_state`) installs profiles only and defers the
+        #: posting materialization, so a warm open pays for it only when —
+        #: and if — an in-memory posting read actually happens.  While
+        #: deferred, posting reads are served by an attached
+        #: :class:`~repro.storage.postings.PostingStore` whenever its saved
+        #: ``(epoch, attribute_count)`` is current.  ``posting_builds``
+        #: counts full from-profile rebuilds (0 across a warm open whose
+        #: store stayed current — the bench asserts exactly this).
+        self.posting_builds = 0
+        self._postings_ready = True
+        self._postings_lock = threading.Lock()
+        self._posting_store = None
 
     # ------------------------------------------------------------------
     # Construction / maintenance
@@ -161,9 +176,14 @@ class CatalogProfileIndex:
         self.epoch += 1
 
     def _install_attribute(self, profile: AttributeProfile) -> None:
-        """Install one attribute profile: postings, and sketches if enabled."""
+        """Install one attribute profile (postings too, unless deferred)."""
+        self._attribute_profiles[profile.attr_id] = profile
+        if self._postings_ready:
+            self._install_postings(profile)
+
+    def _install_postings(self, profile: AttributeProfile) -> None:
+        """Install one profile's posting entries, and sketches if enabled."""
         attr_id = profile.attr_id
-        self._attribute_profiles[attr_id] = profile
         shards = self._shards
         for value in profile.distinct_values:
             shards.add_value(value, attr_id)
@@ -175,6 +195,66 @@ class CatalogProfileIndex:
             self._band_keys[attr_id] = keys
             for key in keys:
                 shards.add_bucket(key, attr_id)
+
+    # ------------------------------------------------------------------
+    # Posting laziness + backend posting store
+    # ------------------------------------------------------------------
+    def attach_posting_store(self, store) -> None:
+        """Attach a backend :class:`~repro.storage.postings.PostingStore`.
+
+        While the in-memory postings are deferred (after a state restore)
+        and the store's saved meta matches this index's current
+        ``(epoch, attribute_count)``, posting reads are answered by
+        indexed SQL against the store's tables instead of rebuilding the
+        shard router.  The store never *replaces* the in-memory path — any
+        read it cannot serve (sketch tiers, shard diagnostics, a stale
+        store) falls back to :meth:`_ensure_postings`.
+        """
+        self._posting_store = store
+
+    def _current_store(self):
+        """The attached posting store iff it reflects this exact index state."""
+        store = self._posting_store
+        if store is not None and store.is_current(self.epoch, self.attribute_count):
+            return store
+        return None
+
+    def _ensure_postings(self) -> None:
+        """Materialize the in-memory posting lists from the profiles.
+
+        No-op while postings are current.  After a deferring restore this
+        is the one place the full rebuild happens — double-checked under a
+        lock so concurrent readers build at most once — and
+        ``posting_builds`` counts it.
+        """
+        if self._postings_ready:
+            return
+        with self._postings_lock:
+            if self._postings_ready:
+                return
+            self._shards = ShardRouter(self._shards.shard_count)
+            self._signatures = {}
+            self._band_keys = {}
+            for profile in self._attribute_profiles.values():
+                self._install_postings(profile)
+            self.posting_builds += 1
+            self._postings_ready = True
+
+    def iter_attribute_profiles(self) -> Iterable[AttributeProfile]:
+        """All attribute profiles in installation order (posting-store sync)."""
+        return iter(self._attribute_profiles.values())
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        # Neither the lock nor the backend-bound store survives pickling.
+        state["_postings_lock"] = None
+        state["_posting_store"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._postings_lock = threading.Lock()
+        self._posting_store = None
 
     def remove_source(self, name: str) -> None:
         """Retract every relation ``name`` contributed (no full rebuild)."""
@@ -193,10 +273,13 @@ class CatalogProfileIndex:
             attr_profile = self._attribute_profiles.pop(attr_id, None)
             if attr_profile is None:
                 continue
-            for value in attr_profile.distinct_values:
-                shards.discard_value(value, attr_id)
-            for token in attr_profile.value_tokens:
-                shards.discard_token(token, attr_id)
+            if self._postings_ready:
+                # Deferred postings hold nothing to retract; the eventual
+                # rebuild works off the (now reduced) profile set.
+                for value in attr_profile.distinct_values:
+                    shards.discard_value(value, attr_id)
+                for token in attr_profile.value_tokens:
+                    shards.discard_token(token, attr_id)
             for key in self._band_keys.pop(attr_id, ()):
                 shards.discard_bucket(key, attr_id)
             self._signatures.pop(attr_id, None)
@@ -251,6 +334,11 @@ class CatalogProfileIndex:
     @property
     def distinct_value_count(self) -> int:
         """Number of distinct canonical values across all posting lists."""
+        if not self._postings_ready:
+            store = self._current_store()
+            if store is not None:
+                return store.distinct_value_count()
+            self._ensure_postings()
         return self._shards.distinct_value_count
 
     @property
@@ -259,7 +347,8 @@ class CatalogProfileIndex:
         return self._shards.shard_count
 
     def shard_sizes(self) -> Tuple[int, ...]:
-        """Posting keys per shard (balance diagnostic)."""
+        """Posting keys per shard (balance diagnostic; materializes postings)."""
+        self._ensure_postings()
         return self._shards.shard_sizes()
 
     @property
@@ -292,7 +381,10 @@ class CatalogProfileIndex:
         Computed by walking the posting list of each of the attribute's
         distinct values — cost proportional to the number of actual
         co-occurrences instead of the number of attribute pairs.  Memoized
-        per attribute and validated against the index epoch.
+        per attribute and validated against the index epoch.  While the
+        in-memory postings are deferred and a current posting store is
+        attached, the walk runs as one indexed self-join inside the
+        backend instead (identical counts, no rebuild).
         """
         attr_id = (relation, attribute)
         cached = self._candidate_cache.get(attr_id)
@@ -301,14 +393,19 @@ class CatalogProfileIndex:
         profile = self._attribute_profiles.get(attr_id)
         candidates: Dict[AttrId, int] = {}
         if profile is not None:
-            shards = self._shards
-            for value in profile.distinct_values:
-                postings = shards.value_postings(value)
-                if postings is None:
-                    continue
-                for other in postings:
-                    if other != attr_id:
-                        candidates[other] = candidates.get(other, 0) + 1
+            store = None if self._postings_ready else self._current_store()
+            if store is not None:
+                candidates = store.value_candidates(relation, attribute)
+            else:
+                self._ensure_postings()
+                shards = self._shards
+                for value in profile.distinct_values:
+                    postings = shards.value_postings(value)
+                    if postings is None:
+                        continue
+                    for other in postings:
+                        if other != attr_id:
+                            candidates[other] = candidates.get(other, 0) + 1
         self._candidate_cache[attr_id] = (self.epoch, candidates)
         return candidates
 
@@ -324,6 +421,7 @@ class CatalogProfileIndex:
         """
         if self.sketch_config is None:
             return set()
+        self._ensure_postings()  # band keys live beside the shard buckets
         attr_id = (relation, attribute)
         keys = self._band_keys.get(attr_id)
         if not keys:
@@ -372,6 +470,7 @@ class CatalogProfileIndex:
         profile = self._attribute_profiles.get(attr_id)
         kept: Dict[AttrId, int] = {}
         if profile is not None and profile.distinct_values:
+            self._ensure_postings()  # rare-token postings need the shards
             survivors = self.sketch_candidates(relation, attribute)
             shards = self._shards
             rare_cap = self.rare_token_df
@@ -468,12 +567,24 @@ class CatalogProfileIndex:
     # ------------------------------------------------------------------
     def token_postings(self, token: str) -> Tuple[AttrId, ...]:
         """The attributes whose values contain ``token`` (a posting list)."""
-        postings = self._shards.token_postings(token.lower())
+        needle = token.lower()
+        if not self._postings_ready:
+            store = self._current_store()
+            if store is not None:
+                return store.token_postings(needle)
+            self._ensure_postings()
+        postings = self._shards.token_postings(needle)
         return tuple(postings) if postings is not None else ()
 
     def token_document_frequency(self, token: str) -> int:
         """Number of attributes whose values contain ``token``."""
-        postings = self._shards.token_postings(token.lower())
+        needle = token.lower()
+        if not self._postings_ready:
+            store = self._current_store()
+            if store is not None:
+                return store.token_document_frequency(needle)
+            self._ensure_postings()
+        postings = self._shards.token_postings(needle)
         return len(postings) if postings is not None else 0
 
     def inverse_token_frequency(self, token: str, smoothing: float = 1.0) -> float:
@@ -488,7 +599,11 @@ class CatalogProfileIndex:
 
         Each attribute is one "document" whose terms are its distinct value
         tokens; document frequencies come from the token posting lists.
-        Memoized per attribute, validated against the index epoch.
+        Memoized per attribute, validated against the index epoch.  A
+        current posting store serves as a second-level cache: previously
+        computed vectors load back byte-identically (IEEE doubles through
+        ``REAL``, token order preserved), and freshly computed ones are
+        written through for the next session.
         """
         attr_id = (relation, attribute)
         cached = self._tfidf_cache.get(attr_id)
@@ -497,14 +612,34 @@ class CatalogProfileIndex:
         profile = self._attribute_profiles.get(attr_id)
         vector: Dict[str, float] = {}
         if profile is not None and profile.value_tokens:
-            # Sorted iteration fixes the float-summation order of the norm,
-            # so the vector is identical however the token set was built —
-            # scanned live or restored from a session snapshot.
-            for token in sorted(profile.value_tokens):
-                vector[token] = self.inverse_token_frequency(token)
-            norm = math.sqrt(sum(w * w for w in vector.values()))
-            if norm > 0.0:
-                vector = {token: w / norm for token, w in vector.items()}
+            store = self._current_store()
+            stored = (
+                store.tfidf_vector(relation, attribute) if store is not None else None
+            )
+            if stored is not None:
+                vector = stored
+            else:
+                # Sorted iteration fixes the float-summation order of the
+                # norm, so the vector is identical however the token set
+                # was built — scanned live, restored from a snapshot, or
+                # (below) priced off the store's batched frequencies.
+                tokens = sorted(profile.value_tokens)
+                if store is not None and not self._postings_ready:
+                    frequencies = store.token_document_frequencies(tokens)
+                    count = self.attribute_count
+                    for token in tokens:
+                        vector[token] = (
+                            math.log((count + 1.0) / (frequencies.get(token, 0) + 1.0))
+                            + 1.0
+                        )
+                else:
+                    for token in tokens:
+                        vector[token] = self.inverse_token_frequency(token)
+                norm = math.sqrt(sum(w * w for w in vector.values()))
+                if norm > 0.0:
+                    vector = {token: w / norm for token, w in vector.items()}
+                if store is not None:
+                    store.store_tfidf(relation, attribute, vector)
         self._tfidf_cache[attr_id] = (self.epoch, vector)
         return vector
 
@@ -607,13 +742,17 @@ class CatalogProfileIndex:
         """Fold a previously exported state into this index.
 
         Profiles are installed verbatim (no table scan — the warm-start
-        fast path) and the posting lists and sketches are rebuilt from
-        them; the epoch is taken from the payload so dependent caches
-        re-validate exactly as they would against the original index.
-        Structural configuration keys (``shard_count``, ``sketch``) are
-        ignored here — they are fixed at construction;
+        fast path); posting lists and sketches are **deferred**, rebuilt
+        from the profiles only when an in-memory posting read first needs
+        them (:meth:`_ensure_postings`) — or served without any rebuild by
+        an attached, current posting store.  The epoch is taken from the
+        payload so dependent caches (and the posting store's currency
+        check) re-validate exactly as they would against the original
+        index.  Structural configuration keys (``shard_count``,
+        ``sketch``) are ignored here — they are fixed at construction;
         :meth:`from_state` applies them when rebuilding from scratch.
         """
+        self._postings_ready = False
         for spec in payload.get("relations", ()):
             relation = spec["relation"]
             names = tuple(spec["attribute_names"])

@@ -83,6 +83,25 @@ class StorageBackend(ABC):
     #: backends without this capability persist to a sidecar file instead.
     supports_session_store: bool = False
 
+    #: Whether the backend can execute a *windowed ranked union*: the whole
+    #: k-query union of a ranked view — per-query cost pricing, unified
+    #: column projection, ascending-cost ordering and ``LIMIT``/``OFFSET``
+    #: pagination — compiled into one windowed ``SELECT``
+    #: (:mod:`repro.storage.windowed`).  Requires window-function support
+    #: *and* ``supports_sql_pushdown`` (the union's branches are the
+    #: per-query pushdown bodies).  Absent the capability, the engine falls
+    #: back to the Python :func:`~repro.engine.executor.ranked_union` by
+    #: construction.
+    supports_window_pushdown: bool = False
+
+    #: Whether the backend can host the persisted profile posting tables
+    #: (``_repro_postings_*`` — see :mod:`repro.storage.postings`).  When
+    #: ``True`` the backend must expose ``execute_sql``, ``execute_write``,
+    #: ``execute_write_batch`` and ``execute_write_many``; registration's
+    #: candidate intersection then runs as an indexed join and reopened
+    #: sessions skip the in-memory posting rebuild.
+    supports_posting_tables: bool = False
+
     # ------------------------------------------------------------------
     # Relation lifecycle
     # ------------------------------------------------------------------

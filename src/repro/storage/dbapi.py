@@ -1,0 +1,486 @@
+"""Generic DB-API 2.0 relation storage, and the psycopg2-gated Postgres flavor.
+
+:class:`DbApiBackend` re-implements the SQLite backend's row model —
+``"_row_id"`` insertion positions, ``"_tags"``-encoded booleans, ``c_``
+prefixed data columns, a ``_repro_relations`` key registry and a
+``_repro_catalog`` source-schema store — on top of any DB-API 2.0
+connection, so a server-backed database becomes a *config choice* rather
+than a port.  The capability flags tell the rest of the stack exactly what
+falls back:
+
+==========================  =========  ======================================
+capability                  value      consequence
+==========================  =========  ======================================
+``supports_sql_pushdown``   ``False``  scans/joins/selections run in the
+                                       Python engine (the backend cannot
+                                       register the library's canon/match
+                                       functions the exact dialect needs)
+``supports_window_pushdown``  ``False``  ranked unions use the Python
+                                       :func:`~repro.engine.executor.ranked_union`
+``supports_posting_tables``  ``True``  profile posting lists persist; the
+                                       candidate self-join runs server-side
+``supports_session_store``  ``False``  sessions persist to a JSON sidecar
+==========================  =========  ======================================
+
+Fallback by construction: nothing above the storage layer checks *which*
+backend is active — only these flags — so every read stays correct, just
+served by the Python engine instead of pushed-down SQL.
+
+The generic class is exercised in the test suite through the standard
+library's own ``sqlite3`` DB-API driver (qmark paramstyle);
+:class:`PostgresBackend` merely binds it to a psycopg2 connection (format
+paramstyle, ``TEXT`` cells) and fails at construction — with a clear
+:class:`~repro.exceptions.StorageError` — when psycopg2 is not installed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from ..datastore.types import canonicalize
+from ..exceptions import StorageError
+from .base import StorageBackend
+from .sqlite import SqliteBackend, quote_identifier
+
+#: Data columns carry this prefix (same scheme as the SQLite backend).
+_COL_PREFIX = "c_"
+
+_META_TABLE = "_repro_catalog"
+_RELATIONS_TABLE = "_repro_relations"
+
+
+class _DbApiRelation:
+    """In-session bookkeeping for one stored relation."""
+
+    __slots__ = ("schema", "version", "next_row_id")
+
+    def __init__(self, schema, version: int, next_row_id: int) -> None:
+        self.schema = schema
+        self.version = version
+        self.next_row_id = next_row_id
+
+
+class DbApiBackend(StorageBackend):
+    """Relation storage over an arbitrary DB-API 2.0 connection.
+
+    Parameters
+    ----------
+    connection:
+        An open DB-API 2.0 connection.  The backend owns it from here on
+        (:meth:`close` closes it) and serializes all access behind one
+        lock, matching the SQLite backend's threading contract.
+    paramstyle:
+        ``"qmark"`` (``?`` placeholders — sqlite3 and most embedded
+        drivers) or ``"format"`` (``%s`` — psycopg2, MySQLdb).  SQL built
+        by this module and by the posting store is written qmark-style;
+        under ``"format"`` every statement is translated before execution.
+    """
+
+    kind = "dbapi"
+    supports_sql_pushdown = False
+    supports_session_store = False
+    supports_window_pushdown = False
+    supports_posting_tables = True
+
+    #: Column type of the ``c_*`` data cells — ``""`` leaves typing to the
+    #: engine (SQLite affinity); strongly-typed engines override (see
+    #: :class:`PostgresBackend`).
+    _cell_type = ""
+
+    def __init__(self, connection, paramstyle: str = "qmark") -> None:
+        if paramstyle not in ("qmark", "format"):
+            raise StorageError(
+                f"unsupported DB-API paramstyle {paramstyle!r}; "
+                "supported: qmark, format"
+            )
+        self._conn = connection
+        self._paramstyle = paramstyle
+        self._lock = threading.RLock()
+        self._relations: Dict[str, _DbApiRelation] = {}
+        self._closed = False
+        self._ensure_meta_tables()
+        self._adopt_existing_relations()
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def _sql(self, statement: str) -> str:
+        """Translate qmark placeholders to the connection's paramstyle.
+
+        Safe textually: no SQL this backend (or the posting store) builds
+        ever embeds a literal ``?`` — every value travels as a parameter.
+        """
+        if self._paramstyle == "format":
+            return statement.replace("?", "%s")
+        return statement
+
+    def _execute(self, statement: str, params: Sequence[object] = ()):
+        cursor = self._conn.cursor()
+        cursor.execute(self._sql(statement), list(params))
+        return cursor
+
+    def _commit(self) -> None:
+        self._conn.commit()
+
+    def _rollback(self) -> None:
+        try:
+            self._conn.rollback()
+        except Exception:  # pragma: no cover - connection already dead
+            pass
+
+    def _ensure_meta_tables(self) -> None:
+        try:
+            self._execute(
+                f"CREATE TABLE IF NOT EXISTS {_META_TABLE} ("
+                "source_name TEXT PRIMARY KEY, position INTEGER, payload TEXT)"
+            )
+            self._execute(
+                f"CREATE TABLE IF NOT EXISTS {_RELATIONS_TABLE} ("
+                "key TEXT PRIMARY KEY)"
+            )
+            self._commit()
+        except Exception:
+            self._rollback()
+            raise
+
+    def _adopt_existing_relations(self) -> None:
+        rows = self._execute(f"SELECT key FROM {_RELATIONS_TABLE}").fetchall()
+        for (key,) in rows:
+            if key not in self._relations:
+                next_id = self._execute(
+                    f'SELECT COALESCE(MAX("_row_id"), -1) + 1 '
+                    f"FROM {quote_identifier(key)}"
+                ).fetchone()[0]
+                self._relations[key] = _DbApiRelation(None, 0, int(next_id))
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._conn.close()
+                self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released the underlying connection."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Relation lifecycle
+    # ------------------------------------------------------------------
+    def create_relation(self, key: str, schema, initial_version: int = 0) -> None:
+        with self._lock:
+            if key in self._relations:
+                raise StorageError(f"relation {key!r} already exists on this backend")
+            cell = f" {self._cell_type}" if self._cell_type else ""
+            columns = ", ".join(
+                f"{quote_identifier(_COL_PREFIX + name)}{cell}"
+                for name in schema.attribute_names
+            )
+            try:
+                self._execute(
+                    f"CREATE TABLE {quote_identifier(key)} ("
+                    f'"_row_id" INTEGER PRIMARY KEY, "_tags" TEXT NOT NULL, '
+                    f"{columns})"
+                )
+                self._execute(
+                    f"INSERT INTO {_RELATIONS_TABLE} (key) VALUES (?)", (key,)
+                )
+                self._commit()
+            except Exception:
+                self._rollback()
+                raise
+            self._relations[key] = _DbApiRelation(schema, initial_version, 0)
+
+    def bind_schema(self, key: str, schema) -> None:
+        with self._lock:
+            self._require(key).schema = schema
+
+    def has_relation(self, key: str) -> bool:
+        return key in self._relations
+
+    def drop_relation(self, key: str) -> None:
+        with self._lock:
+            if key not in self._relations:
+                return
+            try:
+                self._execute(f"DROP TABLE IF EXISTS {quote_identifier(key)}")
+                self._execute(
+                    f"DELETE FROM {_RELATIONS_TABLE} WHERE key = ?", (key,)
+                )
+                self._commit()
+            except Exception:
+                self._rollback()
+                raise
+            del self._relations[key]
+
+    def relation_keys(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    def _require(self, key: str) -> _DbApiRelation:
+        try:
+            return self._relations[key]
+        except KeyError:
+            raise StorageError(
+                f"relation {key!r} does not exist on this backend"
+            ) from None
+
+    def _schema(self, key: str):
+        relation = self._require(key)
+        if relation.schema is None:
+            raise StorageError(
+                f"relation {key!r} has no bound schema; reopen it through "
+                "Catalog.load_persisted() / a Table adoption before scanning"
+            )
+        return relation.schema
+
+    # ------------------------------------------------------------------
+    # Ingest (same encode scheme as the SQLite backend)
+    # ------------------------------------------------------------------
+    def append_row(self, key: str, values: Tuple[object, ...]):
+        from ..datastore.table import Row
+
+        with self._lock:
+            relation = self._require(key)
+            schema = self._schema(key)
+            row_id = relation.next_row_id
+            encoded, tags = SqliteBackend._encode_values(values)
+            try:
+                self._execute(self._insert_sql(key, schema), [row_id, tags, *encoded])
+                self._commit()
+            except Exception:
+                self._rollback()
+                raise
+            relation.next_row_id = row_id + 1
+            relation.version += 1
+            return Row(schema, values, row_id)
+
+    def insert_rows(self, key: str, rows: Iterable[Tuple[object, ...]]) -> int:
+        with self._lock:
+            relation = self._require(key)
+            schema = self._schema(key)
+            arity = len(schema.attribute_names)
+            counter = {"n": 0}
+
+            def encoded_stream() -> Iterator[List[object]]:
+                row_id = relation.next_row_id
+                for values in rows:
+                    if len(values) != arity:
+                        raise StorageError(
+                            f"row of arity {len(values)} does not match relation "
+                            f"{key!r} of arity {arity}"
+                        )
+                    encoded, tags = SqliteBackend._encode_values(values)
+                    yield [row_id, tags, *encoded]
+                    row_id += 1
+                    counter["n"] += 1
+
+            try:
+                cursor = self._conn.cursor()
+                cursor.executemany(
+                    self._sql(self._insert_sql(key, schema)), encoded_stream()
+                )
+                self._commit()
+            except Exception:
+                self._rollback()
+                raise
+            inserted = counter["n"]
+            if inserted:
+                relation.next_row_id += inserted
+                relation.version += 1
+            return inserted
+
+    @staticmethod
+    def _insert_sql(key: str, schema) -> str:
+        columns = ['"_row_id"', '"_tags"'] + [
+            quote_identifier(_COL_PREFIX + name) for name in schema.attribute_names
+        ]
+        placeholders = ", ".join("?" for _ in columns)
+        return (
+            f"INSERT INTO {quote_identifier(key)} ({', '.join(columns)}) "
+            f"VALUES ({placeholders})"
+        )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _select_columns(self, schema) -> str:
+        return ", ".join(
+            ['"_row_id"', '"_tags"']
+            + [quote_identifier(_COL_PREFIX + name) for name in schema.attribute_names]
+        )
+
+    def scan(self, key: str) -> Sequence:
+        from ..datastore.table import Row
+
+        with self._lock:
+            schema = self._schema(key)
+            fetched = self._execute(
+                f"SELECT {self._select_columns(schema)} "
+                f'FROM {quote_identifier(key)} ORDER BY "_row_id"'
+            ).fetchall()
+            rows: List = []
+            for record in fetched:
+                row_id, tags = record[0], record[1]
+                rows.append(
+                    Row(
+                        schema,
+                        SqliteBackend._decode_values(record[2:], tags),
+                        int(row_id),
+                    )
+                )
+            return rows
+
+    def row_count(self, key: str) -> int:
+        with self._lock:
+            self._require(key)
+            return int(
+                self._execute(
+                    f"SELECT COUNT(*) FROM {quote_identifier(key)}"
+                ).fetchone()[0]
+            )
+
+    def version(self, key: str) -> int:
+        return self._require(key).version
+
+    def distinct_values(self, key: str, attribute: str) -> frozenset:
+        with self._lock:
+            schema = self._schema(key)
+            schema.attribute_index(attribute)  # validates existence
+            column = quote_identifier(_COL_PREFIX + attribute)
+            fetched = self._execute(
+                f"SELECT DISTINCT {column} FROM {quote_identifier(key)}"
+            ).fetchall()
+        values: Set[str] = set()
+        for (value,) in fetched:
+            canon = canonicalize(value)
+            if canon is not None:
+                values.add(canon)
+        return frozenset(values)
+
+    # ------------------------------------------------------------------
+    # Catalog metadata persistence
+    # ------------------------------------------------------------------
+    def save_source_schema(self, name: str, payload: dict) -> None:
+        import json
+
+        with self._lock:
+            try:
+                # Re-saving keeps the source's registration position (same
+                # rule as the SQLite backend, spelled portably).
+                existing = self._execute(
+                    f"SELECT position FROM {_META_TABLE} WHERE source_name = ?",
+                    (name,),
+                ).fetchone()
+                if existing is not None:
+                    position = existing[0]
+                    self._execute(
+                        f"DELETE FROM {_META_TABLE} WHERE source_name = ?",
+                        (name,),
+                    )
+                else:
+                    position = self._execute(
+                        f"SELECT COALESCE(MAX(position), -1) + 1 FROM {_META_TABLE}"
+                    ).fetchone()[0]
+                self._execute(
+                    f"INSERT INTO {_META_TABLE} (source_name, position, payload) "
+                    "VALUES (?, ?, ?)",
+                    (name, int(position), json.dumps(payload)),
+                )
+                self._commit()
+            except Exception:
+                self._rollback()
+                raise
+
+    def delete_source_schema(self, name: str) -> None:
+        with self._lock:
+            try:
+                self._execute(
+                    f"DELETE FROM {_META_TABLE} WHERE source_name = ?", (name,)
+                )
+                self._commit()
+            except Exception:
+                self._rollback()
+                raise
+
+    def persisted_source_schemas(self) -> List[dict]:
+        import json
+
+        with self._lock:
+            rows = self._execute(
+                f"SELECT payload FROM {_META_TABLE} ORDER BY position"
+            ).fetchall()
+        return [json.loads(payload) for (payload,) in rows]
+
+    # ------------------------------------------------------------------
+    # Posting-store hooks (qmark statements translated by :meth:`_sql`)
+    # ------------------------------------------------------------------
+    def execute_sql(self, sql: str, params: Sequence[object] = ()) -> List[Tuple]:
+        """Run one parameterized read-only statement."""
+        with self._lock:
+            return self._execute(sql, params).fetchall()
+
+    def execute_write(self, sql: str, params: Sequence[object] = ()) -> None:
+        """Run one parameterized write statement in its own transaction."""
+        self.execute_write_batch([(sql, params)])
+
+    def execute_write_batch(
+        self, statements: Sequence[Tuple[str, Sequence[object]]]
+    ) -> None:
+        """Run several write statements in one transaction (all-or-nothing)."""
+        with self._lock:
+            try:
+                for sql, params in statements:
+                    self._execute(sql, params)
+                self._commit()
+            except Exception:
+                self._rollback()
+                raise
+
+    def execute_write_many(self, sql: str, rows: Iterable[Sequence[object]]) -> None:
+        """Run one parameterized write against many parameter rows."""
+        with self._lock:
+            try:
+                cursor = self._conn.cursor()
+                cursor.executemany(self._sql(sql), [list(row) for row in rows])
+                self._commit()
+            except Exception:
+                self._rollback()
+                raise
+
+    def storage_size_bytes(self) -> int:
+        """Row-count × average-arity estimate (no portable page accounting)."""
+        total = 0
+        for key in self._relations:
+            schema = self._relations[key].schema
+            arity = len(schema.attribute_names) if schema is not None else 1
+            total += self.row_count(key) * arity * 8
+        return total
+
+
+class PostgresBackend(DbApiBackend):
+    """The DB-API backend bound to a PostgreSQL connection via psycopg2.
+
+    Selected with a ``"postgres:<dsn>"`` backend spec.  Construction fails
+    with a :class:`~repro.exceptions.StorageError` naming the missing
+    driver when psycopg2 is not installed — the library never grows a hard
+    dependency on it.
+
+    Caveat (documented, not hidden): Postgres types the ``c_*`` cells as
+    ``TEXT``, so non-string cells round-trip as their textual form.  Every
+    engine comparison goes through canonical forms and is unaffected;
+    only raw cell display differs from the memory/SQLite backends.
+    """
+
+    kind = "postgres"
+    _cell_type = "TEXT"
+
+    def __init__(self, dsn: str) -> None:
+        try:
+            import psycopg2  # type: ignore[import-untyped]
+        except ImportError as exc:  # pragma: no cover - driver present in some envs
+            raise StorageError(
+                "the postgres storage backend requires the psycopg2 driver "
+                "(pip install psycopg2-binary); it is not installed"
+            ) from exc
+        super().__init__(psycopg2.connect(dsn), paramstyle="format")

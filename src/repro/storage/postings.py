@@ -1,0 +1,300 @@
+"""Backend-persisted posting lists and tf-idf vectors of the profile index.
+
+The :class:`~repro.profiling.index.CatalogProfileIndex` derives three kinds
+of read-side state from its attribute profiles: distinct-value posting
+lists (value → attributes containing it), token posting lists with document
+frequencies, and L2-normalized content tf-idf vectors.  On a posting-capable
+backend (``supports_posting_tables``) this module persists all three as
+plain tables inside the catalog database::
+
+    _repro_postings_values (value, relation, attribute)
+    _repro_postings_tokens (token, relation, attribute)
+    _repro_postings_tfidf  (relation, attribute, token, weight)
+    _repro_postings_meta   (key, value)          -- epoch, attribute_count
+
+which buys two things:
+
+* **Warm opens skip the in-memory posting rebuild.**  A restored index
+  installs profiles only; posting reads are served by indexed SQL against
+  these tables for as long as the saved ``(epoch, attribute_count)`` meta
+  matches the live index — the index's ``posting_builds`` counter stays 0.
+* **Candidate intersection pushes down as an indexed join.**  The
+  registration-side blocking walk (``value_candidates``) becomes one
+  self-join on ``_repro_postings_values(value)`` with a ``GROUP BY`` —
+  the backend intersects posting lists instead of Python.
+
+Synchronization is a whole-state rewrite keyed on the index epoch: the
+service calls :meth:`PostingStore.sync` after every mutation, which is a
+no-op while the meta row is current.  Tf-idf vectors are a write-through
+cache — :meth:`~repro.profiling.index.CatalogProfileIndex.content_tfidf`
+stores each vector it computes while the store is current, and ``sync``
+clears the table whenever the epoch moves (document frequencies changed,
+so every vector is invalid).  Parity is exact: weights round-trip as IEEE
+doubles through SQLite ``REAL``, and ``ORDER BY token`` (BINARY collation
+over UTF-8 = code-point order) reproduces the sorted-token iteration the
+in-memory computation uses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..profiling.index import CatalogProfileIndex
+
+#: ``(relation, attribute)`` — mirrors :data:`repro.profiling.profiles.AttrId`.
+AttrId = Tuple[str, str]
+
+_VALUES = "_repro_postings_values"
+_TOKENS = "_repro_postings_tokens"
+_TFIDF = "_repro_postings_tfidf"
+_META = "_repro_postings_meta"
+
+#: Chunk size for ``IN (...)`` parameter lists (old SQLite builds cap bound
+#: variables at 999 per statement).
+_IN_CHUNK = 400
+
+#: :meth:`PostingStore.saved_meta` sentinel for "no meta row saved yet".
+_NO_META = (-1, -1)
+
+
+class PostingStore:
+    """Posting tables inside a posting-capable storage backend.
+
+    Like the session store, the posting tables live beside the relation
+    data but are invisible to the catalog bookkeeping (never recorded in
+    ``_repro_relations``).  The store itself is stateless apart from a
+    cached copy of the meta row; all currency decisions belong to the
+    profile index that owns it.
+    """
+
+    def __init__(self, backend) -> None:
+        self.backend = backend
+        #: How many whole-state rewrites this store performed (0 on a warm
+        #: open whose saved tables were already current).
+        self.syncs = 0
+        self._meta: Optional[Tuple[int, int]] = None
+        self._ensure_schema()
+
+    def _ensure_schema(self) -> None:
+        self.backend.execute_write_batch(
+            [
+                (
+                    f"CREATE TABLE IF NOT EXISTS {_META} ("
+                    "key TEXT PRIMARY KEY, value INTEGER NOT NULL)",
+                    (),
+                ),
+                (
+                    f"CREATE TABLE IF NOT EXISTS {_VALUES} ("
+                    "value TEXT NOT NULL, relation TEXT NOT NULL, "
+                    "attribute TEXT NOT NULL)",
+                    (),
+                ),
+                (
+                    f"CREATE TABLE IF NOT EXISTS {_TOKENS} ("
+                    "token TEXT NOT NULL, relation TEXT NOT NULL, "
+                    "attribute TEXT NOT NULL)",
+                    (),
+                ),
+                (
+                    f"CREATE TABLE IF NOT EXISTS {_TFIDF} ("
+                    "relation TEXT NOT NULL, attribute TEXT NOT NULL, "
+                    "token TEXT NOT NULL, weight REAL NOT NULL, "
+                    "PRIMARY KEY (relation, attribute, token))",
+                    (),
+                ),
+                # The self-join of value_candidates probes by value; the
+                # per-attribute index serves posting-list enumeration.
+                (
+                    "CREATE INDEX IF NOT EXISTS ix_repro_postings_values_value "
+                    f"ON {_VALUES} (value)",
+                    (),
+                ),
+                (
+                    "CREATE INDEX IF NOT EXISTS ix_repro_postings_values_attr "
+                    f"ON {_VALUES} (relation, attribute)",
+                    (),
+                ),
+                (
+                    "CREATE INDEX IF NOT EXISTS ix_repro_postings_tokens_token "
+                    f"ON {_TOKENS} (token)",
+                    (),
+                ),
+                (
+                    "CREATE INDEX IF NOT EXISTS ix_repro_postings_tokens_attr "
+                    f"ON {_TOKENS} (relation, attribute)",
+                    (),
+                ),
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Currency
+    # ------------------------------------------------------------------
+    def saved_meta(self) -> Optional[Tuple[int, int]]:
+        """The ``(epoch, attribute_count)`` the tables were written at."""
+        if self._meta is None:
+            entries = dict(
+                self.backend.execute_sql(f"SELECT key, value FROM {_META}")
+            )
+            if "epoch" in entries and "attribute_count" in entries:
+                self._meta = (
+                    int(entries["epoch"]),
+                    int(entries["attribute_count"]),
+                )
+            else:
+                self._meta = _NO_META
+        return None if self._meta == _NO_META else self._meta
+
+    def is_current(self, epoch: int, attribute_count: int) -> bool:
+        """Whether the saved tables describe exactly this index state."""
+        return self.saved_meta() == (epoch, attribute_count)
+
+    # ------------------------------------------------------------------
+    # Synchronization (whole-state rewrite, epoch-keyed)
+    # ------------------------------------------------------------------
+    def sync(self, index: "CatalogProfileIndex") -> bool:
+        """Rewrite the posting tables iff ``index`` moved past the saved state.
+
+        Returns whether a rewrite happened.  Rows are written in a
+        deterministic order (profile installation order, sorted values and
+        tokens) so identical sessions produce identical database files.
+        """
+        if self.is_current(index.epoch, index.attribute_count):
+            return False
+        self.backend.execute_write_batch(
+            [
+                (f"DELETE FROM {_VALUES}", ()),
+                (f"DELETE FROM {_TOKENS}", ()),
+                (f"DELETE FROM {_TFIDF}", ()),
+                (f"DELETE FROM {_META}", ()),
+            ]
+        )
+        value_rows = []
+        token_rows = []
+        for profile in index.iter_attribute_profiles():
+            attr = (profile.relation, profile.attribute)
+            value_rows.extend((value,) + attr for value in sorted(profile.distinct_values))
+            token_rows.extend((token,) + attr for token in sorted(profile.value_tokens))
+        self.backend.execute_write_many(
+            f"INSERT INTO {_VALUES} (value, relation, attribute) VALUES (?, ?, ?)",
+            value_rows,
+        )
+        self.backend.execute_write_many(
+            f"INSERT INTO {_TOKENS} (token, relation, attribute) VALUES (?, ?, ?)",
+            token_rows,
+        )
+        self.backend.execute_write_batch(
+            [
+                (
+                    f"INSERT INTO {_META} (key, value) VALUES ('epoch', ?)",
+                    (index.epoch,),
+                ),
+                (
+                    f"INSERT INTO {_META} (key, value) "
+                    "VALUES ('attribute_count', ?)",
+                    (index.attribute_count,),
+                ),
+            ]
+        )
+        self._meta = (index.epoch, index.attribute_count)
+        self.syncs += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Posting reads (indexed SQL, semantics identical to the shard walk)
+    # ------------------------------------------------------------------
+    def value_candidates(self, relation: str, attribute: str) -> Dict[AttrId, int]:
+        """Attributes sharing ≥ 1 value with the given one, with shared counts.
+
+        The registration blocking walk as one indexed self-join: each row
+        of the attribute's own posting entries probes
+        ``ix_repro_postings_values_value``, and the ``GROUP BY`` count per
+        co-occurring attribute equals the number of shared distinct values
+        — exactly what the in-memory posting walk reports.
+        """
+        rows = self.backend.execute_sql(
+            f"SELECT other.relation, other.attribute, COUNT(*) "
+            f"FROM {_VALUES} AS mine JOIN {_VALUES} AS other "
+            f"ON other.value = mine.value "
+            f"WHERE mine.relation = ? AND mine.attribute = ? "
+            f"AND NOT (other.relation = mine.relation "
+            f"AND other.attribute = mine.attribute) "
+            f"GROUP BY other.relation, other.attribute "
+            f"ORDER BY other.relation, other.attribute",
+            (relation, attribute),
+        )
+        return {(rel, attr): int(count) for rel, attr, count in rows}
+
+    def token_postings(self, token: str) -> Tuple[AttrId, ...]:
+        """The attributes whose values contain ``token`` (already lowered)."""
+        rows = self.backend.execute_sql(
+            f"SELECT relation, attribute FROM {_TOKENS} "
+            f"WHERE token = ? ORDER BY relation, attribute",
+            (token,),
+        )
+        return tuple((rel, attr) for rel, attr in rows)
+
+    def token_document_frequency(self, token: str) -> int:
+        """Number of attributes whose values contain ``token``."""
+        rows = self.backend.execute_sql(
+            f"SELECT COUNT(*) FROM {_TOKENS} WHERE token = ?", (token,)
+        )
+        return int(rows[0][0])
+
+    def token_document_frequencies(self, tokens: Sequence[str]) -> Dict[str, int]:
+        """Batched document frequencies (one query per ``_IN_CHUNK`` tokens)."""
+        frequencies: Dict[str, int] = {}
+        for start in range(0, len(tokens), _IN_CHUNK):
+            chunk = list(tokens[start : start + _IN_CHUNK])
+            placeholders = ", ".join("?" for _ in chunk)
+            rows = self.backend.execute_sql(
+                f"SELECT token, COUNT(*) FROM {_TOKENS} "
+                f"WHERE token IN ({placeholders}) GROUP BY token",
+                chunk,
+            )
+            for token, count in rows:
+                frequencies[token] = int(count)
+        return frequencies
+
+    def distinct_value_count(self) -> int:
+        """Number of distinct canonical values across all posting lists."""
+        rows = self.backend.execute_sql(
+            f"SELECT COUNT(DISTINCT value) FROM {_VALUES}"
+        )
+        return int(rows[0][0])
+
+    # ------------------------------------------------------------------
+    # Tf-idf vectors (write-through cache, cleared on every sync)
+    # ------------------------------------------------------------------
+    def tfidf_vector(self, relation: str, attribute: str) -> Optional[Dict[str, float]]:
+        """The stored tf-idf vector, or ``None`` if not yet computed.
+
+        ``ORDER BY token`` reproduces the sorted-token insertion order of
+        the in-memory computation, so the returned dict iterates — and
+        sums, for any norm a consumer might take — identically.
+        """
+        rows = self.backend.execute_sql(
+            f"SELECT token, weight FROM {_TFIDF} "
+            f"WHERE relation = ? AND attribute = ? ORDER BY token",
+            (relation, attribute),
+        )
+        if not rows:
+            return None
+        return {token: weight for token, weight in rows}
+
+    def store_tfidf(
+        self, relation: str, attribute: str, vector: Dict[str, float]
+    ) -> None:
+        """Persist one computed tf-idf vector (idempotent per attribute)."""
+        self.backend.execute_write_many(
+            f"INSERT OR REPLACE INTO {_TFIDF} "
+            "(relation, attribute, token, weight) VALUES (?, ?, ?, ?)",
+            [
+                (relation, attribute, token, weight)
+                for token, weight in vector.items()
+            ],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PostingStore(backend={self.backend!r}, syncs={self.syncs})"

@@ -31,12 +31,101 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..datastore.provenance import AnswerTuple, TupleProvenance
-from ..datastore.sqlgen import selection_condition
+from ..datastore.sqlgen import SQLITE_DIALECT, PushdownDialect, selection_condition
 from .sqlite import SqliteBackend, quote_identifier
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..datastore.database import Catalog
     from ..datastore.query import ConjunctiveQuery
+
+
+def backend_dialect(backend) -> PushdownDialect:
+    """The backend's :class:`PushdownDialect` (SQLite spelling by default)."""
+    return getattr(backend, "sql_dialect", SQLITE_DIALECT)
+
+
+def relation_of(query: "ConjunctiveQuery", alias: str) -> str:
+    """The relation an atom alias is bound to."""
+    for atom in query.atoms:
+        if atom.alias == alias:
+            return atom.relation
+    raise KeyError(alias)  # pragma: no cover - validate() guarantees binding
+
+
+def relations_on_backend(backend, catalog: "Catalog", query: "ConjunctiveQuery") -> bool:
+    """Whether every relation of ``query`` is stored on ``backend``.
+
+    The shared eligibility core of the whole-query and windowed-union
+    pushdowns: a query touching a foreign-backend relation (or a table
+    whose storage key diverged from its catalog name) must fall back to the
+    Python engine.
+    """
+    if not query.atoms:
+        return False
+    for atom in query.atoms:
+        try:
+            table = catalog.relation(atom.relation)
+        except Exception:
+            return False
+        if table.storage_backend is not backend or table.storage_key != atom.relation:
+            return False
+    return True
+
+
+def compile_query_body(
+    backend, query: "ConjunctiveQuery", params: List[object]
+) -> Tuple[List[str], List[str]]:
+    """FROM items and WHERE conditions of one conjunctive query.
+
+    The single compiler of a query's relational body, shared by the
+    whole-query pushdown (:class:`SqlPushdown`) and every branch of the
+    windowed ranked union (:mod:`repro.storage.windowed`) — parity of the
+    two paths rests on them rendering identical join/selection semantics.
+    Join conditions compare canonical forms via the backend dialect's canon
+    function; selections render in the *exact* dialect; selection needles
+    are appended to ``params``.  As a side effect the backend's canonical
+    expression indexes are ensured on every join column and every
+    equals-selection column.
+    """
+    dialect = backend_dialect(backend)
+    from_items = [
+        f"{backend.table_sql_name(atom.relation)} AS {quote_identifier(atom.alias)}"
+        for atom in query.atoms
+    ]
+    conditions: List[str] = []
+    for join in query.joins:
+        if join.left_alias == join.right_alias:
+            continue  # planner semantics: self-joins on one alias are dropped
+        left = (
+            f"{quote_identifier(join.left_alias)}."
+            f"{backend.column_sql_name(join.left_attribute)}"
+        )
+        right = (
+            f"{quote_identifier(join.right_alias)}."
+            f"{backend.column_sql_name(join.right_attribute)}"
+        )
+        conditions.append(f"{dialect.canon(left)} = {dialect.canon(right)}")
+        backend.ensure_canon_index(
+            relation_of(query, join.right_alias), join.right_attribute
+        )
+        backend.ensure_canon_index(
+            relation_of(query, join.left_alias), join.left_attribute
+        )
+    for selection in query.selections:
+        column = (
+            f"{quote_identifier(selection.alias)}."
+            f"{backend.column_sql_name(selection.attribute)}"
+        )
+        conditions.append(
+            selection_condition(
+                selection, column, params, dialect="exact", functions=dialect
+            )
+        )
+        if selection.mode == "equals":
+            backend.ensure_canon_index(
+                relation_of(query, selection.alias), selection.attribute
+            )
+    return from_items, conditions
 
 
 class SqlPushdown:
@@ -60,19 +149,9 @@ class SqlPushdown:
         cross-product valve may truncate mid-join, a behavior the SQL path
         intentionally does not replicate.
         """
-        if limit is not None or not query.atoms:
+        if limit is not None:
             return False
-        for atom in query.atoms:
-            try:
-                table = catalog.relation(atom.relation)
-            except Exception:
-                return False
-            if (
-                table.storage_backend is not self.backend
-                or table.storage_key != atom.relation
-            ):
-                return False
-        return True
+        return relations_on_backend(self.backend, catalog, query)
 
     # ------------------------------------------------------------------
     # Compilation + execution
@@ -96,43 +175,8 @@ class SqlPushdown:
             )
             slices.append((atom.alias, 2 + len(names)))
 
-        from_items = [
-            f"{self.backend.table_sql_name(atom.relation)} AS {quote_identifier(atom.alias)}"
-            for atom in query.atoms
-        ]
-
-        conditions: List[str] = []
         params: List[object] = []
-        for join in query.joins:
-            if join.left_alias == join.right_alias:
-                continue  # planner semantics: self-joins on one alias are dropped
-            left = (
-                f"{quote_identifier(join.left_alias)}."
-                f"{self.backend.column_sql_name(join.left_attribute)}"
-            )
-            right = (
-                f"{quote_identifier(join.right_alias)}."
-                f"{self.backend.column_sql_name(join.right_attribute)}"
-            )
-            conditions.append(f"repro_canon({left}) = repro_canon({right})")
-            self.backend.ensure_canon_index(
-                self._relation_of(query, join.right_alias), join.right_attribute
-            )
-            self.backend.ensure_canon_index(
-                self._relation_of(query, join.left_alias), join.left_attribute
-            )
-        for selection in query.selections:
-            column = (
-                f"{quote_identifier(selection.alias)}."
-                f"{self.backend.column_sql_name(selection.attribute)}"
-            )
-            conditions.append(
-                selection_condition(selection, column, params, dialect="exact")
-            )
-            if selection.mode == "equals":
-                self.backend.ensure_canon_index(
-                    self._relation_of(query, selection.alias), selection.attribute
-                )
+        from_items, conditions = compile_query_body(self.backend, query, params)
 
         order_by = ", ".join(
             f'{quote_identifier(atom.alias)}."_row_id"' for atom in query.atoms
@@ -145,13 +189,6 @@ class SqlPushdown:
         fetched = self.backend.execute_sql(sql, params)
         self.queries_executed += 1
         return [self._to_answer(query, schemas, slices, record) for record in fetched]
-
-    @staticmethod
-    def _relation_of(query: "ConjunctiveQuery", alias: str) -> str:
-        for atom in query.atoms:
-            if atom.alias == alias:
-                return atom.relation
-        raise KeyError(alias)  # pragma: no cover - validate() guarantees binding
 
     # ------------------------------------------------------------------
     # Answer construction (mirrors PlanExecutor._to_answer)

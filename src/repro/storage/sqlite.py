@@ -49,7 +49,7 @@ from collections import OrderedDict
 from functools import lru_cache
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..datastore.sqlgen import exact_condition, quote_identifier
+from ..datastore.sqlgen import SQLITE_DIALECT, exact_condition, quote_identifier
 from ..datastore.types import canonicalize
 from ..exceptions import StorageError
 from .base import PredicateSpec, StorageBackend
@@ -132,6 +132,13 @@ class SqliteBackend(StorageBackend):
     kind = "sqlite"
     supports_sql_pushdown = True
     supports_session_store = True
+    #: Window functions shipped with SQLite 3.25; the windowed ranked-union
+    #: pushdown needs ``ROW_NUMBER() OVER (...)``.
+    supports_window_pushdown = sqlite3.sqlite_version_info >= (3, 25, 0)
+    supports_posting_tables = True
+    #: How this backend spells the exact-dialect SQL (canon/match function
+    #: names, window capability) — consumed by the pushdown compilers.
+    sql_dialect = SQLITE_DIALECT
 
     def __init__(self, path: "str | os.PathLike[str]" = ":memory:") -> None:
         self.path = str(path)
@@ -491,6 +498,19 @@ class SqliteBackend(StorageBackend):
             with self._conn:
                 for sql, params in statements:
                     self._conn.execute(sql, list(params))
+
+    def execute_write_many(
+        self, sql: str, rows: Iterable[Sequence[object]]
+    ) -> None:
+        """Run one parameterized write against many parameter rows.
+
+        ``executemany`` in one transaction — the bulk-ingest hook of the
+        posting store (:mod:`repro.storage.postings`), which rewrites whole
+        posting lists per attribute.
+        """
+        with self._lock:
+            with self._conn:
+                self._conn.executemany(sql, rows)
 
     @property
     def closed(self) -> bool:

@@ -25,9 +25,10 @@ from repro.graph import SearchGraph  # noqa: E402
 def pytest_configure(config):
     config.addinivalue_line(
         "markers",
-        "memory_engine_internals: asserts Python-join-engine cache internals "
-        "(scan/join-index counters) that SQL pushdown legitimately bypasses; "
-        "skipped when REPRO_BACKEND selects a pushdown-capable backend",
+        "memory_engine_internals: asserts Python-join-engine internals "
+        "(scan/join-index counters, per-query lazy-execution accounting) "
+        "that SQL pushdown legitimately bypasses; skipped when "
+        "REPRO_BACKEND selects a pushdown-capable backend",
     )
     config.addinivalue_line(
         "markers",
