@@ -848,7 +848,7 @@ def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--config", choices=sorted(CONFIGS), default="large")
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_faults.json"), help="report path"
+        "--out", type=Path, default=Path("benchmarks/BENCH_faults.json"), help="report path"
     )
     parser.add_argument(
         "--check", type=Path, default=None, help="baseline JSON to compare against"

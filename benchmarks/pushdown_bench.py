@@ -359,7 +359,7 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--rows", type=int, default=None, help="rows per relation override")
     parser.add_argument("--trials", type=int, default=None, help="trial count override")
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_pushdown.json"), help="report path"
+        "--out", type=Path, default=Path("benchmarks/BENCH_pushdown.json"), help="report path"
     )
     parser.add_argument(
         "--check", type=Path, default=None, help="baseline JSON to compare against"

@@ -373,7 +373,7 @@ def main(argv: Optional[list] = None) -> int:
         help="pool kind for the parallel legs",
     )
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_scale.json"), help="report path"
+        "--out", type=Path, default=Path("benchmarks/BENCH_scale.json"), help="report path"
     )
     parser.add_argument(
         "--check", type=Path, default=None, help="baseline JSON to compare against"

@@ -23,6 +23,9 @@ The package implements the Q system end to end:
   the new-source registration service.
 * :mod:`repro.learning` — feedback generalization and MIRA-based learning of
   edge costs.
+* :mod:`repro.obs` — observability: the metrics registry (Prometheus/JSON
+  exposition), request tracing with per-stage spans, and the per-read
+  explain/slow-query logs.
 * :mod:`repro.api` — **the supported public surface**: the
   :class:`~repro.api.service.QService` session with typed request/response
   objects, lazy pull-based views and streaming k-best answers.
@@ -51,24 +54,29 @@ from .core.view import RankedView
 from .datastore.database import Catalog, DataSource
 from .exceptions import SnapshotError
 from .graph.search_graph import GraphConfig, SearchGraph
+from .obs import MetricsRegistry, Observability, ReadTrace, Tracer
 from .storage import MemoryBackend, SqliteBackend, StorageBackend, create_backend
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 __all__ = [
     "Catalog",
     "DataSource",
     "GraphConfig",
     "MemoryBackend",
+    "MetricsRegistry",
+    "Observability",
     "QService",
     "QSystem",
     "QSystemConfig",
     "RankedView",
+    "ReadTrace",
     "SearchGraph",
     "ServiceConfig",
     "SnapshotError",
     "SqliteBackend",
     "StorageBackend",
+    "Tracer",
     "api",
     "create_backend",
     "__version__",

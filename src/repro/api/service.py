@@ -56,6 +56,8 @@ from ..matching.ensemble import MatcherEnsemble
 from ..matching.mad import MadMatcher
 from ..matching.metadata_matcher import MetadataMatcher
 from ..matching.value_overlap import ValueOverlapFilter
+from ..obs import Observability
+from ..obs.tracing import active_trace
 from ..persist import (
     FileSessionStore,
     SessionPersistence,
@@ -188,6 +190,12 @@ class QService:
         """
         self.catalog = catalog
         self.graph = graph
+        #: The session's observability spine (see :mod:`repro.obs`): one
+        #: metrics registry + tracer + explain/slow-query logs, shared with
+        #: any :class:`~repro.service.server.QServer` wrapped around this
+        #: session.  Built before everything else so the wiring below can
+        #: register gauges over the live structures.
+        self.obs = Observability.from_config(self.config)
         #: Shared per-attribute profiles + posting lists over the catalog,
         #: profiled once per source and updated incrementally by the
         #: registrar (see :mod:`repro.profiling`).  Every matcher and value
@@ -251,6 +259,129 @@ class QService:
         self._applied_ops: "OrderedDict[str, object]" = OrderedDict()
         self._applied_ops_limit = 1024
         self._pending_op_key: Optional[str] = None
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Bind the session's live counters onto the metrics registry.
+
+        Everything here is a callback gauge: the hot paths keep mutating
+        their plain attributes (no lock, no indirection), and the registry
+        reads the live objects only when scraped.  :meth:`stats` reads the
+        re-homed counters back *through* the registry, making
+        :class:`~repro.api.types.SystemStats` a view over it.
+        """
+        reg = self.obs.registry
+        gauge = reg.gauge
+        gauge("q_sources", "Registered data sources", fn=lambda: self.catalog.source_count)
+        gauge("q_relations", "Relations in the catalog", fn=lambda: self.catalog.relation_count)
+        gauge("q_attributes", "Attributes in the catalog", fn=lambda: self.catalog.attribute_count)
+        gauge("q_views", "Registered ranked views", fn=lambda: len(self.views))
+        gauge("q_tenants", "Tenants holding a weight overlay", fn=lambda: len(self.tenants))
+        gauge(
+            "q_feedback_events_total",
+            "Feedback events in the session log",
+            fn=lambda: len(self.feedback_log),
+        )
+        gauge(
+            "q_learner_steps_total",
+            "MIRA learner steps processed",
+            fn=lambda: self.learner.steps_processed,
+        )
+        gauge(
+            "q_registrations_total",
+            "Source registrations performed",
+            fn=lambda: self.registrar.epoch,
+        )
+        gauge(
+            "q_weights_version", "Shared weight-vector version", fn=lambda: self.graph.weights.version
+        )
+        gauge(
+            "q_structure_version",
+            "Search-graph structure version",
+            fn=lambda: self.graph.structure_version,
+        )
+        gauge(
+            "q_view_refreshes_total",
+            "Materializing view refreshes/solves",
+            fn=lambda: self._refreshes,
+        )
+        gauge(
+            "q_view_refreshes_skipped_total",
+            "Reads whose view snapshot was already current",
+            fn=lambda: self._refreshes_skipped,
+        )
+        stats = self.engine_context.statistics
+        gauge(
+            "q_pushdown_scans_total",
+            "Per-relation filtered scans served inside the backend",
+            fn=lambda: stats.pushdown_scans,
+        )
+        gauge(
+            "q_pushdown_queries_total",
+            "Whole conjunctive queries served inside the backend",
+            fn=lambda: stats.pushdown_queries,
+        )
+        gauge(
+            "q_pushdown_union_queries_total",
+            "Windowed ranked-union round trips served inside the backend",
+            fn=lambda: stats.pushdown_union_queries,
+        )
+        steiner = self.engine_context.steiner_cache
+        gauge(
+            "q_steiner_cache_hits_total",
+            "Steiner-network snapshot cache hits",
+            fn=lambda: steiner.hits,
+        )
+        gauge(
+            "q_steiner_cache_builds_total",
+            "Steiner networks built from scratch",
+            fn=lambda: steiner.builds,
+        )
+        gauge(
+            "q_steiner_rescores_total",
+            "Tenant networks derived from a cached base twin",
+            fn=lambda: steiner.rescores,
+        )
+        gauge(
+            "q_posting_builds_total",
+            "Full in-memory posting rebuilds of the profile index",
+            fn=lambda: self.profile_index.posting_builds,
+        )
+        gauge(
+            "q_posting_syncs_total",
+            "Posting-table rewrites pushed to the backend",
+            fn=lambda: self._posting_store.syncs if self._posting_store is not None else 0,
+        )
+        gauge(
+            "q_sketch_candidates_total",
+            "Attribute pairs proposed by the MinHash/rare-token tier",
+            fn=lambda: self.profile_index.sketch_candidates_generated,
+        )
+        gauge(
+            "q_exact_candidates_total",
+            "Candidate pairs surviving exact re-verification",
+            fn=lambda: self.profile_index.exact_candidates_kept,
+        )
+        gauge(
+            "q_pairs_scored_total",
+            "Relation pairs the base matcher scored",
+            fn=lambda: self._pairs_scored,
+        )
+        gauge(
+            "q_pool_workers",
+            "Largest registration scoring pool used",
+            fn=lambda: self._pool_workers,
+        )
+        gauge(
+            "q_profile_shards",
+            "Hash shards of the profile index",
+            fn=lambda: self.profile_index.shard_count,
+        )
+        gauge(
+            "q_pair_memo_entries",
+            "Entries in the schema-fingerprint pair memo",
+            fn=lambda: self.profile_index.pair_memo_size,
+        )
 
     def _init_persistence(self, autosave) -> None:
         self._persistence: Optional[SessionPersistence] = None
@@ -532,19 +663,29 @@ class QService:
             if request.page_size is not None
             else self.config.default_page_size
         )
-        stale = self._is_stale(record)
-        if stale:
-            record.view.prepare(rebuild_graph=self._needs_rebuild(record))
-            self._refreshes += 1
-        else:
-            self._refreshes_skipped += 1
-        self._mark_synced(record)
-        view = (
-            record.view
-            if request.tenant is None
-            else self._tenant_view(record, request.tenant)
+        trace = self.obs.tracer.trace("read")
+        with trace:
+            stale = self._is_stale(record)
+            if stale:
+                record.view.prepare(rebuild_graph=self._needs_rebuild(record))
+                self._refreshes += 1
+            else:
+                self._refreshes_skipped += 1
+            self._mark_synced(record)
+            view = (
+                record.view
+                if request.tenant is None
+                else self._tenant_view(record, request.tenant)
+            )
+            with trace.span("paginate"):
+                page = tuple(view.answers_page(limit=page_size, offset=request.offset))
+        self.obs.finish_read(
+            trace,
+            view_id=record.view_id,
+            view_name=record.name,
+            tenant=request.tenant,
         )
-        return tuple(view.answers_page(limit=page_size, offset=request.offset))
+        return page
 
     def _request_stream(self, record: ViewRecord, request: QueryRequest) -> Iterator[AnswerTuple]:
         if request.tenant is None:
@@ -1113,11 +1254,13 @@ class QService:
             # (no-op while the saved epoch is current), and do it before
             # the autosave so a checkpointed database is always internally
             # consistent: snapshot epoch == posting-table epoch.
-            self._posting_store.sync(self.profile_index)
+            with active_trace().span("posting_sync"):
+                self._posting_store.sync(self.profile_index)
         if self._autosave and not getattr(self, "_in_autosave", False):
             self._in_autosave = True
             try:
-                self.save()
+                with active_trace().span("autosave"):
+                    self.save()
             finally:
                 self._in_autosave = False
 
@@ -1163,20 +1306,24 @@ class QService:
 
         Mostly a cheap read that refreshes nothing; ``storage_bytes`` may
         be O(rows) on the memory backend (page-count arithmetic on SQLite).
+        The counter fields are read back through the session's metrics
+        registry (the gauges registered by :meth:`_register_metrics`), so
+        this dataclass is a typed view over the same numbers a
+        :meth:`metrics` scrape reports.
         """
-        weights_version, structure_version = self._versions()
+        value = self.obs.registry.value
         return SystemStats(
-            sources=self.catalog.source_count,
-            relations=self.catalog.relation_count,
-            attributes=self.catalog.attribute_count,
-            views=len(self.views),
-            feedback_events=len(self.feedback_log),
-            learner_steps=self.learner.steps_processed,
-            registrations=self.registrar.epoch,
-            weights_version=weights_version,
-            structure_version=structure_version,
-            view_refreshes=self._refreshes,
-            view_refreshes_skipped=self._refreshes_skipped,
+            sources=int(value("q_sources")),
+            relations=int(value("q_relations")),
+            attributes=int(value("q_attributes")),
+            views=int(value("q_views")),
+            feedback_events=int(value("q_feedback_events_total")),
+            learner_steps=int(value("q_learner_steps_total")),
+            registrations=int(value("q_registrations_total")),
+            weights_version=int(value("q_weights_version")),
+            structure_version=int(value("q_structure_version")),
+            view_refreshes=int(value("q_view_refreshes_total")),
+            view_refreshes_skipped=int(value("q_view_refreshes_skipped_total")),
             backend=self.catalog.backend_kind,
             storage_bytes=self.catalog.storage_size_bytes(),
             snapshot_version=(
@@ -1185,23 +1332,36 @@ class QService:
             journal_entries=(
                 self._persistence.store.entry_count() if self._persistence else 0
             ),
-            profile_shards=self.profile_index.shard_count,
-            sketch_candidates=self.profile_index.sketch_candidates_generated,
-            exact_candidates=self.profile_index.exact_candidates_kept,
-            pairs_scored=self._pairs_scored,
-            pool_workers=self._pool_workers,
-            pair_memo_entries=self.profile_index.pair_memo_size,
-            tenants=len(self.tenants),
-            pushdown_scans=self.engine_context.statistics.pushdown_scans,
-            pushdown_queries=self.engine_context.statistics.pushdown_queries,
-            pushdown_union_queries=(
-                self.engine_context.statistics.pushdown_union_queries
-            ),
-            posting_builds=self.profile_index.posting_builds,
-            posting_syncs=(
-                self._posting_store.syncs if self._posting_store is not None else 0
-            ),
+            profile_shards=int(value("q_profile_shards")),
+            sketch_candidates=int(value("q_sketch_candidates_total")),
+            exact_candidates=int(value("q_exact_candidates_total")),
+            pairs_scored=int(value("q_pairs_scored_total")),
+            pool_workers=int(value("q_pool_workers")),
+            pair_memo_entries=int(value("q_pair_memo_entries")),
+            tenants=int(value("q_tenants")),
+            pushdown_scans=int(value("q_pushdown_scans_total")),
+            pushdown_queries=int(value("q_pushdown_queries_total")),
+            pushdown_union_queries=int(value("q_pushdown_union_queries_total")),
+            posting_builds=int(value("q_posting_builds_total")),
+            posting_syncs=int(value("q_posting_syncs_total")),
+            steiner_cache_hits=int(value("q_steiner_cache_hits_total")),
+            steiner_cache_builds=int(value("q_steiner_cache_builds_total")),
+            steiner_rescores=int(value("q_steiner_rescores_total")),
         )
+
+    def metrics(self, fmt: str = "prometheus"):
+        """The session's metrics registry in exposition form.
+
+        ``fmt="prometheus"`` (or ``"text"``) returns the Prometheus text
+        format — point a scraper at whatever endpoint serves this string;
+        ``fmt="json"`` returns the same samples as a plain dict.  Gauges are
+        evaluated at call time against the live session structures.
+        """
+        if fmt in ("prometheus", "text"):
+            return self.obs.registry.prometheus_text()
+        if fmt == "json":
+            return self.obs.registry.as_dict()
+        raise InvalidRequestError(f"unknown metrics format {fmt!r}; use 'prometheus' or 'json'")
 
     def close(self) -> None:
         """Release the catalog's storage resources.

@@ -88,6 +88,19 @@ class ServiceConfig:
     write_retry_attempts: int = 3
     write_retry_base_delay_s: float = 0.005
     write_retry_max_delay_s: float = 0.1
+    #: Observability (see :mod:`repro.obs` and the README "Observability"):
+    #: ``False`` disables request tracing and the explain/slow-query logs —
+    #: reads return ``trace=None`` and the hot path pays only plain counter
+    #: increments.  The metrics registry itself always exists (scrapes just
+    #: see static totals move).
+    observability: bool = True
+    #: Reads slower than this land in the bounded slow-query log with
+    #: their full span tree and pushdown decision.
+    slow_query_ms: float = 250.0
+    #: Bound on the slow-query log (oldest entries fall off).
+    slow_query_log_size: int = 64
+    #: Bound on the per-read explain/decision log.
+    decision_log_size: int = 256
 
 
 @dataclass(frozen=True)
@@ -322,3 +335,9 @@ class SystemStats:
     #: tables) and posting-table rewrites pushed to the backend.
     posting_builds: int = 0
     posting_syncs: int = 0
+    #: Steiner-network snapshot cache (shared across a session's reads):
+    #: cache hits, from-scratch builds, and overlay rescores (a tenant
+    #: network derived from its base twin instead of rebuilt).
+    steiner_cache_hits: int = 0
+    steiner_cache_builds: int = 0
+    steiner_rescores: int = 0

@@ -33,6 +33,7 @@ from ..exceptions import DeadlineExceededError, QueryError
 from ..faults.budget import Budget
 from ..graph.query_graph import QueryGraph, QueryGraphBuilder
 from ..graph.search_graph import SearchGraph
+from ..obs.tracing import active_trace
 from ..learning.feedback import (
     AnnotationKind,
     AnswerAnnotation,
@@ -230,13 +231,14 @@ class RankedView:
             trees = self.state.trees
             queries = self.state.queries
         else:
-            trees = (
-                self.solver.solve(graph, terminals, self.k, budget=budget)
-                if terminals
-                else []
-            )
-            generator = QueryGenerator(graph)
-            queries = generator.generate_all(trees)
+            with active_trace().span("solve"):
+                trees = (
+                    self.solver.solve(graph, terminals, self.k, budget=budget)
+                    if terminals
+                    else []
+                )
+                generator = QueryGenerator(graph)
+                queries = generator.generate_all(trees)
             if budget is not None and budget.truncated:
                 self._solve_state = None
             else:
@@ -340,9 +342,13 @@ class RankedView:
             # Budgeted (deadline-bounded) reads stay on the per-query lazy
             # path by construction: the windowed batch is one indivisible
             # round trip with no query-boundary truncation points.
-            primed = None if budget is not None else self._prime_answer_cache(
-                ordered, stats
-            )
+            if budget is not None:
+                reason = self._union_fallback_reason(budget)
+                if reason is not None and ordered:
+                    active_trace().annotate_once("fallback_reason", reason)
+                primed = None
+            else:
+                primed = self._prime_answer_cache(ordered, stats)
             yielded = 0
             for generated, mapping in zip(ordered, mappings):
                 if limit is not None and yielded >= limit:
@@ -389,11 +395,13 @@ class RankedView:
         if cached is not None and cached.table_versions == versions:
             self._answer_cache.move_to_end(generated.signature)
             stats.queries_reused += 1
+            active_trace().tally("queries_cached")
             # No copying here: ranked_union builds fresh AnswerTuples (with
             # the current query cost stamped on values and provenance) and
             # never mutates its inputs.
             return cached.answers
-        answers = self.executor.execute(generated.query, budget=budget)
+        with active_trace().span("execute"):
+            answers = self.executor.execute(generated.query, budget=budget)
         self._answer_cache[generated.signature] = _CachedAnswers(versions, answers)
         self._answer_cache.move_to_end(generated.signature)
         while len(self._answer_cache) > self.max_cached_queries:
@@ -419,9 +427,12 @@ class RankedView:
         missing — callers then proceed exactly as before the windowed path
         existed.
         """
-        if not self.allow_window_pushdown or not queries:
+        if not queries:
             return None
-        if self.engine_context.window_pushdown is None:
+        trace = active_trace()
+        reason = self._union_fallback_reason()
+        if reason is not None:
+            trace.annotate_once("fallback_reason", reason)
             return None
         missing: List[Tuple[GeneratedQuery, Tuple[Tuple[str, object, int], ...]]] = []
         for generated in queries:
@@ -430,12 +441,24 @@ class RankedView:
             if cached is None or cached.table_versions != versions:
                 missing.append((generated, versions))
         if not missing:
+            # Every query replays from the per-signature cache — no round
+            # trip at all, windowed or otherwise.
             return None
-        fetched = self.engine_context.try_pushdown_union_raw(
+        batch_reason = self.engine_context.union_fallback_reason(
             [generated.query for generated, _ in missing]
         )
-        if fetched is None:
+        if batch_reason is not None:
+            trace.annotate_once("fallback_reason", batch_reason)
             return None
+        with trace.span("windowed_pushdown"):
+            fetched = self.engine_context.try_pushdown_union_raw(
+                [generated.query for generated, _ in missing]
+            )
+        if fetched is None:  # pragma: no cover - eligibility raced a mutation
+            trace.annotate_once("fallback_reason", "windowed union became ineligible")
+            return None
+        trace.annotate_once("path", "windowed")
+        trace.tally("windowed_queries", len(missing))
         primed: Dict[str, List[AnswerTuple]] = {}
         for (generated, versions), answers in zip(missing, fetched):
             self._answer_cache[generated.signature] = _CachedAnswers(versions, answers)
@@ -445,6 +468,30 @@ class RankedView:
         while len(self._answer_cache) > self.max_cached_queries:
             self._answer_cache.popitem(last=False)
         return primed
+
+    def _union_fallback_reason(self, budget: Optional[Budget] = None) -> Optional[str]:
+        """Why this view's reads skip the windowed union, or ``None``.
+
+        View-level reasons (tenant overlay, deadline budget) come before
+        context-level availability: the most fundamental fact is the one
+        the explain log should carry.  Batch-level ineligibility (a branch
+        without outputs, an off-backend relation) is probed separately in
+        :meth:`_prime_answer_cache` / :meth:`answers_page`, where the
+        actual query batch exists.
+        """
+        if not self.allow_window_pushdown:
+            return "tenant overlay view: repriced per read on the Python engine"
+        if self.engine_context.window_pushdown is None:
+            return (
+                self.engine_context.window_unavailable_reason
+                or "window pushdown unavailable"
+            )
+        if budget is not None:
+            return (
+                "deadline-budgeted read: the windowed batch cannot be "
+                "truncated at query boundaries"
+            )
+        return None
 
     def answers_page(
         self, limit: Optional[int] = None, offset: int = 0
@@ -479,10 +526,14 @@ class RankedView:
             ordered = sorted(queries, key=lambda g: g.query.cost)
             plain = [generated.query for generated in ordered]
             columns, mappings = union_column_plan(plain)
-            pushed = self.engine_context.try_pushdown_union_ranked(
-                plain, columns, mappings, limit=effective, offset=offset
-            )
+            trace = active_trace()
+            with trace.span("windowed_pushdown"):
+                pushed = self.engine_context.try_pushdown_union_ranked(
+                    plain, columns, mappings, limit=effective, offset=offset
+                )
             if pushed is not None:
+                trace.annotate_once("path", "windowed")
+                trace.tally("windowed_queries", len(plain))
                 return pushed
         primed = self._prime_answer_cache(queries, stats)
         pairs = []

@@ -206,9 +206,18 @@ class ExecutionContext:
     the table's data version moves so it can never serve stale rows.
     """
 
-    def __init__(self, catalog: Catalog) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        statistics: Optional[ContextStatistics] = None,
+        steiner_cache: Optional[SteinerNetworkCache] = None,
+    ) -> None:
         self.catalog = catalog
-        self.statistics = ContextStatistics()
+        #: ``statistics`` / ``steiner_cache`` may be handed in to share one
+        #: counter sheet (and one network cache) across several contexts —
+        #: the serving layer's snapshot contexts accumulate into the live
+        #: session's, so the metrics registry sees every lane's pushdowns.
+        self.statistics = statistics if statistics is not None else ContextStatistics()
         #: Generation counter; bumped by :meth:`invalidate` so borrowers
         #: (e.g. a view's per-signature answer cache) can cheaply detect
         #: that a structural invalidation happened.
@@ -216,7 +225,9 @@ class ExecutionContext:
         self._relations: Dict[str, _RelationCaches] = {}
         #: Shared Steiner-network snapshot cache (version-keyed, so it needs
         #: no explicit invalidation — see :class:`SteinerNetworkCache`).
-        self.steiner_cache = SteinerNetworkCache()
+        self.steiner_cache = (
+            steiner_cache if steiner_cache is not None else SteinerNetworkCache()
+        )
         #: Whole-query SQL pushdown handle, present iff the catalog's
         #: storage backend supports it (see :mod:`repro.storage.pushdown`).
         self.pushdown = None
@@ -225,18 +236,32 @@ class ExecutionContext:
         #: ``REPRO_WINDOW_PUSHDOWN`` switch is not off
         #: (see :mod:`repro.storage.windowed`).
         self.window_pushdown = None
+        #: Why the windowed path is unavailable on this context (``None``
+        #: when :attr:`window_pushdown` is set).  Recorded once at
+        #: construction so the explain layer reports the *actual* decision,
+        #: not a reconstruction.
+        self.window_unavailable_reason: Optional[str] = None
         backend = getattr(catalog, "backend", None)
         if backend is not None and backend.supports_sql_pushdown:
             from ..storage.pushdown import SqlPushdown
 
             self.pushdown = SqlPushdown(backend)
-            if (
-                getattr(backend, "supports_window_pushdown", False)
-                and window_pushdown_enabled()
-            ):
+            if not getattr(backend, "supports_window_pushdown", False):
+                self.window_unavailable_reason = (
+                    "backend does not support window functions"
+                )
+            elif not window_pushdown_enabled():
+                self.window_unavailable_reason = (
+                    "window pushdown disabled via REPRO_WINDOW_PUSHDOWN"
+                )
+            else:
                 from ..storage.windowed import WindowedUnionPushdown
 
                 self.window_pushdown = WindowedUnionPushdown(backend)
+        else:
+            self.window_unavailable_reason = (
+                "backend has no SQL pushdown (Python join engine)"
+            )
 
     # ------------------------------------------------------------------
     # SQL pushdown
@@ -256,6 +281,19 @@ class ExecutionContext:
         answers = self.pushdown.execute(self.catalog, query)
         self.statistics.pushdown_queries += 1
         return answers
+
+    def union_fallback_reason(self, queries) -> Optional[str]:
+        """Why a windowed union over ``queries`` would fall back, or ``None``.
+
+        The explain layer's decision probe: a context-level unavailability
+        (no backend pushdown, no window functions, the
+        ``REPRO_WINDOW_PUSHDOWN`` gate) or a batch-level ineligibility from
+        :meth:`~repro.storage.windowed.WindowedUnionPushdown.ineligibility`.
+        ``None`` means a windowed round trip would run.
+        """
+        if self.window_pushdown is None:
+            return self.window_unavailable_reason or "window pushdown unavailable"
+        return self.window_pushdown.ineligibility(self.catalog, queries)
 
     def try_pushdown_union_raw(self, queries):
         """Raw per-query answers of a whole union batch, or ``None``.

@@ -36,6 +36,7 @@ from ..datastore.provenance import AnswerTuple, TupleProvenance
 from ..datastore.query import ConjunctiveQuery
 from ..datastore.table import Row
 from ..datastore.types import canonicalize
+from ..obs.tracing import active_trace
 from .context import ExecutionContext
 from .plan import PlanStep, QueryPlan, QueryPlanner
 
@@ -84,9 +85,12 @@ class PlanExecutor:
         """
         if budget is not None:
             budget.check("executor")
+        trace = active_trace()
         pushed = self.context.try_pushdown_query(query, limit)
         if pushed is not None:
+            trace.tally("queries_pushdown")
             return pushed
+        trace.tally("queries_python")
         plan = self.planner.plan(query)
         partials = self._run_plan(plan, limit, budget=budget)
         if not partials:

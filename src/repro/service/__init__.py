@@ -8,7 +8,8 @@ Public API
   :class:`~repro.exceptions.ServiceOverloadedError` backpressure, and
   per-tenant weight-overlay ranking.
 * :class:`ReadResult` / :class:`ServerStats` — read answers with snapshot
-  provenance; aggregate serving counters.
+  provenance (each carrying its :class:`~repro.obs.tracing.ReadTrace`
+  timing breakdown when observability is on); aggregate serving counters.
 * :class:`ReadSnapshot` / :class:`SnapshotView` — the copy-on-publish
   frozen states reads run against.
 """

@@ -54,6 +54,7 @@ import itertools
 import os
 import queue
 import threading
+import time
 import uuid
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
@@ -79,6 +80,8 @@ from ..api.types import (
 from ..faults.budget import Budget
 from ..faults.retry import RetryPolicy, classify_storage_error, is_transient
 from ..graph.edges import edge_id_counter, set_edge_id_counter
+from ..obs import Observability
+from ..obs.tracing import ReadTrace, active_trace
 from .snapshots import ReadSnapshot, SnapshotCounters
 
 _SENTINEL = object()
@@ -104,6 +107,13 @@ class ReadResult:
     valid *prefix* of the full ranking (complete trees only), not the whole
     ranking.  Degraded answers are never cached or carried over — a later
     unbudgeted read of the same view recomputes the full result.
+
+    ``trace`` is the read's timing breakdown (see
+    :class:`~repro.obs.tracing.ReadTrace`): the span tree from snapshot
+    acquire through solve/execute to pagination, the serving path
+    (``windowed`` / ``posting-join`` / ``python-union`` / ...) and, on
+    fallback from the windowed pushdown, the concrete ineligibility
+    reason.  ``None`` when the session runs with ``observability=False``.
     """
 
     view_id: str
@@ -113,6 +123,7 @@ class ReadResult:
     answers: Tuple[AnswerTuple, ...]
     page_size: int
     degraded: bool = False
+    trace: Optional[ReadTrace] = None
 
     def pages(self) -> Iterator[AnswerPage]:
         """The answers re-chunked into the service's page shape."""
@@ -144,7 +155,7 @@ class ServerStats:
 
 
 class _WriteOp:
-    __slots__ = ("fn", "kind", "tag", "op_key", "future")
+    __slots__ = ("fn", "kind", "tag", "op_key", "future", "enqueued_s")
 
     def __init__(
         self,
@@ -160,6 +171,9 @@ class _WriteOp:
         #: (before autosave), so a retry never double-applies.
         self.op_key = op_key
         self.future: Future = Future()
+        #: Tracer-clock stamp taken at admission; the writer lane turns it
+        #: into the op's ``queue_wait`` span.
+        self.enqueued_s: float = 0.0
 
     def cancel(self) -> bool:
         """Cancel the op if the writer has not picked it up yet.
@@ -230,11 +244,17 @@ class QServer:
                 max_delay_s=getattr(service.config, "write_retry_max_delay_s", 0.1),
             )
         self._retry_policy = retry_policy
+        #: Shared observability bundle (see :mod:`repro.obs`): the server
+        #: traces its lanes into the session's registry/logs, so one scrape
+        #: covers service and server alike.  A bare service (tests wiring a
+        #: stub) gets the do-nothing bundle.
+        self.obs: Observability = getattr(service, "obs", None) or Observability.noop()
 
         self._counters = SnapshotCounters()
         self._stats_lock = threading.Lock()
         self._reads_served = 0
         self._reads_degraded = 0
+        self._writes_admitted = 0
         self._writes_applied = 0
         self._writes_failed = 0
         self._writes_rejected = 0
@@ -262,6 +282,8 @@ class QServer:
             service, 0, previous=None, counters=self._counters
         )
         self._snapshots_published = 1
+        self._last_publish_monotonic = time.monotonic()
+        self._register_server_metrics()
         self._read_pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="qserve-read"
         )
@@ -269,6 +291,67 @@ class QServer:
             target=self._writer_loop, name="qserve-writer", daemon=True
         )
         self._writer.start()
+
+    def _register_server_metrics(self) -> None:
+        """Expose the serving lanes on the shared registry.
+
+        All callback gauges over the server's plain counters: the lanes
+        keep their lock-guarded int arithmetic, scrapes read live values.
+        """
+        gauge = self.obs.registry.gauge
+        gauge("q_snapshot_id", "Currently published snapshot id", fn=lambda: self._snapshot.snapshot_id)
+        gauge(
+            "q_snapshot_age_seconds",
+            "Seconds since the last snapshot publish",
+            fn=lambda: max(time.monotonic() - self._last_publish_monotonic, 0.0),
+        )
+        gauge("q_write_queue_depth", "Writes waiting in the mutation queue", fn=self._queue.qsize)
+        gauge(
+            "q_pending_writes",
+            "Writes admitted but not yet applied, failed or cancelled",
+            fn=lambda: max(
+                self._writes_admitted
+                - self._writes_applied
+                - self._writes_failed
+                - self._writes_cancelled,
+                0,
+            ),
+        )
+        gauge(
+            "q_health_state",
+            "Server health: 0 healthy, 1 degraded, 2 closed",
+            fn=lambda: 2.0 if self._closed else (0.0 if self._health == HEALTHY else 1.0),
+        )
+        gauge("q_writes_applied_total", "Writes applied by the writer lane", fn=lambda: self._writes_applied)
+        gauge("q_writes_failed_total", "Writes whose future carries an exception", fn=lambda: self._writes_failed)
+        gauge("q_writes_rejected_total", "Writes refused at admission", fn=lambda: self._writes_rejected)
+        gauge("q_writes_retried_total", "Transient-fault retries in the writer lane", fn=lambda: self._writes_retried)
+        gauge("q_writes_cancelled_total", "Writes cancelled while queued", fn=lambda: self._writes_cancelled)
+        gauge("q_snapshots_published_total", "Read snapshots published", fn=lambda: self._snapshots_published)
+        gauge(
+            "q_pinned_materializations_total",
+            "Pinned (view, tenant) materializations computed",
+            fn=lambda: self._counters.materializations,
+        )
+        gauge(
+            "q_pinned_carryovers_total",
+            "Pinned answer sets carried over across snapshots",
+            fn=lambda: self._counters.carryovers,
+        )
+        gauge("q_read_pool_workers", "Size of the concurrent read pool", fn=lambda: self.read_workers)
+        gauge("q_write_queue_limit", "Bound of the mutation queue", fn=lambda: self.write_queue_limit)
+
+    def metrics(self, fmt: str = "prometheus"):
+        """The shared metrics registry in exposition form.
+
+        Same surface as :meth:`QService.metrics` — the server and its
+        session share one registry, so either scrape sees both lanes.
+        """
+        if fmt in ("prometheus", "text"):
+            return self.obs.registry.prometheus_text()
+        if fmt == "json":
+            return self.obs.registry.as_dict()
+        raise InvalidRequestError(f"unknown metrics format {fmt!r}; use 'prometheus' or 'json'")
 
     # ------------------------------------------------------------------
     # Health / supervision
@@ -438,50 +521,63 @@ class QServer:
             if request.deadline_ms is not None
             else None
         )
-        snapshot = self._snapshot
-        ref = request.view
-        if ref is not None and not isinstance(ref, str):
-            raise InvalidRequestError(
-                "QServer resolves views by id or name; pass a string reference"
-            )
-        sv = snapshot.resolve(ref, request.keywords, request.name)
-        if sv is None:
-            if not request.keywords:
+        trace = self.obs.tracer.trace("read")
+        with trace:
+            with trace.span("snapshot_acquire"):
+                snapshot = self._snapshot
+                ref = request.view
+                if ref is not None and not isinstance(ref, str):
+                    raise InvalidRequestError(
+                        "QServer resolves views by id or name; pass a string reference"
+                    )
+                sv = snapshot.resolve(ref, request.keywords, request.name)
+                if sv is None:
+                    if not request.keywords:
+                        raise InvalidRequestError(
+                            "QueryRequest needs keywords or a view reference"
+                        )
+                    # Unknown keywords: view creation is a write.  Route it
+                    # through the writer lane, then read against the
+                    # post-create snapshot.
+                    info = self._ensure_view(request)
+                    snapshot = self._snapshot
+                    sv = snapshot.resolve(info.view_id, (), None)
+                    if sv is None:  # pragma: no cover - a concurrent remove raced us
+                        raise InvalidRequestError(
+                            f"view {info.view_id} vanished before its first read"
+                        )
+            if request.k is not None and sv.k != request.k:
                 raise InvalidRequestError(
-                    "QueryRequest needs keywords or a view reference"
+                    f"view {sv.name!r} ({sv.view_id}) has k={sv.k}; the request "
+                    f"asked for k={request.k} — omit k to read the existing "
+                    "ranking, or create a view under another name"
                 )
-            # Unknown keywords: view creation is a write.  Route it through
-            # the writer lane, then read against the post-create snapshot.
-            info = self._ensure_view(request)
-            snapshot = self._snapshot
-            sv = snapshot.resolve(info.view_id, (), None)
-            if sv is None:  # pragma: no cover - a concurrent remove raced us
-                raise InvalidRequestError(
-                    f"view {info.view_id} vanished before its first read"
+            if budget is not None:
+                # Time spent waiting on the writer lane (view creation) counts
+                # against the deadline too.
+                budget.check("read")
+            answers = snapshot.answers_for(sv, request.tenant, budget=budget)
+            degraded = budget is not None and budget.truncated
+            with trace.span("paginate"):
+                if request.limit is not None:
+                    answers = answers[: request.limit]
+                page_size = (
+                    request.page_size
+                    if request.page_size is not None
+                    else self._service.config.default_page_size
                 )
-        if request.k is not None and sv.k != request.k:
-            raise InvalidRequestError(
-                f"view {sv.name!r} ({sv.view_id}) has k={sv.k}; the request "
-                f"asked for k={request.k} — omit k to read the existing "
-                "ranking, or create a view under another name"
-            )
-        if budget is not None:
-            # Time spent waiting on the writer lane (view creation) counts
-            # against the deadline too.
-            budget.check("read")
-        answers = snapshot.answers_for(sv, request.tenant, budget=budget)
-        degraded = budget is not None and budget.truncated
-        if request.limit is not None:
-            answers = answers[: request.limit]
-        page_size = (
-            request.page_size
-            if request.page_size is not None
-            else self._service.config.default_page_size
-        )
         with self._stats_lock:
             self._reads_served += 1
             if degraded:
                 self._reads_degraded += 1
+        read_trace = self.obs.finish_read(
+            trace,
+            view_id=sv.view_id,
+            view_name=sv.name,
+            tenant=request.tenant,
+            snapshot_id=snapshot.snapshot_id,
+            degraded=degraded,
+        )
         return ReadResult(
             view_id=sv.view_id,
             view_name=sv.name,
@@ -490,6 +586,7 @@ class QServer:
             answers=answers,
             page_size=page_size,
             degraded=degraded,
+            trace=read_trace,
         )
 
     def _ensure_view(self, request: QueryRequest) -> ViewInfo:
@@ -600,6 +697,7 @@ class QServer:
         if op_key is None:
             op_key = f"{self._op_prefix}-{next(self._op_seq)}"
         op = _WriteOp(fn, kind, tag, op_key=op_key)
+        op.enqueued_s = self.obs.tracer.clock()
         try:
             self._queue.put_nowait(op)
         except queue.Full:
@@ -608,6 +706,8 @@ class QServer:
             raise ServiceOverloadedError(
                 pending=self._queue.qsize(), limit=self.write_queue_limit
             ) from None
+        with self._stats_lock:
+            self._writes_admitted += 1
         return op.future
 
     def _writer_loop(self) -> None:
@@ -635,47 +735,59 @@ class QServer:
                     )
                 )
                 continue
+            trace = self.obs.tracer.trace("write")
             try:
-                result = self._apply_with_retry(op)
-            except (KeyboardInterrupt, SystemExit) as exc:
-                # Interpreter-level interrupts must not be swallowed: fail
-                # the in-flight op, degrade (failing queued ops), then let
-                # the interrupt kill the writer thread.
-                with self._stats_lock:
-                    self._writes_failed += 1
-                op.future.set_exception(exc)
-                self._degrade(exc)
-                raise
-            except BaseException as exc:
-                # A failed write publishes nothing: no snapshot, no log
-                # entry — readers never see any partial effect it may have
-                # had beyond the service's own exception guarantees.
-                with self._stats_lock:
-                    self._writes_failed += 1
-                op.future.set_exception(exc)
-                if self._is_fatal_storage_failure(exc):
-                    self._degrade(exc)
-                continue
-            self.write_log.append((op.kind, op.tag))
-            try:
-                self._publish()
-            except (KeyboardInterrupt, SystemExit) as exc:
-                op.future.set_exception(exc)
-                self._degrade(exc)
-                raise
-            except BaseException as exc:
-                # Supervision: a snapshot-capture failure means the publish
-                # pipeline is suspect — fail the op and degrade rather than
-                # silently serving a stale snapshot as if the write landed.
-                with self._stats_lock:
-                    self._writes_failed += 1
-                op.future.set_exception(exc)
-                self._degrade(exc)
-                continue
-            # Publish-before-complete: once the caller sees the future
-            # resolve, every subsequent read is guaranteed a snapshot that
-            # includes this write.
-            op.future.set_result(result)
+                with trace:
+                    if trace.enabled:
+                        trace.record_span(
+                            "queue_wait", op.enqueued_s, self.obs.tracer.clock()
+                        )
+                    try:
+                        with trace.span("apply"):
+                            result = self._apply_with_retry(op)
+                    except (KeyboardInterrupt, SystemExit) as exc:
+                        # Interpreter-level interrupts must not be swallowed:
+                        # fail the in-flight op, degrade (failing queued
+                        # ops), then let the interrupt kill the writer.
+                        with self._stats_lock:
+                            self._writes_failed += 1
+                        op.future.set_exception(exc)
+                        self._degrade(exc)
+                        raise
+                    except BaseException as exc:
+                        # A failed write publishes nothing: no snapshot, no
+                        # log entry — readers never see any partial effect it
+                        # may have had beyond the service's own exception
+                        # guarantees.
+                        with self._stats_lock:
+                            self._writes_failed += 1
+                        op.future.set_exception(exc)
+                        if self._is_fatal_storage_failure(exc):
+                            self._degrade(exc)
+                        continue
+                    self.write_log.append((op.kind, op.tag))
+                    try:
+                        self._publish()
+                    except (KeyboardInterrupt, SystemExit) as exc:
+                        op.future.set_exception(exc)
+                        self._degrade(exc)
+                        raise
+                    except BaseException as exc:
+                        # Supervision: a snapshot-capture failure means the
+                        # publish pipeline is suspect — fail the op and
+                        # degrade rather than silently serving a stale
+                        # snapshot as if the write landed.
+                        with self._stats_lock:
+                            self._writes_failed += 1
+                        op.future.set_exception(exc)
+                        self._degrade(exc)
+                        continue
+                    # Publish-before-complete: once the caller sees the
+                    # future resolve, every subsequent read is guaranteed a
+                    # snapshot that includes this write.
+                    op.future.set_result(result)
+            finally:
+                self.obs.finish_write(trace, op.kind)
 
     def _apply_with_retry(self, op: _WriteOp):
         """Run one write, retrying transient storage faults with backoff.
@@ -720,7 +832,9 @@ class QServer:
                     set_edge_id_counter(saved_edge_counter)
                 with self._stats_lock:
                     self._writes_retried += 1
-                policy.sleep(delay)
+                active_trace().tally("retry_attempts")
+                with active_trace().span("retry_backoff"):
+                    policy.sleep(delay)
             else:
                 if idempotent:
                     service.record_op_result(op.op_key, result)
@@ -730,19 +844,23 @@ class QServer:
                     service.end_op()
 
     def _publish(self) -> None:
+        trace = active_trace()
         # All structurally stale views re-expand here, in the single writer
         # thread — query-graph expansion consumes process-global edge ids,
         # so it must never run on a concurrent reader.
-        self._service.prepare_views(structural_only=True)
+        with trace.span("prepare_views"):
+            self._service.prepare_views(structural_only=True)
         with self._stats_lock:
             self._writes_applied += 1
             snapshot_id = self._writes_applied
-        self._snapshot = ReadSnapshot.capture(
-            self._service,
-            snapshot_id,
-            previous=self._snapshot,
-            counters=self._counters,
-        )
+        with trace.span("snapshot_capture"):
+            self._snapshot = ReadSnapshot.capture(
+                self._service,
+                snapshot_id,
+                previous=self._snapshot,
+                counters=self._counters,
+            )
+        self._last_publish_monotonic = time.monotonic()
         with self._stats_lock:
             self._snapshots_published += 1
 

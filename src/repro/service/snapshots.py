@@ -42,6 +42,7 @@ from ..faults.budget import Budget
 from ..graph.features import WeightVector
 from ..graph.query_graph import QueryGraph
 from ..learning.overlays import OverlayWeightVector, graph_with_weights
+from ..obs.tracing import active_trace
 
 
 class SnapshotView:
@@ -182,11 +183,19 @@ class ReadSnapshot:
 
         # Scan/join caches survive weight-only mutations (they cache joined
         # rows, not costs); a structural change starts from a fresh context
-        # exactly like the live service's registration invalidation.
+        # exactly like the live service's registration invalidation.  The
+        # fresh context shares the live session's statistics sheet and
+        # Steiner-network cache, so snapshot-lane pushdowns and solves land
+        # on the same registry gauges as direct service reads.
         if previous is not None and previous.structure_version == structure_version:
             context = previous.context
         else:
-            context = ExecutionContext(service.catalog)
+            live = getattr(service, "engine_context", None)
+            context = ExecutionContext(
+                service.catalog,
+                statistics=getattr(live, "statistics", None),
+                steiner_cache=getattr(live, "steiner_cache", None),
+            )
 
         snapshot = cls(
             snapshot_id=snapshot_id,
@@ -283,13 +292,16 @@ class ReadSnapshot:
         materializes privately under its budget.
         """
         key = (sv.view_id, tenant)
+        trace = active_trace()
         if budget is not None:
             with self._lock:
                 entry = self._pinned.get(key)
             if entry is not None and entry.event.is_set() and entry.error is None:
                 assert entry.answers is not None
+                trace.annotate_once("path", "cached")
                 return entry.answers
-            return self._materialize(sv, tenant, budget=budget)
+            with trace.span("materialize"):
+                return self._materialize(sv, tenant, budget=budget)
         with self._lock:
             entry = self._pinned.get(key)
             creator = entry is None
@@ -302,14 +314,25 @@ class ReadSnapshot:
                 self._counters.materializations += 1
         if creator:
             try:
-                entry.answers = self._materialize(sv, tenant)
+                with trace.span("materialize"):
+                    entry.answers = self._materialize(sv, tenant)
             except BaseException as exc:  # propagate to every waiter
                 entry.error = exc
                 raise
             finally:
                 entry.event.set()
+        elif entry.event.is_set():
+            # The slot was materialized (or carried over) before this read:
+            # a pure cache replay, no waiting involved.
+            trace.annotate_once("path", "cached")
+            if entry.error is not None:
+                raise entry.error
         else:
-            entry.event.wait()
+            # A concurrent reader is materializing the same (view, tenant);
+            # this read shares its result.
+            trace.annotate_once("path", "shared")
+            with trace.span("wait_shared"):
+                entry.event.wait()
             if entry.error is not None:
                 raise entry.error
         assert entry.answers is not None

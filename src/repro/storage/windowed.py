@@ -120,16 +120,44 @@ class WindowedUnionPushdown:
         has no output columns (the engine's all-attributes projection for
         outputless queries is not worth replicating in SQL).
         """
+        return self.ineligibility(catalog, queries) is None
+
+    def ineligibility(
+        self, catalog: "Catalog", queries: Sequence["ConjunctiveQuery"]
+    ) -> Optional[str]:
+        """The concrete reason the union cannot run in-backend, or ``None``.
+
+        The single eligibility decision point: :meth:`can_execute` is a
+        thin predicate over it, and the observability layer's explain log
+        records exactly this string when a read falls back, so the reason a
+        dashboard shows is the reason the engine actually acted on.
+        """
         if not queries:
-            return False
+            return "empty query batch"
         if not backend_dialect(self.backend).supports_window_functions:
-            return False
+            return "backend dialect lacks window functions"
         for query in queries:
             if not query.outputs:
-                return False
+                return "a branch query has no output columns"
             if not relations_on_backend(self.backend, catalog, query):
-                return False
-        return True
+                missing = []
+                for atom in query.atoms:
+                    try:
+                        table = catalog.relation(atom.relation)
+                    except Exception:
+                        missing.append(atom.relation)
+                        continue
+                    if (
+                        table.storage_backend is not self.backend
+                        or table.storage_key != atom.relation
+                    ):
+                        missing.append(atom.relation)
+                names = ", ".join(sorted(set(missing)))
+                return (
+                    f"relation(s) not stored on the window-capable backend: "
+                    f"{names or 'empty atom list'}"
+                )
+        return None
 
     # ------------------------------------------------------------------
     # Branch compilation (shared by both fetch shapes)
